@@ -1,0 +1,156 @@
+package gfs
+
+import (
+	"fmt"
+	"testing"
+
+	"gfs/internal/core"
+	"gfs/internal/disk"
+	"gfs/internal/experiments"
+	"gfs/internal/netsim"
+	"gfs/internal/raid"
+	"gfs/internal/sim"
+	"gfs/internal/units"
+)
+
+func benchName(key string, v int) string { return fmt.Sprintf("%s=%d", key, v) }
+
+// wanStreamRate measures one client streaming 256 MiB across a WAN with
+// the given one-way delay and read-ahead depth; window 0 means the 16 MiB
+// default. Returns simulated MB/s.
+func wanStreamRate(b *testing.B, readAhead int, oneWay sim.Time, window units.Bytes) float64 {
+	b.Helper()
+	s := sim.New()
+	nw := netsim.New(s)
+	if window > 0 {
+		nw.DefaultTCP = netsim.TCPConfig{MaxWindow: window, InitWindow: 64 * units.KiB}
+	}
+	site := experiments.NewSite(s, nw, "origin")
+	site.BuildFS(experiments.FSOptions{
+		Name: "fs", BlockSize: units.MiB,
+		Servers: 8, ServerEth: 10 * units.Gbps,
+		StoreRate: units.GBps, StoreCap: units.TB, StoreStreams: 8,
+	})
+	remote := nw.NewNode("remote")
+	nw.DuplexLink("wan", site.Switch, remote, 10*units.Gbps, oneWay)
+	ccfg := core.DefaultClientConfig()
+	ccfg.ReadAhead = readAhead
+	cl := core.NewClient(site.Cluster, "reader", remote, ccfg, core.Identity{DN: "/CN=bench"})
+	seeder := site.AddClients(1, 10*units.Gbps, core.DefaultClientConfig())[0]
+
+	const size = 256 * units.MiB
+	var rate float64
+	s.Go("bench", func(p *sim.Proc) {
+		sm, err := seeder.MountLocal(p, site.FS)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		f, err := sm.Create(p, "/d", core.DefaultPerm)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		for off := units.Bytes(0); off < size; off += 8 * units.MiB {
+			if err := f.WriteAt(p, off, 8*units.MiB); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+		if err := f.Close(p); err != nil {
+			b.Error(err)
+			return
+		}
+		m, err := cl.MountLocal(p, site.FS)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		g, err := m.Open(p, "/d")
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		t0 := p.Now()
+		for off := units.Bytes(0); off < size; off += units.MiB {
+			if err := g.ReadAt(p, off, units.MiB); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+		rate = float64(size) / (p.Now() - t0).Seconds() / 1e6
+	})
+	s.Run()
+	return rate
+}
+
+// stripeRate measures a LAN stream against a FS with the given server
+// count and block size. Returns simulated MB/s.
+func stripeRate(b *testing.B, servers int, blockSize units.Bytes) float64 {
+	b.Helper()
+	s := sim.New()
+	nw := netsim.New(s)
+	site := experiments.NewSite(s, nw, "origin")
+	site.BuildFS(experiments.FSOptions{
+		Name: "fs", BlockSize: blockSize,
+		Servers: servers, ServerEth: units.Gbps,
+		StoreRate: 300 * units.MBps, StoreCap: units.TB, StoreStreams: 4,
+	})
+	cl := site.AddClients(1, 10*units.Gbps, core.DefaultClientConfig())[0]
+	const size = 256 * units.MiB
+	var rate float64
+	s.Go("bench", func(p *sim.Proc) {
+		m, err := cl.MountLocal(p, site.FS)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		f, err := m.Create(p, "/d", core.DefaultPerm)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		for off := units.Bytes(0); off < size; off += 8 * units.MiB {
+			if err := f.WriteAt(p, off, 8*units.MiB); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+		if err := f.Close(p); err != nil {
+			b.Error(err)
+			return
+		}
+		// Fresh client so reads hit the servers, not the writer's cache.
+		rd := site.AddClients(1, 10*units.Gbps, core.DefaultClientConfig())[0]
+		m2, err := rd.MountLocal(p, site.FS)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		g, err := m2.Open(p, "/d")
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		t0 := p.Now()
+		for off := units.Bytes(0); off < size; off += blockSize {
+			if err := g.ReadAt(p, off, blockSize); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+		rate = float64(size) / (p.Now() - t0).Seconds() / 1e6
+	})
+	s.Run()
+	return rate
+}
+
+// newBenchRAID builds one 8+P SATA set for the RAID5 penalty ablation.
+func newBenchRAID() (*sim.Sim, *raid.Set) {
+	s := sim.New()
+	members := make([]*disk.Disk, 9)
+	for i := range members {
+		members[i] = disk.New(s, fmt.Sprintf("d%d", i), disk.SATA250())
+	}
+	return s, raid.NewSet(s, "r5", members, 256*units.KiB)
+}

@@ -1,0 +1,159 @@
+// Command gfsbench runs parameterized sweeps against the simulated Global
+// File System and prints CSV, for studying the design space beyond the
+// paper's fixed configurations:
+//
+//	gfsbench -sweep readahead -rtt 80ms        # E1's question: depth vs RTT
+//	gfsbench -sweep nodes -nodes 1,4,16,64     # Fig. 11-style scaling
+//	gfsbench -sweep blocksize                  # FS block size ablation
+//	gfsbench -sweep stripe                     # NSD server count ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"gfs/internal/core"
+	"gfs/internal/experiments"
+	"gfs/internal/netsim"
+	"gfs/internal/sim"
+	"gfs/internal/units"
+)
+
+func main() {
+	var (
+		sweep   = flag.String("sweep", "", "readahead | nodes | blocksize | stripe")
+		rttFlag = flag.Duration("rtt", 80*time.Millisecond, "WAN round-trip time")
+		nodesCS = flag.String("nodes", "1,2,4,8,16,32,48,64", "node counts for -sweep nodes")
+		sizeStr = flag.String("size", "512MiB", "bytes moved per client")
+	)
+	flag.Parse()
+
+	size, err := units.ParseBytes(*sizeStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gfsbench:", err)
+		os.Exit(2)
+	}
+	rtt := sim.Time(rttFlag.Nanoseconds())
+
+	switch *sweep {
+	case "readahead":
+		fmt.Println("readahead_blocks,MBps")
+		for _, ra := range []int{0, 1, 2, 4, 8, 16, 32, 64} {
+			fmt.Printf("%d,%.1f\n", ra, wanReadRate(ra, rtt, size))
+		}
+	case "nodes":
+		fmt.Println("nodes,read_MBps,write_MBps")
+		for _, ns := range strings.Split(*nodesCS, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(ns))
+			if err != nil || n < 1 {
+				fmt.Fprintln(os.Stderr, "gfsbench: bad node count", ns)
+				os.Exit(2)
+			}
+			cfg := experiments.DefaultProductionConfig()
+			cfg.NodeCounts = []int{n}
+			cfg.SizePer = size
+			r := experiments.RunProductionScaling(cfg)
+			fmt.Printf("%d,%.1f,%.1f\n", n, r.Series[0].Points[0].Y, r.Series[1].Points[0].Y)
+		}
+	case "blocksize":
+		fmt.Println("blocksize_KiB,MBps")
+		for _, bs := range []units.Bytes{256 * units.KiB, 512 * units.KiB, units.MiB, 2 * units.MiB, 4 * units.MiB} {
+			fmt.Printf("%d,%.1f\n", bs/units.KiB, streamRate(8, bs, rtt, size))
+		}
+	case "stripe":
+		fmt.Println("nsd_servers,MBps")
+		for _, srv := range []int{1, 2, 4, 8, 16, 32} {
+			fmt.Printf("%d,%.1f\n", srv, streamRate(srv, units.MiB, 0, size))
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// wanReadRate measures one client streaming across an RTT-deep WAN with
+// the given read-ahead depth.
+func wanReadRate(readAhead int, rtt sim.Time, size units.Bytes) float64 {
+	return streamRateTuned(func(cfg *core.ClientConfig) { cfg.ReadAhead = readAhead }, 8, units.MiB, rtt, size)
+}
+
+// streamRate measures one client streaming from a FS with the given
+// server count and block size.
+func streamRate(servers int, blockSize units.Bytes, rtt sim.Time, size units.Bytes) float64 {
+	return streamRateTuned(nil, servers, blockSize, rtt, size)
+}
+
+func streamRateTuned(tune func(*core.ClientConfig), servers int, blockSize units.Bytes, rtt sim.Time, size units.Bytes) float64 {
+	s := sim.New()
+	nw := netsim.New(s)
+	site := experiments.NewSite(s, nw, "origin")
+	site.BuildFS(experiments.FSOptions{
+		Name: "fs", BlockSize: blockSize,
+		Servers: servers, ServerEth: 10 * units.Gbps,
+		StoreRate: units.GBps, StoreCap: 10 * units.TB, StoreStreams: 8,
+	})
+	remoteSW := nw.NewNode("remote-sw")
+	nw.DuplexLink("wan", site.Switch, remoteSW, 10*units.Gbps, rtt/2)
+	node := nw.NewNode("reader")
+	nw.DuplexLink("reader", node, remoteSW, 10*units.Gbps, 50*sim.Microsecond)
+	ccfg := core.DefaultClientConfig()
+	if tune != nil {
+		tune(&ccfg)
+	}
+	cl := core.NewClient(site.Cluster, "reader", node, ccfg, core.Identity{DN: "/CN=bench"})
+	seeder := site.AddClients(1, 10*units.Gbps, core.DefaultClientConfig())[0]
+
+	var out float64
+	done := false
+	s.Go("bench", func(p *sim.Proc) {
+		defer func() { done = true }()
+		sm, err := seeder.MountLocal(p, site.FS)
+		if err != nil {
+			panic(err)
+		}
+		f, err := sm.Create(p, "/data", core.DefaultPerm)
+		if err != nil {
+			panic(err)
+		}
+		for off := units.Bytes(0); off < size; off += 8 * units.MiB {
+			ln := 8 * units.MiB
+			if off+ln > size {
+				ln = size - off
+			}
+			if err := f.WriteAt(p, off, ln); err != nil {
+				panic(err)
+			}
+		}
+		if err := f.Close(p); err != nil {
+			panic(err)
+		}
+		m, err := cl.MountLocal(p, site.FS)
+		if err != nil {
+			panic(err)
+		}
+		g, err := m.Open(p, "/data")
+		if err != nil {
+			panic(err)
+		}
+		t0 := p.Now()
+		for off := units.Bytes(0); off < size; off += blockSize {
+			ln := blockSize
+			if off+ln > size {
+				ln = size - off
+			}
+			if err := g.ReadAt(p, off, ln); err != nil {
+				panic(err)
+			}
+		}
+		out = float64(size) / (p.Now() - t0).Seconds() / 1e6
+	})
+	s.Run()
+	if !done {
+		panic("gfsbench: deadlock")
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+// Command gfssim regenerates the paper's figures and headline numbers.
+//
+//	gfssim -list             # show available experiments
+//	gfssim -exp production   # run one (Fig. 11)
+//	gfssim -exp all          # run everything
+//	gfssim -exp sc02 -csv    # emit the series as CSV instead of a chart
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gfs/internal/experiments"
+	"gfs/internal/metrics"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "", "experiment name (see -list), or 'all'")
+		list = flag.Bool("list", false, "list experiments")
+		csv  = flag.Bool("csv", false, "print series as CSV instead of ASCII charts")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments (gfssim -exp <name>):")
+		for _, r := range experiments.All() {
+			fmt.Printf("  %-11s %s\n", r.Name, r.Paper)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	var runners []experiments.Runner
+	if *exp == "all" {
+		runners = experiments.All()
+	} else {
+		r, ok := experiments.ByName(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gfssim: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		runners = []experiments.Runner{r}
+	}
+	for _, r := range runners {
+		fmt.Printf("running %s (%s)...\n", r.Name, r.Paper)
+		res := r.Run()
+		if *csv {
+			fmt.Printf("== %s: %s ==\n", res.ID, res.Title)
+			fmt.Print(res.HeadlineTable())
+			for _, n := range res.Notes {
+				fmt.Printf("note: %s\n", n)
+			}
+			if len(res.Series) > 0 {
+				fmt.Print(metrics.MergeCSV(res.Series[0].XLabel, res.Series...))
+			}
+		} else {
+			fmt.Print(res.String())
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,102 @@
+// copyrightlib plays out the paper's closing vision (§8) end to end: a
+// central "copyright library" site holds the authoritative datasets with
+// an HSM archive behind it and a remote second copy at a peer library;
+// an edge site with plenty of disk but no archive expertise runs an
+// automatic read-through cache over the WAN. A local catastrophe at the
+// library is repaired from the peer's replica.
+//
+//	go run ./examples/copyrightlib
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gfs"
+	"gfs/internal/cachefs"
+	"gfs/internal/hsm"
+)
+
+func main() {
+	s := gfs.NewSim()
+	nw := gfs.NewNetwork(s)
+
+	// The library and an edge site, 30 ms apart.
+	library := gfs.NewSite(s, nw, "library")
+	library.BuildFS(gfs.FSOptions{
+		Name: "archive", BlockSize: gfs.MiB,
+		Servers: 8, ServerEth: gfs.Gbps,
+		StoreRate: 400 * gfs.MBps, StoreCap: 10 * gfs.TB, StoreStreams: 4,
+	})
+	edge := gfs.NewSite(s, nw, "edge")
+	edge.BuildFS(gfs.FSOptions{
+		Name: "scratch", BlockSize: gfs.MiB,
+		Servers: 2, ServerEth: gfs.Gbps,
+		StoreRate: 400 * gfs.MBps, StoreCap: gfs.TB, StoreStreams: 4,
+	})
+	nw.DuplexLink("wan", library.Switch, edge.Switch, gfs.Gbps, 30*gfs.Millisecond)
+	device := gfs.Peer(library, edge, gfs.ReadOnly)
+
+	// Archive machinery behind the library, plus a peer library for
+	// second copies (the SDSC/PSC arrangement).
+	sdscHSM := hsm.NewManager(s, "library", hsm.NewLibrary(s, "silo", 4, 64, hsm.LTO2()), 2*gfs.TB)
+	pscHSM := hsm.NewManager(s, "psc", hsm.NewLibrary(s, "psc-silo", 4, 64, hsm.LTO2()), 2*gfs.TB)
+	repl := hsm.NewReplicator(s, sdscHSM, pscHSM, gfs.GBps)
+
+	librarian := library.AddClients(1, 10*gfs.Gbps, gfs.DefaultClientConfig())[0]
+	scientist := edge.AddClients(1, 2*gfs.Gbps, gfs.DefaultClientConfig())[0]
+
+	s.Go("story", func(p *gfs.Proc) {
+		// The library publishes a dataset and archives it.
+		lm, err := librarian.MountLocal(p, library.FS)
+		check(err)
+		f, err := lm.Create(p, "/nvo-dr3.fits", gfs.DefaultPerm)
+		check(err)
+		const size = 256 * gfs.MiB
+		for off := gfs.Bytes(0); off < size; off += 8 * gfs.MiB {
+			check(f.WriteAt(p, off, 8*gfs.MiB))
+		}
+		check(f.Close(p))
+		check(sdscHSM.Ingest(p, "/nvo-dr3.fits", size))
+		check(repl.Replicate(p, sdscHSM, "/nvo-dr3.fits"))
+		fmt.Printf("published %v; second copy at psc: %v\n",
+			gfs.Bytes(size), pscHSM.HasReplicaOf(sdscHSM, "/nvo-dr3.fits"))
+
+		// The edge scientist works through the automatic cache.
+		local, err := scientist.MountLocal(p, edge.FS)
+		check(err)
+		remote, err := scientist.MountRemote(p, device)
+		check(err)
+		cache, err := cachefs.New(s, p, local, remote, "/cache", 4*gfs.GiB)
+		check(err)
+
+		t0 := p.Now()
+		g, err := cache.Open(p, "/nvo-dr3.fits")
+		check(err)
+		check(g.ReadAt(p, 0, g.Size()))
+		fmt.Printf("first access (WAN staging): %v\n", p.Now()-t0)
+
+		t1 := p.Now()
+		g, err = cache.Open(p, "/nvo-dr3.fits")
+		check(err)
+		check(g.ReadAt(p, 0, g.Size()))
+		fmt.Printf("second access (local cache): %v\n", p.Now()-t1)
+		h, m, _, _ := cache.Stats()
+		fmt.Printf("cache: %d hits, %d misses\n", h, m)
+
+		// Catastrophe at the library; the peer replica repairs it.
+		check(sdscHSM.Catastrophe("/nvo-dr3.fits"))
+		t2 := p.Now()
+		check(repl.Restore(p, sdscHSM, "/nvo-dr3.fits"))
+		st, _ := sdscHSM.StateOf("/nvo-dr3.fits")
+		fmt.Printf("restored from psc in %v (state %v) — the copyright-library model working\n",
+			p.Now()-t2, st)
+	})
+	s.Run()
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+// hsmarchive demonstrates the paper's §8 future work: the GFS disk pool
+// as the cache tier of a Hierarchical Storage Manager. Datasets migrate
+// to tape as they cool; touching a migrated dataset triggers a transparent
+// — but minutes-long — recall, quantifying why the paper expects only a
+// few "copyright library" sites to run archives.
+//
+//	go run ./examples/hsmarchive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gfs"
+	"gfs/internal/hsm"
+)
+
+func main() {
+	s := gfs.NewSim()
+	lib := hsm.NewLibrary(s, "silo", 6, 128, hsm.LTO2())
+	mgr := hsm.NewManager(s, "sdsc-archive", lib, 3*gfs.TB)
+
+	fmt.Printf("disk pool %v, tape capacity %v, %d drives\n",
+		gfs.Bytes(3*gfs.TB), lib.Capacity(), lib.Drives())
+
+	s.Go("archive", func(p *gfs.Proc) {
+		// A year of Enzo and SCEC runs lands on the GFS.
+		for i := 0; i < 30; i++ {
+			name := fmt.Sprintf("/runs/dataset%02d", i)
+			check(mgr.Ingest(p, name, 150*gfs.GB))
+			p.Sleep(6 * gfs.Hour)
+		}
+		fmt.Printf("after ingest: disk used %v, %d migrations to tape\n",
+			mgr.DiskUsed(), mgr.Migrations())
+
+		// A researcher touches a hot dataset: instant.
+		t0 := p.Now()
+		st, err := mgr.Access(p, "/runs/dataset29")
+		check(err)
+		fmt.Printf("hot access  (%-8v): %v\n", st, p.Now()-t0)
+
+		// Then an old one: transparent recall from LTO-2.
+		t0 = p.Now()
+		st, err = mgr.Access(p, "/runs/dataset00")
+		check(err)
+		fmt.Printf("cold access (%-8v): %v — the archive latency cliff\n", st, p.Now()-t0)
+
+		// Second touch is instant again (now dual-resident).
+		t0 = p.Now()
+		st, err = mgr.Access(p, "/runs/dataset00")
+		check(err)
+		fmt.Printf("re-access   (%-8v): %v\n", st, p.Now()-t0)
+
+		fmt.Printf("totals: %d migrations, %d recalls\n", mgr.Migrations(), mgr.Recalls())
+	})
+	s.Run()
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

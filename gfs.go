@@ -1,0 +1,202 @@
+// Package gfs is a Go reproduction of "Massive High-Performance Global
+// File Systems for Grid computing" (Andrews, Kovatch, Jordan — SC'05): a
+// GPFS-style wide-area parallel file system with NSD servers, byte-range
+// tokens, client caching, RSA multi-cluster authentication and GSI
+// identity mapping, built on deterministic discrete-event simulations of
+// the paper's networks (TeraGrid WANs, FCIP tunnels) and storage (SATA
+// RAID arrays, FC SANs, tape libraries).
+//
+// This root package is the public facade: it re-exports the types a
+// downstream user composes (simulator, network, cluster, file system,
+// client) and the experiment runners that regenerate every figure and
+// headline number in the paper. The examples/ directory shows complete
+// programs; cmd/gfssim runs the paper's experiments from the command
+// line.
+//
+// A minimal session:
+//
+//	s := gfs.NewSim()
+//	nw := gfs.NewNetwork(s)
+//	site := gfs.NewSite(s, nw, "sdsc")
+//	site.BuildFS(gfs.FSOptions{Name: "gpfs0", BlockSize: gfs.MiB,
+//	    Servers: 8, ServerEth: gfs.Gbps,
+//	    StoreRate: 400 * gfs.MBps, StoreCap: gfs.TB, StoreStreams: 4})
+//	clients := site.AddClients(4, gfs.Gbps, gfs.DefaultClientConfig())
+//	s.Go("app", func(p *gfs.Proc) {
+//	    m, _ := clients[0].MountLocal(p, site.FS)
+//	    f, _ := m.Create(p, "/hello", gfs.DefaultPerm)
+//	    _ = f.WriteBytesAt(p, 0, []byte("hello, grid"))
+//	    _ = f.Close(p)
+//	})
+//	s.Run()
+package gfs
+
+import (
+	"gfs/internal/auth"
+	"gfs/internal/core"
+	"gfs/internal/experiments"
+	"gfs/internal/netsim"
+	"gfs/internal/sim"
+	"gfs/internal/units"
+)
+
+// Simulation kernel.
+type (
+	// Sim is the discrete-event simulator driving everything.
+	Sim = sim.Sim
+	// Proc is a simulated process; file-system calls block it in virtual
+	// time.
+	Proc = sim.Proc
+	// Time is virtual time in nanoseconds.
+	Time = sim.Time
+)
+
+// NewSim returns a fresh simulator with the clock at zero.
+func NewSim() *Sim { return sim.New() }
+
+// Time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+	Minute      = sim.Minute
+	Hour        = sim.Hour
+)
+
+// Network modeling.
+type (
+	// Network is the flow-level WAN/LAN simulator.
+	Network = netsim.Network
+	// TCPConfig sets per-connection window behaviour.
+	TCPConfig = netsim.TCPConfig
+)
+
+// NewNetwork returns an empty network on the simulator.
+func NewNetwork(s *Sim) *Network { return netsim.New(s) }
+
+// Byte and rate units.
+type (
+	// Bytes is a byte count.
+	Bytes = units.Bytes
+	// BytesPerSec is a data rate.
+	BytesPerSec = units.BytesPerSec
+	// BitsPerSec is a link rate.
+	BitsPerSec = units.BitsPerSec
+)
+
+// Size and rate constants.
+const (
+	KiB  = units.KiB
+	MiB  = units.MiB
+	GiB  = units.GiB
+	TiB  = units.TiB
+	KB   = units.KB
+	MB   = units.MB
+	GB   = units.GB
+	TB   = units.TB
+	PB   = units.PB
+	MBps = units.MBps
+	GBps = units.GBps
+	Mbps = units.Mbps
+	Gbps = units.Gbps
+)
+
+// The Global File System core.
+type (
+	// Cluster is the unit of administration and multi-cluster trust.
+	Cluster = core.Cluster
+	// FileSystem is one parallel file system owned by a cluster.
+	FileSystem = core.FileSystem
+	// NSDServer exports Network Shared Disks to clients.
+	NSDServer = core.NSDServer
+	// Client consumes file systems, local or across the WAN.
+	Client = core.Client
+	// ClientConfig tunes pagepool, read-ahead, write-behind and tokens.
+	ClientConfig = core.ClientConfig
+	// Mount is a mounted file system on a client.
+	Mount = core.Mount
+	// File is an open file handle.
+	File = core.File
+	// Identity names a calling user (GSI DN) for permission checks.
+	Identity = core.Identity
+	// Attrs is a stat result.
+	Attrs = core.Attrs
+	// Perm is the simplified POSIX permission set.
+	Perm = core.Perm
+)
+
+// Permission bits.
+const (
+	OwnerRead   = core.OwnerRead
+	OwnerWrite  = core.OwnerWrite
+	WorldRead   = core.WorldRead
+	WorldWrite  = core.WorldWrite
+	DefaultPerm = core.DefaultPerm
+)
+
+// NewCluster creates a cluster with a fresh RSA identity.
+func NewCluster(s *Sim, nw *Network, name string, mode CipherMode) (*Cluster, error) {
+	return core.NewCluster(s, nw, name, mode)
+}
+
+// NewClient attaches a client to a cluster on the given network node.
+var NewClient = core.NewClient
+
+// DefaultClientConfig mirrors a well-tuned 2005 GPFS client.
+func DefaultClientConfig() ClientConfig { return core.DefaultClientConfig() }
+
+// Authentication (§6 of the paper).
+type (
+	// CipherMode mirrors the GPFS cipherList option.
+	CipherMode = auth.CipherMode
+	// Access is a per-filesystem grant level.
+	Access = auth.Access
+	// CA issues GSI user credentials.
+	CA = auth.CA
+	// Credential is a user's certificate + key.
+	Credential = auth.Credential
+	// GridMap is one site's DN-to-UID mapfile.
+	GridMap = auth.GridMap
+	// IdentityService unifies ownership across sites.
+	IdentityService = auth.IdentityService
+)
+
+// Cipher modes and grant levels.
+const (
+	AuthOnly  = auth.AuthOnly
+	AES128    = auth.AES128
+	None      = auth.None
+	ReadOnly  = auth.ReadOnly
+	ReadWrite = auth.ReadWrite
+)
+
+// NewCA creates a certificate authority trusted by all grid sites.
+func NewCA(name string) (*CA, error) { return auth.NewCA(name) }
+
+// NewIdentityService creates the cross-site ownership service.
+func NewIdentityService(ca *CA) *IdentityService { return auth.NewIdentityService(ca) }
+
+// Topology construction and experiment running.
+type (
+	// Site bundles a cluster with its network and filesystem.
+	Site = experiments.Site
+	// FSOptions sizes a site's filesystem.
+	FSOptions = experiments.FSOptions
+	// Result is one experiment's output.
+	Result = experiments.Result
+	// Runner is a registered experiment.
+	Runner = experiments.Runner
+)
+
+// NewSite creates a cluster with an Ethernet core switch.
+func NewSite(s *Sim, nw *Network, name string) *Site { return experiments.NewSite(s, nw, name) }
+
+// Peer wires site b to import site a's filesystem (keys, grants,
+// mmremotecluster/mmremotefs) and returns the device name.
+var Peer = experiments.Peer
+
+// Experiments returns the registry regenerating the paper's figures.
+func Experiments() []Runner { return experiments.All() }
+
+// ExperimentByName finds a registered experiment.
+func ExperimentByName(name string) (Runner, bool) { return experiments.ByName(name) }

@@ -1,0 +1,3 @@
+module gfs
+
+go 1.22

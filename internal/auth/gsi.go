@@ -1,0 +1,222 @@
+package auth
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+	"time"
+)
+
+// The paper (§6): "a user will, most likely, have different UIDs at SDSC,
+// NCSA, ANL ... he will certainly prefer to believe that any data he
+// creates on a centralized Global File System belongs to him and not to
+// one of his particular accounts." The GSI answer is a single certificate
+// whose distinguished name is mapped to a local UID at each site by a
+// grid-mapfile. This file implements that: a real (stdlib x509) mini CA,
+// user certificates, and per-site identity maps.
+
+// CA is a certificate authority trusted by all grid sites.
+type CA struct {
+	key  *rsa.PrivateKey
+	cert *x509.Certificate
+	pool *x509.CertPool
+	next int64
+}
+
+// NewCA creates a self-signed authority.
+func NewCA(name string) (*CA, error) {
+	key, err := rsa.GenerateKey(rand.Reader, keyBits)
+	if err != nil {
+		return nil, err
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: name, Organization: []string{"Grid"}},
+		NotBefore:             time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:              time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC),
+		IsCA:                  true,
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, err
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	pool := x509.NewCertPool()
+	pool.AddCert(cert)
+	return &CA{key: key, cert: cert, pool: pool, next: 2}, nil
+}
+
+// Credential is a user's GSI identity: certificate plus private key.
+type Credential struct {
+	Cert *x509.Certificate
+	key  *rsa.PrivateKey
+}
+
+// DN returns the certificate subject as a GSI-style distinguished name.
+func (c *Credential) DN() string {
+	s := c.Cert.Subject
+	dn := ""
+	for _, o := range s.Organization {
+		dn += "/O=" + o
+	}
+	for _, ou := range s.OrganizationalUnit {
+		dn += "/OU=" + ou
+	}
+	return dn + "/CN=" + s.CommonName
+}
+
+// Issue creates a user credential signed by the CA.
+func (ca *CA) Issue(commonName, org string) (*Credential, error) {
+	key, err := rsa.GenerateKey(rand.Reader, keyBits)
+	if err != nil {
+		return nil, err
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(ca.next),
+		Subject:      pkix.Name{CommonName: commonName, Organization: []string{org}},
+		NotBefore:    ca.cert.NotBefore,
+		NotAfter:     ca.cert.NotAfter,
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+	}
+	ca.next++
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, ca.cert, &key.PublicKey, ca.key)
+	if err != nil {
+		return nil, err
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	return &Credential{Cert: cert, key: key}, nil
+}
+
+// Verify checks that a certificate chains to this CA and is valid at the
+// given time.
+func (ca *CA) Verify(cert *x509.Certificate, at time.Time) error {
+	_, err := cert.Verify(x509.VerifyOptions{
+		Roots:       ca.pool,
+		CurrentTime: at,
+		KeyUsages:   []x509.ExtKeyUsage{x509.ExtKeyUsageAny},
+	})
+	return err
+}
+
+// GridMap is one site's grid-mapfile: DN -> local UID.
+type GridMap struct {
+	Site string
+	byDN map[string]int
+	byID map[int]string
+}
+
+// NewGridMap creates an empty mapfile for a site.
+func NewGridMap(site string) *GridMap {
+	return &GridMap{Site: site, byDN: make(map[string]int), byID: make(map[int]string)}
+}
+
+// Map binds a DN to a local UID; a UID may serve only one DN and vice
+// versa (the map must stay bijective or ownership becomes ambiguous).
+func (g *GridMap) Map(dn string, uid int) error {
+	if prev, ok := g.byDN[dn]; ok && prev != uid {
+		return fmt.Errorf("auth: %s already mapped to uid %d at %s", dn, prev, g.Site)
+	}
+	if prev, ok := g.byID[uid]; ok && prev != dn {
+		return fmt.Errorf("auth: uid %d already held by %s at %s", uid, prev, g.Site)
+	}
+	g.byDN[dn] = uid
+	g.byID[uid] = dn
+	return nil
+}
+
+// UIDFor resolves a DN to the site-local UID.
+func (g *GridMap) UIDFor(dn string) (int, bool) {
+	uid, ok := g.byDN[dn]
+	return uid, ok
+}
+
+// DNFor resolves a local UID back to the grid identity.
+func (g *GridMap) DNFor(uid int) (string, bool) {
+	dn, ok := g.byID[uid]
+	return dn, ok
+}
+
+// Len returns the number of mappings.
+func (g *GridMap) Len() int { return len(g.byDN) }
+
+// IdentityService unifies ownership across sites: the central GFS stores
+// the canonical DN as the owner, and each site's grid-mapfile translates
+// local UIDs to and from it.
+type IdentityService struct {
+	ca    *CA
+	sites map[string]*GridMap
+}
+
+// NewIdentityService creates the service around a trusted CA.
+func NewIdentityService(ca *CA) *IdentityService {
+	return &IdentityService{ca: ca, sites: make(map[string]*GridMap)}
+}
+
+// Site returns (creating if needed) the grid-mapfile for a site.
+func (s *IdentityService) Site(name string) *GridMap {
+	g, ok := s.sites[name]
+	if !ok {
+		g = NewGridMap(name)
+		s.sites[name] = g
+	}
+	return g
+}
+
+// Sites lists registered site names, sorted.
+func (s *IdentityService) Sites() []string {
+	out := make([]string, 0, len(s.sites))
+	for n := range s.sites {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CanonicalOwner authenticates a local user at a site and returns the DN
+// to record as the file owner on the central GFS. The credential must
+// chain to the CA and the site map must bind its DN to the claimed UID.
+func (s *IdentityService) CanonicalOwner(site string, uid int, cred *Credential, at time.Time) (string, error) {
+	if err := s.ca.Verify(cred.Cert, at); err != nil {
+		return "", fmt.Errorf("auth: certificate rejected: %w", err)
+	}
+	g, ok := s.sites[site]
+	if !ok {
+		return "", fmt.Errorf("auth: unknown site %s", site)
+	}
+	dn := cred.DN()
+	mapped, ok := g.UIDFor(dn)
+	if !ok {
+		return "", fmt.Errorf("auth: %s not in %s grid-mapfile", dn, site)
+	}
+	if mapped != uid {
+		return "", fmt.Errorf("auth: %s is uid %d at %s, not %d", dn, mapped, site, uid)
+	}
+	return dn, nil
+}
+
+// LocalUID translates a canonical owner DN to the viewing site's UID, so
+// an ls at any site shows the user's own account as the owner.
+func (s *IdentityService) LocalUID(site, ownerDN string) (int, error) {
+	g, ok := s.sites[site]
+	if !ok {
+		return 0, fmt.Errorf("auth: unknown site %s", site)
+	}
+	uid, ok := g.UIDFor(ownerDN)
+	if !ok {
+		return 0, errors.New("auth: owner has no account at " + site)
+	}
+	return uid, nil
+}

@@ -1,0 +1,172 @@
+package auth
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file models the administration scheme GPFS 2.3 replaced — §6.1/6.2
+// of the paper. Collective commands (mmdsh and most mm* tools) ran over
+// remote shells that "must support passwordless authentication as the
+// root user to all nodes in the cluster", and the first multi-cluster
+// implementation extended that requirement across administrative domains.
+// The model exists to quantify the problem: count the passwordless-root
+// edges a deployment needs under the old scheme versus the keypairs the
+// RSA redesign needs.
+
+// RshKind distinguishes the remote-shell flavors in use in 2005.
+type RshKind int
+
+// Remote shell flavors.
+const (
+	Rsh RshKind = iota // rsh/rcp over private networks (AIX/CSM default)
+	Ssh                // OpenSSH with host-based or key authentication
+)
+
+func (k RshKind) String() string {
+	if k == Ssh {
+		return "ssh"
+	}
+	return "rsh"
+}
+
+// LegacyDomain is one administrative domain's node set and shell flavor.
+type LegacyDomain struct {
+	Name  string
+	Nodes []string
+	Shell RshKind
+}
+
+// LegacyTrust is the passwordless-root trust fabric required to operate a
+// set of (possibly multi-domain) GPFS 2.2-era clusters.
+type LegacyTrust struct {
+	domains map[string]*LegacyDomain
+	// edges[from][to] = true: root@from may execute on to without a password.
+	edges map[string]map[string]bool
+}
+
+// NewLegacyTrust returns an empty trust fabric.
+func NewLegacyTrust() *LegacyTrust {
+	return &LegacyTrust{
+		domains: make(map[string]*LegacyDomain),
+		edges:   make(map[string]map[string]bool),
+	}
+}
+
+// AddDomain registers a domain's nodes.
+func (t *LegacyTrust) AddDomain(d LegacyDomain) error {
+	if _, dup := t.domains[d.Name]; dup {
+		return fmt.Errorf("auth: domain %s exists", d.Name)
+	}
+	if len(d.Nodes) == 0 {
+		return fmt.Errorf("auth: domain %s has no nodes", d.Name)
+	}
+	dd := d
+	t.domains[d.Name] = &dd
+	return nil
+}
+
+// Domains lists registered domain names, sorted.
+func (t *LegacyTrust) Domains() []string {
+	out := make([]string, 0, len(t.domains))
+	for n := range t.domains {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TrustAll grants passwordless root from every node of domain a to every
+// node of domain b (and, when a == b, within the domain) — what cluster
+// creation required.
+func (t *LegacyTrust) TrustAll(a, b string) error {
+	da, ok := t.domains[a]
+	if !ok {
+		return fmt.Errorf("auth: unknown domain %s", a)
+	}
+	db, ok := t.domains[b]
+	if !ok {
+		return fmt.Errorf("auth: unknown domain %s", b)
+	}
+	for _, from := range da.Nodes {
+		m := t.edges[from]
+		if m == nil {
+			m = make(map[string]bool)
+			t.edges[from] = m
+		}
+		for _, to := range db.Nodes {
+			if from != to {
+				m[to] = true
+			}
+		}
+	}
+	return nil
+}
+
+// Trusted reports whether root@from can execute on to.
+func (t *LegacyTrust) Trusted(from, to string) bool { return t.edges[from][to] }
+
+// RootEdges counts passwordless-root host pairs — the attack surface. A
+// compromise of any single node yields root on every node it has an edge
+// to; the paper calls this "problematic from a security standpoint".
+func (t *LegacyTrust) RootEdges() int {
+	n := 0
+	for _, m := range t.edges {
+		n += len(m)
+	}
+	return n
+}
+
+// CrossDomainEdges counts only the edges that leave their administrative
+// domain — the part the GPFS 2.3 GA release eliminated entirely.
+func (t *LegacyTrust) CrossDomainEdges() int {
+	owner := map[string]string{}
+	for name, d := range t.domains {
+		for _, node := range d.Nodes {
+			owner[node] = name
+		}
+	}
+	n := 0
+	for from, m := range t.edges {
+		for to := range m {
+			if owner[from] != owner[to] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ShellMismatch reports domain pairs whose preferred remote shells differ
+// — the administrative headache §6.2 describes ("special system
+// configuration changes must be made to allow the same commands to be
+// used on all nodes in all clusters").
+func (t *LegacyTrust) ShellMismatch() []string {
+	names := t.Domains()
+	var out []string
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if t.domains[names[i]].Shell != t.domains[names[j]].Shell {
+				out = append(out, names[i]+"<->"+names[j])
+			}
+		}
+	}
+	return out
+}
+
+// Mmdsh runs a collective command: it succeeds only if the origin node
+// holds passwordless root on every target. Returns the nodes that refused.
+func (t *LegacyTrust) Mmdsh(origin string, targets []string) (refused []string) {
+	for _, to := range targets {
+		if to != origin && !t.Trusted(origin, to) {
+			refused = append(refused, to)
+		}
+	}
+	sort.Strings(refused)
+	return refused
+}
+
+// KeypairsForRSAModel returns how many long-lived secrets the GPFS 2.3 GA
+// redesign needs for the same deployment: one RSA keypair per cluster,
+// full stop. Compare with RootEdges.
+func (t *LegacyTrust) KeypairsForRSAModel() int { return len(t.domains) }

@@ -1,0 +1,159 @@
+package auth
+
+import (
+	"crypto/rsa"
+	"fmt"
+	"sort"
+)
+
+// Access is a per-filesystem grant level (the PTF 2 addition to GPFS 2.3:
+// per-cluster, per-filesystem ro/rw control via mmauth).
+type Access int
+
+// Grant levels.
+const (
+	None Access = iota
+	ReadOnly
+	ReadWrite
+)
+
+func (a Access) String() string {
+	switch a {
+	case ReadOnly:
+		return "ro"
+	case ReadWrite:
+		return "rw"
+	default:
+		return "none"
+	}
+}
+
+// CanRead reports whether the grant permits reads.
+func (a Access) CanRead() bool { return a == ReadOnly || a == ReadWrite }
+
+// CanWrite reports whether the grant permits writes.
+func (a Access) CanWrite() bool { return a == ReadWrite }
+
+// Registry is a cluster's mmauth state: its own keypair, the remote
+// cluster keys it trusts, its cipher requirement, and per-filesystem
+// grants for importing clusters.
+type Registry struct {
+	key     *ClusterKey
+	mode    CipherMode
+	trusted map[string]*rsa.PublicKey
+	grants  map[string]map[string]Access // fs -> cluster -> access
+}
+
+// NewRegistry creates a registry around the cluster's keypair
+// (mmauth genkey new + mmchconfig cipherList).
+func NewRegistry(key *ClusterKey, mode CipherMode) *Registry {
+	return &Registry{
+		key:     key,
+		mode:    mode,
+		trusted: make(map[string]*rsa.PublicKey),
+		grants:  make(map[string]map[string]Access),
+	}
+}
+
+// Cluster returns the owning cluster's name.
+func (r *Registry) Cluster() string { return r.key.Cluster }
+
+// Mode returns the cipherList setting.
+func (r *Registry) Mode() CipherMode { return r.mode }
+
+// Key returns the cluster keypair.
+func (r *Registry) Key() *ClusterKey { return r.key }
+
+// AddRemote registers a remote cluster's public key from its exchanged PEM
+// (mmauth add).
+func (r *Registry) AddRemote(cluster string, pubPEM []byte) error {
+	pub, err := ParsePublicPEM(pubPEM)
+	if err != nil {
+		return fmt.Errorf("auth: adding %s: %w", cluster, err)
+	}
+	r.trusted[cluster] = pub
+	return nil
+}
+
+// RemoveRemote drops trust in a cluster and all its grants (mmauth delete).
+func (r *Registry) RemoveRemote(cluster string) {
+	delete(r.trusted, cluster)
+	for _, byCluster := range r.grants {
+		delete(byCluster, cluster)
+	}
+}
+
+// Trusted reports whether the named cluster's key is registered.
+func (r *Registry) Trusted(cluster string) bool {
+	_, ok := r.trusted[cluster]
+	return ok
+}
+
+// TrustedKey returns the registered key for a cluster.
+func (r *Registry) TrustedKey(cluster string) (*rsa.PublicKey, bool) {
+	k, ok := r.trusted[cluster]
+	return k, ok
+}
+
+// Remotes lists trusted cluster names, sorted.
+func (r *Registry) Remotes() []string {
+	out := make([]string, 0, len(r.trusted))
+	for c := range r.trusted {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Grant sets the access an importing cluster has on a filesystem
+// (mmauth grant -f fs -a ro|rw). The cluster must already be trusted.
+func (r *Registry) Grant(fs, cluster string, a Access) error {
+	if !r.Trusted(cluster) {
+		return fmt.Errorf("auth: grant to unknown cluster %s", cluster)
+	}
+	byCluster := r.grants[fs]
+	if byCluster == nil {
+		byCluster = make(map[string]Access)
+		r.grants[fs] = byCluster
+	}
+	byCluster[cluster] = a
+	return nil
+}
+
+// AccessFor returns the grant an importing cluster holds on a filesystem.
+func (r *Registry) AccessFor(fs, cluster string) Access {
+	return r.grants[fs][cluster]
+}
+
+// Authenticate runs the full three-message handshake between an importing
+// registry (the receiver) and an exporting registry, entirely in memory,
+// returning both session halves. Both sides must have exchanged keys via
+// AddRemote; the stricter of the two cipher modes wins.
+func (r *Registry) Authenticate(server *Registry) (client, srv *Session, err error) {
+	serverPub, ok := r.TrustedKey(server.Cluster())
+	if !ok {
+		return nil, nil, fmt.Errorf("auth: %s does not trust %s", r.Cluster(), server.Cluster())
+	}
+	clientPub, ok := server.TrustedKey(r.Cluster())
+	if !ok {
+		return nil, nil, fmt.Errorf("auth: %s does not trust %s", server.Cluster(), r.Cluster())
+	}
+	mode := r.mode
+	if server.mode > mode {
+		mode = server.mode
+	}
+	hello, nc := ClientHello(r.key)
+	ch, ns, err := ServerChallenge(server.key, hello)
+	if err != nil {
+		return nil, nil, err
+	}
+	proof, cs, err := ClientProof(r.key, serverPub, nc, ch, mode)
+	if err != nil {
+		return nil, nil, err
+	}
+	ss, err := ServerAccept(server.key, clientPub, hello, ns, proof, mode)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cs, ss, nil
+}

@@ -1,0 +1,200 @@
+// Package cachefs implements the paper's §8 projection: "many more sites
+// will have large disk capabilities, but will tend to rely on fewer,
+// centralized sites for data archiving … Global File Systems will play
+// their part as automatic caching becomes an integral piece of the
+// overall file access mechanism."
+//
+// A Cache pairs a site-local filesystem mount (the cache tier) with a
+// remote Global File System mount (the authoritative "copyright library").
+// Opening a file checks the local copy against the remote attributes,
+// streams it across the WAN on a miss, and serves it locally thereafter,
+// evicting least-recently-used copies under a byte budget. The cache is
+// read-through: writes belong on the authoritative side.
+package cachefs
+
+import (
+	"fmt"
+	"path"
+	"sort"
+
+	"gfs/internal/core"
+	"gfs/internal/sim"
+	"gfs/internal/units"
+)
+
+// entry tracks one locally cached file.
+type entry struct {
+	remotePath string
+	localPath  string
+	size       units.Bytes
+	lastUse    sim.Time
+}
+
+// Cache is a read-through file cache over a remote GFS.
+type Cache struct {
+	sim    *sim.Sim
+	local  *core.Mount
+	remote *core.Mount
+
+	// Dir is the local directory holding cached copies.
+	Dir string
+	// Budget caps the bytes of local copies; LRU eviction enforces it.
+	Budget units.Bytes
+	// FetchIO is the chunk size used when staging a file across the WAN.
+	FetchIO units.Bytes
+
+	entries map[string]*entry
+	used    units.Bytes
+
+	hits      uint64
+	misses    uint64
+	refetches uint64
+	evictions uint64
+}
+
+// New creates a cache rooted at dir on the local mount.
+func New(s *sim.Sim, p *sim.Proc, local, remote *core.Mount, dir string, budget units.Bytes) (*Cache, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("cachefs: budget %d", budget)
+	}
+	if err := local.Mkdir(p, dir); err != nil {
+		return nil, fmt.Errorf("cachefs: creating %s: %w", dir, err)
+	}
+	return &Cache{
+		sim: s, local: local, remote: remote,
+		Dir: dir, Budget: budget, FetchIO: 4 * units.MiB,
+		entries: make(map[string]*entry),
+	}, nil
+}
+
+// Stats returns (hits, misses, refetches, evictions).
+func (c *Cache) Stats() (uint64, uint64, uint64, uint64) {
+	return c.hits, c.misses, c.refetches, c.evictions
+}
+
+// Used returns the bytes currently cached.
+func (c *Cache) Used() units.Bytes { return c.used }
+
+// Cached reports whether a remote path currently has a local copy.
+func (c *Cache) Cached(remotePath string) bool {
+	_, ok := c.entries[remotePath]
+	return ok
+}
+
+// localName maps a remote path into the cache directory.
+func (c *Cache) localName(remotePath string) string {
+	return path.Join(c.Dir, fmt.Sprintf("c%08x-%s", hash(remotePath), path.Base(remotePath)))
+}
+
+func hash(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+// Open returns a handle on the local copy of remotePath, staging it across
+// the WAN first if it is absent or stale (remote size changed).
+func (c *Cache) Open(p *sim.Proc, remotePath string) (*core.File, error) {
+	attrs, err := c.remote.Stat(p, remotePath)
+	if err != nil {
+		return nil, fmt.Errorf("cachefs: remote stat: %w", err)
+	}
+	if attrs.Dir {
+		return nil, fmt.Errorf("cachefs: %s is a directory", remotePath)
+	}
+	if e, ok := c.entries[remotePath]; ok {
+		if e.size == attrs.Size {
+			c.hits++
+			e.lastUse = c.sim.Now()
+			return c.local.Open(p, e.localPath)
+		}
+		// Stale: the library's copy changed size. Drop and refetch.
+		c.refetches++
+		if err := c.drop(p, e); err != nil {
+			return nil, err
+		}
+	}
+	c.misses++
+	if attrs.Size > c.Budget {
+		return nil, fmt.Errorf("cachefs: %s (%v) exceeds the cache budget %v", remotePath, attrs.Size, c.Budget)
+	}
+	if err := c.makeRoom(p, attrs.Size); err != nil {
+		return nil, err
+	}
+	e := &entry{remotePath: remotePath, localPath: c.localName(remotePath), size: attrs.Size}
+	if err := c.stage(p, remotePath, e.localPath, attrs.Size); err != nil {
+		return nil, err
+	}
+	e.lastUse = c.sim.Now()
+	c.entries[remotePath] = e
+	c.used += e.size
+	return c.local.Open(p, e.localPath)
+}
+
+// stage streams the remote file to the local copy.
+func (c *Cache) stage(p *sim.Proc, remotePath, localPath string, size units.Bytes) error {
+	src, err := c.remote.Open(p, remotePath)
+	if err != nil {
+		return err
+	}
+	dst, err := c.local.Create(p, localPath, core.DefaultPerm)
+	if err != nil {
+		return err
+	}
+	for off := units.Bytes(0); off < size; off += c.FetchIO {
+		n := c.FetchIO
+		if off+n > size {
+			n = size - off
+		}
+		if err := src.ReadAt(p, off, n); err != nil {
+			return err
+		}
+		if err := dst.WriteAt(p, off, n); err != nil {
+			return err
+		}
+	}
+	return dst.Close(p)
+}
+
+// makeRoom evicts LRU entries until size fits in the budget.
+func (c *Cache) makeRoom(p *sim.Proc, size units.Bytes) error {
+	for c.used+size > c.Budget {
+		var victim *entry
+		for _, e := range c.entries {
+			if victim == nil || e.lastUse < victim.lastUse ||
+				(e.lastUse == victim.lastUse && e.remotePath < victim.remotePath) {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return fmt.Errorf("cachefs: cannot make room for %v", size)
+		}
+		c.evictions++
+		if err := c.drop(p, victim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drop removes a local copy.
+func (c *Cache) drop(p *sim.Proc, e *entry) error {
+	if err := c.local.Remove(p, e.localPath); err != nil {
+		return err
+	}
+	c.used -= e.size
+	delete(c.entries, e.remotePath)
+	return nil
+}
+
+// Contents lists cached remote paths, sorted (for inspection).
+func (c *Cache) Contents() []string {
+	out := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gfs/internal/sim"
+	"gfs/internal/units"
+)
+
+// This file holds the administrative operations a production deployment
+// leans on: mmfsck-style consistency checking, mmdf-style usage reporting,
+// and rename.
+
+// FSCKReport is the result of FileSystem.Check.
+type FSCKReport struct {
+	Inodes        int
+	Files         int
+	Dirs          int
+	BlocksInUse   int64
+	Problems      []string
+	OrphanInodes  int
+	DanglingRefs  int
+	DoubleAllocat int
+	LeakedSlots   int64
+}
+
+// OK reports whether the check found no inconsistencies.
+func (r FSCKReport) OK() bool { return len(r.Problems) == 0 }
+
+func (r FSCKReport) String() string {
+	status := "clean"
+	if !r.OK() {
+		status = fmt.Sprintf("%d problems", len(r.Problems))
+	}
+	return fmt.Sprintf("fsck: %d inodes (%d files, %d dirs), %d blocks in use: %s",
+		r.Inodes, r.Files, r.Dirs, r.BlocksInUse, status)
+}
+
+// Check walks the metadata like mmfsck: every inode must be reachable from
+// the root exactly once, every block reference must point at an allocated
+// slot, no slot may be referenced twice, and every allocated slot must be
+// referenced. The simulator state is inspected directly (an offline check).
+func (fs *FileSystem) Check() FSCKReport {
+	var rep FSCKReport
+	rep.Inodes = len(fs.inodes)
+
+	// Reachability from the root.
+	reachable := map[int64]bool{}
+	var walk func(num int64)
+	walk = func(num int64) {
+		if reachable[num] {
+			rep.Problems = append(rep.Problems, fmt.Sprintf("inode %d linked twice", num))
+			return
+		}
+		reachable[num] = true
+		ino := fs.inodes[num]
+		if ino == nil {
+			rep.DanglingRefs++
+			rep.Problems = append(rep.Problems, fmt.Sprintf("directory entry points at missing inode %d", num))
+			return
+		}
+		if ino.Dir {
+			rep.Dirs++
+			for _, child := range ino.children {
+				walk(child)
+			}
+		} else {
+			rep.Files++
+		}
+	}
+	walk(1)
+	for num := range fs.inodes {
+		if !reachable[num] {
+			rep.OrphanInodes++
+			rep.Problems = append(rep.Problems, fmt.Sprintf("inode %d unreachable from root", num))
+		}
+	}
+
+	// Block references vs allocation maps.
+	seen := make([]map[int64]int64, len(fs.nsds)) // nsd -> slot -> inode
+	for i := range seen {
+		seen[i] = map[int64]int64{}
+	}
+	for num, ino := range fs.inodes {
+		for bi, ref := range ino.Blocks {
+			if !ref.Valid() || ref.NSD >= len(fs.nsds) {
+				rep.Problems = append(rep.Problems, fmt.Sprintf("inode %d block %d: bad ref %+v", num, bi, ref))
+				continue
+			}
+			if prev, dup := seen[ref.NSD][ref.Block]; dup {
+				rep.DoubleAllocat++
+				rep.Problems = append(rep.Problems,
+					fmt.Sprintf("slot %d/%d referenced by inodes %d and %d", ref.NSD, ref.Block, prev, num))
+				continue
+			}
+			seen[ref.NSD][ref.Block] = num
+			if !fs.nsds[ref.NSD].alloc.IsAllocated(ref.Block) {
+				rep.Problems = append(rep.Problems,
+					fmt.Sprintf("inode %d references unallocated slot %d/%d", num, ref.NSD, ref.Block))
+			}
+			rep.BlocksInUse++
+		}
+	}
+	for i, n := range fs.nsds {
+		if leaked := n.alloc.Used() - int64(len(seen[i])); leaked != 0 {
+			rep.LeakedSlots += leaked
+			rep.Problems = append(rep.Problems,
+				fmt.Sprintf("NSD %d: %d allocated slots not referenced by any inode", i, leaked))
+		}
+	}
+	sort.Strings(rep.Problems)
+	return rep
+}
+
+// FSStat is the mmdf-style usage report shipped to clients.
+type FSStat struct {
+	FS        string
+	BlockSize units.Bytes
+	Capacity  units.Bytes
+	Free      units.Bytes
+	NSDs      int
+	Inodes    int
+}
+
+// StatFS fetches usage over the wire (df on a mounted client).
+func (m *Mount) StatFS(p *sim.Proc) (FSStat, error) {
+	resp := m.meta(p, metaOp{Op: "statfs"})
+	if resp.Err != nil {
+		return FSStat{}, resp.Err
+	}
+	return resp.Payload.(FSStat), nil
+}
+
+// Rename moves a file or directory to a new path (same filesystem).
+func (m *Mount) Rename(p *sim.Proc, oldPath, newPath string) error {
+	return m.meta(p, metaOp{Op: "rename", Path: oldPath, Path2: newPath}).Err
+}
+
+// Chmod changes a file's permission bits (owner or root only).
+func (m *Mount) Chmod(p *sim.Proc, path string, mode Perm) error {
+	return m.meta(p, metaOp{Op: "chmod", Path: path, Mode: mode}).Err
+}
+
+// Chown transfers ownership to another grid identity (root only, as in
+// POSIX). The §6 point: the owner is a DN, not a site-local UID.
+func (m *Mount) Chown(p *sim.Proc, path, newOwnerDN string) error {
+	return m.meta(p, metaOp{Op: "chown", Path: path, Path2: newOwnerDN}).Err
+}

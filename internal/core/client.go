@@ -1,0 +1,454 @@
+package core
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+
+	"gfs/internal/netsim"
+	"gfs/internal/sim"
+	"gfs/internal/units"
+)
+
+// ClientConfig tunes a client's caching behaviour — the knobs whose WAN
+// consequences the paper's demonstrations hinge on.
+type ClientConfig struct {
+	// PagePool is the client cache size in bytes (GPFS pagepool).
+	PagePool units.Bytes
+	// ReadAhead is how many blocks beyond the current request to prefetch
+	// on sequential reads. Deep read-ahead is what hides an 80 ms RTT.
+	ReadAhead int
+	// WriteBehind is the dirty-page count that triggers asynchronous
+	// flushing; twice this count blocks the writer (backpressure).
+	WriteBehind int
+	// TokenChunk is the number of blocks a token request is widened to,
+	// amortizing token RPCs over sequential access.
+	TokenChunk int64
+	// Conns is the number of parallel connections to each server.
+	Conns int
+}
+
+// DefaultClientConfig mirrors a well-tuned 2005 GPFS client.
+func DefaultClientConfig() ClientConfig {
+	return ClientConfig{
+		PagePool:    512 * units.MiB,
+		ReadAhead:   16,
+		WriteBehind: 16,
+		TokenChunk:  1024,
+		Conns:       2,
+	}
+}
+
+// Client is a file-system consumer node (a compute node, a visualization
+// node). One client may mount several filesystems, local and remote.
+type Client struct {
+	sim     *sim.Sim
+	id      string
+	cluster *Cluster
+	EP      *netsim.Endpoint
+	Ident   Identity
+	cfg     ClientConfig
+
+	mounts map[string]*Mount
+}
+
+// NewClient creates a client on a node.
+func NewClient(c *Cluster, name string, node *netsim.Node, cfg ClientConfig, id Identity) *Client {
+	if cfg.Conns < 1 {
+		cfg.Conns = 1
+	}
+	cl := &Client{
+		sim:     c.Sim,
+		id:      c.Name + "/" + name,
+		cluster: c,
+		EP:      c.Net.NewEndpoint(node, cfg.Conns),
+		Ident:   id,
+		cfg:     cfg,
+		mounts:  make(map[string]*Mount),
+	}
+	cl.EP.Handle(revokeService, cl.serveRevoke)
+	c.clients[cl.id] = cl
+	return cl
+}
+
+// ID returns the globally unique client identifier.
+func (cl *Client) ID() string { return cl.id }
+
+// Cluster returns the client's home cluster.
+func (cl *Client) Cluster() *Cluster { return cl.cluster }
+
+// Mounts lists the client's mounted filesystems.
+func (cl *Client) Mounts() []*Mount {
+	out := make([]*Mount, 0, len(cl.mounts))
+	for _, m := range cl.mounts {
+		out = append(out, m)
+	}
+	return out
+}
+
+// Mount is one mounted filesystem on a client.
+type Mount struct {
+	c      *Client
+	Device string
+	fsName string
+	owner  string // owning cluster
+	info   mountInfo
+
+	pool    *pagePool
+	toks    *tokenTable // local cache; single holder (the client id)
+	wgFl    *sim.WaitGroup
+	flSig   *sim.Signal  // fired on each flush ack, for backpressure
+	srvDown map[int]bool // NSD index -> primary observed down (failover)
+
+	bytesRead    units.Bytes
+	bytesWritten units.Bytes
+	cacheHits    uint64
+	cacheMisses  uint64
+}
+
+// MountLocal mounts a filesystem owned by the client's own cluster.
+func (cl *Client) MountLocal(p *sim.Proc, fs *FileSystem) (*Mount, error) {
+	return cl.mount(p, fs.Name, fs.Name, fs.cluster.Name, fs.mgr)
+}
+
+// MountRemote mounts a device defined by mmremotefs: it authenticates to
+// the owning cluster (once), locates the filesystem manager, and fetches
+// the NSD configuration.
+func (cl *Client) MountRemote(p *sim.Proc, device string) (*Mount, error) {
+	def, ok := cl.cluster.remoteFS[device]
+	if !ok {
+		return nil, fmt.Errorf("core: no remote device %s (mmremotefs add first)", device)
+	}
+	rc := cl.cluster.remoteClusters[def.RemoteCluster]
+	if err := cl.cluster.authenticateTo(p, cl.EP, rc); err != nil {
+		return nil, err
+	}
+	resp := cl.EP.Call(p, rc.Contact, fsinfoService+"."+rc.Name, 128, def.RemoteFSName)
+	if resp.Err != nil {
+		return nil, resp.Err
+	}
+	mgr, ok := resp.Payload.(*netsim.Endpoint)
+	if !ok || mgr == nil {
+		return nil, fmt.Errorf("core: bad fsinfo reply")
+	}
+	return cl.mount(p, device, def.RemoteFSName, def.RemoteCluster, mgr)
+}
+
+func (cl *Client) mount(p *sim.Proc, device, fsName, owner string, mgr *netsim.Endpoint) (*Mount, error) {
+	if _, dup := cl.mounts[device]; dup {
+		return nil, fmt.Errorf("core: %s already mounted on %s", device, cl.id)
+	}
+	resp := cl.EP.Call(p, mgr, mountService+"."+fsName, 256, mountReq{Cluster: cl.cluster.Name, Client: cl})
+	if resp.Err != nil {
+		return nil, resp.Err
+	}
+	info, ok := resp.Payload.(mountInfo)
+	if !ok {
+		return nil, fmt.Errorf("core: bad mount reply %T", resp.Payload)
+	}
+	m := &Mount{
+		c: cl, Device: device, fsName: fsName, owner: owner, info: info,
+		pool:    newPagePool(int(cl.cfg.PagePool / info.BlockSize)),
+		toks:    newTokenTable(),
+		wgFl:    sim.NewWaitGroup(cl.sim),
+		flSig:   sim.NewSignal(cl.sim),
+		srvDown: make(map[int]bool),
+	}
+	cl.mounts[device] = m
+	return m, nil
+}
+
+// BlockSize returns the filesystem block size.
+func (m *Mount) BlockSize() units.Bytes { return m.info.BlockSize }
+
+// DropCaches discards every clean cached page (echo 3 > drop_caches), so
+// subsequent reads hit the NSD servers again. Dirty and in-flight pages
+// are kept.
+func (m *Mount) DropCaches() { m.pool.invalidateAll() }
+
+// Stats returns (bytesRead, bytesWritten, cacheHits, cacheMisses).
+func (m *Mount) Stats() (units.Bytes, units.Bytes, uint64, uint64) {
+	return m.bytesRead, m.bytesWritten, m.cacheHits, m.cacheMisses
+}
+
+// --- metadata operations ---
+
+func (m *Mount) meta(p *sim.Proc, op metaOp) netsim.Response {
+	op.Cluster = m.c.cluster.Name
+	op.Caller = m.c.Ident
+	return m.c.EP.Call(p, m.info.Manager, metaService+"."+m.fsName, 192, op)
+}
+
+// Create makes a new file.
+func (m *Mount) Create(p *sim.Proc, path string, mode Perm) (*File, error) {
+	resp := m.meta(p, metaOp{Op: "create", Path: path, Mode: mode})
+	if resp.Err != nil {
+		return nil, resp.Err
+	}
+	return m.fileFrom(resp.Payload.(Attrs)), nil
+}
+
+// Open opens an existing file.
+func (m *Mount) Open(p *sim.Proc, path string) (*File, error) {
+	resp := m.meta(p, metaOp{Op: "lookup", Path: path})
+	if resp.Err != nil {
+		return nil, resp.Err
+	}
+	a := resp.Payload.(Attrs)
+	if a.Dir {
+		return nil, fmt.Errorf("core: %s is a directory", path)
+	}
+	return m.fileFrom(a), nil
+}
+
+func (m *Mount) fileFrom(a Attrs) *File {
+	return &File{m: m, ino: a.Inode, name: a.Name, size: a.Size}
+}
+
+// Stat returns file attributes.
+func (m *Mount) Stat(p *sim.Proc, path string) (Attrs, error) {
+	resp := m.meta(p, metaOp{Op: "stat", Path: path})
+	if resp.Err != nil {
+		return Attrs{}, resp.Err
+	}
+	return resp.Payload.(Attrs), nil
+}
+
+// Mkdir creates a directory.
+func (m *Mount) Mkdir(p *sim.Proc, path string) error {
+	return m.meta(p, metaOp{Op: "mkdir", Path: path, Mode: DefaultPerm}).Err
+}
+
+// List returns directory entries.
+func (m *Mount) List(p *sim.Proc, path string) ([]Attrs, error) {
+	resp := m.meta(p, metaOp{Op: "list", Path: path})
+	if resp.Err != nil {
+		return nil, resp.Err
+	}
+	out, _ := resp.Payload.([]Attrs)
+	return out, nil
+}
+
+// Remove deletes a file or empty directory.
+func (m *Mount) Remove(p *sim.Proc, path string) error {
+	return m.meta(p, metaOp{Op: "remove", Path: path}).Err
+}
+
+// goIO issues one NSD I/O with primary/backup failover: a refused request
+// on the primary marks it down for this mount and retries on the backup.
+func (m *Mount) goIO(nsd int, reqSize units.Bytes, pl ioPayload, onDone func(netsim.Response)) {
+	primary := !m.srvDown[nsd]
+	srv := m.info.Servers[nsd]
+	if !primary {
+		if b := m.info.Backups[nsd]; b != nil {
+			srv = b
+		}
+	}
+	m.c.EP.Go(srv.EP, nsdService+"."+m.fsName, reqSize, pl, func(r netsim.Response) {
+		if errors.Is(r.Err, ErrServerDown) && primary && m.info.Backups[nsd] != nil {
+			m.srvDown[nsd] = true
+			m.goIO(nsd, reqSize, pl, onDone)
+			return
+		}
+		onDone(r)
+	})
+}
+
+// ResetFailover forgets observed server failures (after repairs).
+func (m *Mount) ResetFailover() { m.srvDown = make(map[int]bool) }
+
+// Unmount flushes all dirty state, surrenders every token this client
+// holds on the filesystem, and detaches the mount.
+func (m *Mount) Unmount(p *sim.Proc) error {
+	// Flush everything dirty across all inodes.
+	for _, pg := range m.pool.pages {
+		if pg.dirty {
+			m.flushAsync(pg)
+		}
+	}
+	m.wgFl.Wait(p)
+	for _, pg := range m.pool.pages {
+		if pg.err != nil {
+			return pg.err
+		}
+		if pg.dirty {
+			return fmt.Errorf("core: unmount: dirty page would be lost")
+		}
+	}
+	resp := m.c.EP.Call(p, m.info.Manager, tokenService+"."+m.fsName, 128,
+		tokenOp{Op: "unmount", Cluster: m.c.cluster.Name, Client: m.c.id})
+	if resp.Err != nil {
+		return resp.Err
+	}
+	delete(m.c.mounts, m.Device)
+	return nil
+}
+
+// --- token cache ---
+
+func (m *Mount) acquireToken(p *sim.Proc, ino int64, start, end units.Bytes, mode TokenMode) error {
+	if m.toks.holderCovers(ino, m.c.id, start, end, mode) {
+		return nil
+	}
+	// Required: the block-aligned access range. Desired: widened outward
+	// to TokenChunk-block alignment, so sequential access pays one token
+	// RPC per chunk and — crucially — a strided writer whose stride
+	// matches the chunk (the MPI-IO pattern with TokenChunk = MPI block)
+	// asks for exactly its own blocks and never conflicts.
+	bs := m.info.BlockSize
+	reqStart := (start / bs) * bs
+	reqEnd := ((end + bs - 1) / bs) * bs
+	cbs := bs * units.Bytes(m.c.cfg.TokenChunk)
+	if cbs < bs {
+		cbs = bs
+	}
+	desStart := (reqStart / cbs) * cbs
+	desEnd := ((reqEnd + cbs - 1) / cbs) * cbs
+	resp := m.c.EP.Call(p, m.info.Manager, tokenService+"."+m.fsName, 128, tokenOp{
+		Op: "acquire", Cluster: m.c.cluster.Name, Client: m.c.id,
+		Inode: ino, Start: reqStart, End: reqEnd, DStart: desStart, DEnd: desEnd, Mode: mode,
+	})
+	if resp.Err != nil {
+		return resp.Err
+	}
+	g, ok := resp.Payload.(grantRange)
+	if !ok {
+		g = grantRange{reqStart, reqEnd}
+	}
+	m.toks.insert(ino, m.c.id, g.Start, g.End, mode)
+	return nil
+}
+
+// serveRevoke handles a token revocation from a manager: flush dirty data
+// in the span, drop cached pages, shrink the token cache.
+func (cl *Client) serveRevoke(p *sim.Proc, req *netsim.Request) netsim.Response {
+	rv, ok := req.Payload.(revokePayload)
+	if !ok {
+		return netsim.Response{Err: fmt.Errorf("core: bad revoke payload %T", req.Payload)}
+	}
+	for _, m := range cl.mounts {
+		if m.fsName != rv.FS {
+			continue
+		}
+		m.flushRange(p, rv.Inode, rv.Start, rv.End)
+		m.pool.invalidate(rv.Inode, rv.Start, rv.End, m.info.BlockSize)
+		m.toks.carve(rv.Inode, cl.id, rv.Start, rv.End)
+	}
+	return netsim.Response{Size: 64}
+}
+
+// flushRange flushes every dirty page of the inode overlapping the span
+// and waits for all outstanding flushes to land.
+func (m *Mount) flushRange(p *sim.Proc, ino int64, start, end units.Bytes) {
+	bs := m.info.BlockSize
+	for _, pg := range m.pool.pagesOf(ino) {
+		pgStart := units.Bytes(pg.key.idx) * bs
+		if pg.dirty && overlaps(pgStart, pgStart+bs, start, end) {
+			m.flushAsync(pg)
+		}
+	}
+	m.wgFl.Wait(p)
+}
+
+// --- page pool ---
+
+type pageKey struct {
+	ino int64
+	idx int64
+}
+
+type page struct {
+	key  pageKey
+	ref  BlockRef
+	data []byte // real contents when written/fetched with verify
+
+	present  bool // media bytes cached
+	hasBytes bool // data holds real contents
+	dirty    bool
+	dFrom    units.Bytes
+	dTo      units.Bytes
+	err      error // sticky I/O error, surfaced on wait/sync
+
+	fetching bool
+	flushing bool
+	waiters  []func()
+
+	elem *list.Element
+}
+
+type pagePool struct {
+	capacity int
+	pages    map[pageKey]*page
+	lru      *list.List // front = most recently used
+	dirty    int
+}
+
+func newPagePool(capacity int) *pagePool {
+	if capacity < 4 {
+		capacity = 4
+	}
+	return &pagePool{capacity: capacity, pages: make(map[pageKey]*page), lru: list.New()}
+}
+
+func (pp *pagePool) get(k pageKey) *page {
+	pg, ok := pp.pages[k]
+	if ok {
+		pp.lru.MoveToFront(pg.elem)
+	}
+	return pg
+}
+
+func (pp *pagePool) add(k pageKey, ref BlockRef) *page {
+	pg := &page{key: k, ref: ref}
+	pg.elem = pp.lru.PushFront(pg)
+	pp.pages[k] = pg
+	return pg
+}
+
+// evict drops clean cold pages until within capacity.
+func (pp *pagePool) evict() {
+	e := pp.lru.Back()
+	for len(pp.pages) > pp.capacity && e != nil {
+		prev := e.Prev()
+		pg := e.Value.(*page)
+		if !pg.dirty && !pg.fetching && !pg.flushing {
+			pp.lru.Remove(e)
+			delete(pp.pages, pg.key)
+		}
+		e = prev
+	}
+}
+
+func (pp *pagePool) pagesOf(ino int64) []*page {
+	var out []*page
+	for _, pg := range pp.pages {
+		if pg.key.ino == ino {
+			out = append(out, pg)
+		}
+	}
+	return out
+}
+
+func (pp *pagePool) invalidate(ino int64, start, end, bs units.Bytes) {
+	for _, pg := range pp.pagesOf(ino) {
+		pgStart := units.Bytes(pg.key.idx) * bs
+		if overlaps(pgStart, pgStart+bs, start, end) && !pg.dirty && !pg.fetching && !pg.flushing {
+			pp.lru.Remove(pg.elem)
+			delete(pp.pages, pg.key)
+		}
+	}
+}
+
+// invalidateAll drops every clean, quiescent page (used when cached data
+// must be re-fetched from the servers).
+func (pp *pagePool) invalidateAll() {
+	for _, pg := range pp.pages {
+		if !pg.dirty && !pg.fetching && !pg.flushing {
+			pp.lru.Remove(pg.elem)
+			delete(pp.pages, pg.key)
+		}
+	}
+}
+
+// Len returns the number of cached pages.
+func (pp *pagePool) Len() int { return len(pp.pages) }

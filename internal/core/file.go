@@ -1,0 +1,418 @@
+package core
+
+import (
+	"fmt"
+
+	"gfs/internal/disk"
+	"gfs/internal/netsim"
+	"gfs/internal/sim"
+	"gfs/internal/units"
+)
+
+// File is an open file handle on a mount.
+//
+// Two I/O families exist: the sized family (ReadAt/WriteAt) moves byte
+// counts without materializing contents — this is what benchmarks use, at
+// any scale — and the byte-exact family (ReadBytesAt/WriteBytesAt) carries
+// real data end-to-end for correctness tests. Don't mix the families on
+// the same blocks of the same file: sized I/O does not maintain content.
+type File struct {
+	m      *Mount
+	ino    int64
+	name   string
+	size   units.Bytes
+	layout []BlockRef
+	pos    units.Bytes
+}
+
+// Name returns the file's base name.
+func (f *File) Name() string { return f.name }
+
+// Inode returns the inode number.
+func (f *File) Inode() int64 { return f.ino }
+
+// Size returns the locally known size (see Refresh).
+func (f *File) Size() units.Bytes { return f.size }
+
+// Pos returns the sequential position.
+func (f *File) Pos() units.Bytes { return f.pos }
+
+// Seek sets the sequential position.
+func (f *File) Seek(off units.Bytes) { f.pos = off }
+
+// Refresh re-reads attributes from the manager (needed to observe another
+// client's appends).
+func (f *File) Refresh(p *sim.Proc) error {
+	resp := f.m.meta(p, metaOp{Op: "stat", Path: "", Inode: f.ino})
+	if resp.Err != nil {
+		// Fall back to a path-less stat failing: use layout probe.
+		return resp.Err
+	}
+	a := resp.Payload.(Attrs)
+	if a.Size > f.size {
+		f.size = a.Size
+	}
+	return nil
+}
+
+// Metadata chunking: one blocking RPC per block would serialize a WAN
+// stream at one block per round trip, so layout is fetched and blocks are
+// allocated in large batches.
+const (
+	layoutChunk = 1024 // block refs per layout RPC
+	allocChunk  = 64   // blocks allocated ahead per alloc RPC
+)
+
+// ensureLayout fetches block refs so indexes [0, upto] are known.
+func (f *File) ensureLayout(p *sim.Proc, upto int64) error {
+	if int64(len(f.layout)) > upto {
+		return nil
+	}
+	from := int64(len(f.layout))
+	count := upto + 1 - from
+	if count < layoutChunk {
+		count = layoutChunk
+	}
+	resp := f.m.meta(p, metaOp{Op: "layout", Inode: f.ino, From: from, Count: count})
+	if resp.Err != nil {
+		return resp.Err
+	}
+	refs, _ := resp.Payload.([]BlockRef)
+	f.layout = append(f.layout, refs...)
+	if int64(len(f.layout)) <= upto {
+		return fmt.Errorf("core: %s: block %d beyond end of file", f.name, upto)
+	}
+	return nil
+}
+
+// ensureAlloc allocates blocks so indexes [0, upto] exist, allocating a
+// chunk ahead so sequential writers amortize the round trip. Excess blocks
+// are returned on truncate/remove as usual.
+func (f *File) ensureAlloc(p *sim.Proc, upto int64) error {
+	if int64(len(f.layout)) > upto {
+		return nil
+	}
+	from := int64(len(f.layout))
+	count := upto + 1 - from
+	if count < allocChunk {
+		count = allocChunk
+	}
+	resp := f.m.meta(p, metaOp{Op: "alloc", Inode: f.ino, From: from, Count: count})
+	if resp.Err != nil {
+		return resp.Err
+	}
+	refs, _ := resp.Payload.([]BlockRef)
+	f.layout = append(f.layout, refs...)
+	return nil
+}
+
+// fetchAsync starts (or joins) a block fetch into the page pool.
+func (m *Mount) fetchAsync(f *File, idx int64, ref BlockRef, verify bool) *page {
+	k := pageKey{ino: f.ino, idx: idx}
+	pg := m.pool.get(k)
+	if pg == nil {
+		pg = m.pool.add(k, ref)
+	}
+	if pg.fetching || (pg.present && (!verify || pg.hasBytes || pg.dirty)) {
+		return pg
+	}
+	pg.fetching = true
+	m.cacheMisses++
+	bs := m.info.BlockSize
+	m.goIO(ref.NSD, 64, ioPayload{
+		Cluster: m.c.cluster.Name, FS: m.fsName,
+		NSD: ref.NSD, Block: ref.Block, Off: 0, Len: bs,
+		Op: disk.Read, Verify: verify,
+	}, func(resp netsim.Response) {
+		pg.fetching = false
+		if resp.Err == nil {
+			pg.present = true
+			pg.err = nil
+			m.bytesRead += bs
+			if verify {
+				if bytes, ok := resp.Payload.([]byte); ok {
+					pg.mergeFetched(bytes, bs)
+				}
+			}
+		} else {
+			pg.err = resp.Err
+		}
+		ws := pg.waiters
+		pg.waiters = nil
+		for _, w := range ws {
+			w()
+		}
+		m.pool.evict()
+	})
+	return pg
+}
+
+// mergeFetched installs media bytes without clobbering a dirty interval.
+func (pg *page) mergeFetched(media []byte, bs units.Bytes) {
+	if pg.data == nil {
+		pg.data = make([]byte, bs)
+		copy(pg.data, media)
+		pg.hasBytes = true
+		return
+	}
+	for i := units.Bytes(0); i < units.Bytes(len(media)); i++ {
+		if pg.dirty && i >= pg.dFrom && i < pg.dTo {
+			continue
+		}
+		pg.data[i] = media[i]
+	}
+	pg.hasBytes = true
+}
+
+// waitPage blocks p until the page's fetch completes.
+func (m *Mount) waitPage(p *sim.Proc, pg *page) error {
+	for pg.fetching {
+		pg.waiters = append(pg.waiters, p.Suspend())
+		p.Block()
+	}
+	return pg.err
+}
+
+// ReadAt moves size bytes at offset off through the full data path
+// (tokens, cache, NSD servers) without materializing contents.
+func (f *File) ReadAt(p *sim.Proc, off, size units.Bytes) error {
+	_, err := f.readAt(p, off, size, false)
+	return err
+}
+
+// ReadBytesAt is the byte-exact read.
+func (f *File) ReadBytesAt(p *sim.Proc, off, size units.Bytes) ([]byte, error) {
+	return f.readAt(p, off, size, true)
+}
+
+func (f *File) readAt(p *sim.Proc, off, size units.Bytes, verify bool) ([]byte, error) {
+	if off < 0 || size < 0 {
+		return nil, fmt.Errorf("core: bad read range")
+	}
+	if size == 0 {
+		return nil, nil
+	}
+	if off+size > f.size {
+		return nil, fmt.Errorf("core: read [%d,%d) beyond EOF %d of %s", off, off+size, f.size, f.name)
+	}
+	m := f.m
+	if err := m.acquireToken(p, f.ino, off, off+size, TokShared); err != nil {
+		return nil, err
+	}
+	bs := m.info.BlockSize
+	lastIdx := int64((off + size - 1) / bs)
+	if err := f.ensureLayout(p, lastIdx); err != nil {
+		return nil, err
+	}
+	sequential := off == f.pos
+	sps := spans(bs, off, size)
+	pages := make([]*page, len(sps))
+	for i, sp := range sps {
+		pg := m.fetchAsync(f, sp.Index, f.layout[sp.Index], verify)
+		if !pg.fetching && pg.present {
+			m.cacheHits++
+		}
+		pages[i] = pg
+	}
+	// Read-ahead: keep the pipeline full beyond the request on sequential
+	// access. This is the mechanism that makes a WAN RTT survivable.
+	if sequential && m.c.cfg.ReadAhead > 0 {
+		raLast := lastIdx + int64(m.c.cfg.ReadAhead)
+		if maxIdx := int64((f.size - 1) / bs); raLast > maxIdx {
+			raLast = maxIdx
+		}
+		if err := f.ensureLayout(p, raLast); err == nil {
+			for idx := lastIdx + 1; idx <= raLast; idx++ {
+				m.fetchAsync(f, idx, f.layout[idx], verify)
+			}
+		}
+	}
+	for _, pg := range pages {
+		if err := m.waitPage(p, pg); err != nil {
+			return nil, err
+		}
+	}
+	f.pos = off + size
+	if !verify {
+		return nil, nil
+	}
+	out := make([]byte, 0, size)
+	for i, sp := range sps {
+		pg := pages[i]
+		if pg.data != nil {
+			out = append(out, pg.data[sp.Offset:sp.Offset+sp.Len]...)
+		} else {
+			out = append(out, make([]byte, sp.Len)...)
+		}
+	}
+	return out, nil
+}
+
+// WriteAt moves size bytes at offset off (sized family).
+func (f *File) WriteAt(p *sim.Proc, off, size units.Bytes) error {
+	return f.writeAt(p, off, size, nil)
+}
+
+// WriteBytesAt is the byte-exact write.
+func (f *File) WriteBytesAt(p *sim.Proc, off units.Bytes, data []byte) error {
+	return f.writeAt(p, off, units.Bytes(len(data)), data)
+}
+
+func (f *File) writeAt(p *sim.Proc, off, size units.Bytes, data []byte) error {
+	if off < 0 || size < 0 {
+		return fmt.Errorf("core: bad write range")
+	}
+	if size == 0 {
+		return nil
+	}
+	m := f.m
+	if err := m.acquireToken(p, f.ino, off, off+size, TokExclusive); err != nil {
+		return err
+	}
+	bs := m.info.BlockSize
+	lastIdx := int64((off + size - 1) / bs)
+	if err := f.ensureAlloc(p, lastIdx); err != nil {
+		return err
+	}
+	var dataOff units.Bytes
+	for _, sp := range spans(bs, off, size) {
+		k := pageKey{ino: f.ino, idx: sp.Index}
+		pg := m.pool.get(k)
+		if pg == nil {
+			pg = m.pool.add(k, f.layout[sp.Index])
+		}
+		if data != nil {
+			if pg.data == nil {
+				pg.data = make([]byte, bs)
+			}
+			copy(pg.data[sp.Offset:], data[dataOff:dataOff+sp.Len])
+			pg.hasBytes = true
+		}
+		dataOff += sp.Len
+		if !pg.dirty {
+			pg.dirty = true
+			pg.dFrom, pg.dTo = sp.Offset, sp.Offset+sp.Len
+			m.pool.dirty++
+		} else {
+			if sp.Offset < pg.dFrom {
+				pg.dFrom = sp.Offset
+			}
+			if sp.Offset+sp.Len > pg.dTo {
+				pg.dTo = sp.Offset + sp.Len
+			}
+		}
+		pg.present = true
+	}
+	if off+size > f.size {
+		f.size = off + size
+	}
+	f.pos = off + size
+	// Write-behind: once enough dirty pages accumulate, flush them all
+	// asynchronously; block the writer only when far over the limit.
+	if m.pool.dirty >= m.c.cfg.WriteBehind {
+		m.flushAllDirty(f.ino)
+	}
+	for m.pool.dirty >= 2*m.c.cfg.WriteBehind {
+		m.flSig.Wait(p)
+	}
+	return nil
+}
+
+// flushAllDirty starts async flushes for every dirty page of an inode.
+func (m *Mount) flushAllDirty(ino int64) {
+	for _, pg := range m.pool.pagesOf(ino) {
+		if pg.dirty && !pg.flushing {
+			m.flushAsync(pg)
+		}
+	}
+}
+
+// flushAsync writes a page's dirty interval back to its NSD server.
+func (m *Mount) flushAsync(pg *page) {
+	if pg.flushing || !pg.dirty {
+		return
+	}
+	pg.flushing = true
+	snapFrom, snapTo := pg.dFrom, pg.dTo
+	var data []byte
+	if pg.hasBytes {
+		data = make([]byte, snapTo-snapFrom)
+		copy(data, pg.data[snapFrom:snapTo])
+	}
+	m.wgFl.Add(1)
+	m.goIO(pg.ref.NSD, snapTo-snapFrom, ioPayload{
+		Cluster: m.c.cluster.Name, FS: m.fsName,
+		NSD: pg.ref.NSD, Block: pg.ref.Block, Off: snapFrom, Len: snapTo - snapFrom,
+		Op: disk.Write, Data: data,
+	}, func(resp netsim.Response) {
+		pg.flushing = false
+		if resp.Err == nil {
+			pg.err = nil
+			m.bytesWritten += snapTo - snapFrom
+			if pg.dFrom == snapFrom && pg.dTo == snapTo {
+				pg.dirty = false
+				m.pool.dirty--
+			}
+		} else {
+			pg.err = resp.Err
+		}
+		m.wgFl.Done()
+		m.flSig.Fire()
+		m.pool.evict()
+	})
+}
+
+// Sync flushes all dirty state of the file and publishes its size.
+func (f *File) Sync(p *sim.Proc) error {
+	m := f.m
+	for {
+		m.flushAllDirty(f.ino)
+		m.wgFl.Wait(p)
+		still := false
+		for _, pg := range m.pool.pagesOf(f.ino) {
+			if pg.err != nil {
+				return pg.err
+			}
+			if pg.dirty {
+				still = true
+			}
+		}
+		if !still {
+			break
+		}
+	}
+	return m.meta(p, metaOp{Op: "setsize", Inode: f.ino, Size: f.size}).Err
+}
+
+// Close syncs and releases the handle (tokens are retained for reuse, as
+// GPFS does).
+func (f *File) Close(p *sim.Proc) error { return f.Sync(p) }
+
+// Truncate shrinks or logically extends the file.
+func (f *File) Truncate(p *sim.Proc, size units.Bytes) error {
+	if err := f.m.acquireToken(p, f.ino, 0, 1<<60, TokExclusive); err != nil {
+		return err
+	}
+	resp := f.m.meta(p, metaOp{Op: "truncate", Inode: f.ino, Size: size})
+	if resp.Err != nil {
+		return resp.Err
+	}
+	f.size = size
+	keep := int64((size + f.m.info.BlockSize - 1) / f.m.info.BlockSize)
+	if int64(len(f.layout)) > keep {
+		f.layout = f.layout[:keep]
+	}
+	bs := f.m.info.BlockSize
+	f.m.pool.invalidate(f.ino, units.Bytes(keep)*bs, 1<<60, bs)
+	return nil
+}
+
+// Read moves size bytes from the sequential position.
+func (f *File) Read(p *sim.Proc, size units.Bytes) error {
+	return f.ReadAt(p, f.pos, size)
+}
+
+// Write moves size bytes at the sequential position.
+func (f *File) Write(p *sim.Proc, size units.Bytes) error {
+	return f.WriteAt(p, f.pos, size)
+}

@@ -1,0 +1,577 @@
+package core
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+
+	"gfs/internal/disk"
+	"gfs/internal/netsim"
+	"gfs/internal/sim"
+	"gfs/internal/units"
+)
+
+// Perm is a simplified POSIX mode: owner read/write, world read/write.
+type Perm uint8
+
+// Permission bits.
+const (
+	OwnerRead Perm = 1 << iota
+	OwnerWrite
+	WorldRead
+	WorldWrite
+)
+
+// DefaultPerm is owner rw, world read — the common dataset case (NVO:
+// one writer, many reading sites).
+const DefaultPerm = OwnerRead | OwnerWrite | WorldRead
+
+// Inode is one file or directory.
+type Inode struct {
+	Num     int64
+	Name    string // final path element, for listings
+	OwnerDN string
+	Mode    Perm
+	Dir     bool
+	Size    units.Bytes
+	Blocks  []BlockRef
+
+	children map[string]int64
+}
+
+// Attrs is the stat result shipped over the wire.
+type Attrs struct {
+	Inode   int64
+	Name    string
+	OwnerDN string
+	Mode    Perm
+	Dir     bool
+	Size    units.Bytes
+	NBlocks int
+}
+
+func (i *Inode) attrs() Attrs {
+	return Attrs{Inode: i.Num, Name: i.Name, OwnerDN: i.OwnerDN, Mode: i.Mode,
+		Dir: i.Dir, Size: i.Size, NBlocks: len(i.Blocks)}
+}
+
+// FileSystem is one GPFS-style file system owned by a cluster.
+type FileSystem struct {
+	Sim  *sim.Sim
+	Name string
+
+	BlockSize units.Bytes
+	cluster   *Cluster
+
+	nsds    []*NSD
+	servers []*NSDServer
+	mgr     *netsim.Endpoint // metadata + token manager
+
+	inodes    map[int64]*Inode
+	nextInode int64
+
+	tokens *tokenTable
+
+	// Stats
+	metaOps uint64
+}
+
+// metadata RPC service names.
+const (
+	metaService  = "meta"
+	mountService = "mount.config"
+)
+
+// metaOp is the request body for the meta service.
+type metaOp struct {
+	Op      string // lookup | create | mkdir | stat | list | remove | alloc | setsize | truncate | rename | statfs
+	Cluster string
+	Caller  Identity
+	Path    string
+	Path2   string // rename destination
+	Inode   int64
+	From    int64 // alloc: first block index
+	Count   int64 // alloc: number of blocks
+	Size    units.Bytes
+	Mode    Perm
+}
+
+// Identity names a calling user for permission checks.
+type Identity struct {
+	DN   string // canonical grid identity ("" = unauthenticated)
+	Root bool   // site administrators bypass permission bits
+}
+
+// mountInfo is what a client learns at mount time.
+type mountInfo struct {
+	FS        string
+	BlockSize units.Bytes
+	NSDs      int
+	Servers   []*NSDServer // each NSD's primary server
+	Backups   []*NSDServer // each NSD's backup server (nil entries allowed)
+	Manager   *netsim.Endpoint
+}
+
+// newFileSystem is invoked via Cluster.CreateFS.
+func newFileSystem(c *Cluster, name string, blockSize units.Bytes) *FileSystem {
+	fs := &FileSystem{
+		Sim:       c.Sim,
+		Name:      name,
+		BlockSize: blockSize,
+		cluster:   c,
+		inodes:    make(map[int64]*Inode),
+		nextInode: 2,
+		tokens:    newTokenTable(),
+	}
+	root := &Inode{Num: 1, Name: "/", Dir: true, Mode: DefaultPerm | WorldWrite, children: map[string]int64{}}
+	fs.inodes[1] = root
+	return fs
+}
+
+// AddNSD attaches a store exported by the given server node.
+func (fs *FileSystem) AddNSD(name string, store BlockStore, server *NSDServer) *NSD {
+	n := &NSD{
+		Name:      name,
+		Store:     store,
+		Primary:   server,
+		blockSize: fs.BlockSize,
+		alloc:     NewAllocator(int64(store.Capacity() / fs.BlockSize)),
+		content:   make(map[int64][]byte),
+	}
+	fs.nsds = append(fs.nsds, n)
+	server.nsds = append(server.nsds, n)
+	return n
+}
+
+// NSDs returns the NSD count.
+func (fs *FileSystem) NSDs() int { return len(fs.nsds) }
+
+// Servers returns the NSD servers.
+func (fs *FileSystem) Servers() []*NSDServer { return fs.servers }
+
+// Capacity returns total usable bytes.
+func (fs *FileSystem) Capacity() units.Bytes {
+	var c units.Bytes
+	for _, n := range fs.nsds {
+		c += units.Bytes(n.Blocks()) * fs.BlockSize
+	}
+	return c
+}
+
+// FreeBytes returns unallocated bytes.
+func (fs *FileSystem) FreeBytes() units.Bytes {
+	var c units.Bytes
+	for _, n := range fs.nsds {
+		c += units.Bytes(n.FreeBlocks()) * fs.BlockSize
+	}
+	return c
+}
+
+// MetaOps returns the count of metadata operations served.
+func (fs *FileSystem) MetaOps() uint64 { return fs.metaOps }
+
+// checkClusterAccess enforces the mmauth per-FS grant for remote clusters.
+func (fs *FileSystem) checkClusterAccess(cluster string, op disk.Op) error {
+	if cluster == fs.cluster.Name {
+		return nil
+	}
+	a := fs.cluster.Registry.AccessFor(fs.Name, cluster)
+	if op == disk.Read && !a.CanRead() {
+		return fmt.Errorf("core: cluster %s has no read grant on %s", cluster, fs.Name)
+	}
+	if op == disk.Write && !a.CanWrite() {
+		return fmt.Errorf("core: cluster %s has no write grant on %s", cluster, fs.Name)
+	}
+	return nil
+}
+
+// resolve walks a path to an inode.
+func (fs *FileSystem) resolve(p string) (*Inode, error) {
+	p = path.Clean("/" + p)
+	cur := fs.inodes[1]
+	if p == "/" {
+		return cur, nil
+	}
+	for _, part := range strings.Split(strings.TrimPrefix(p, "/"), "/") {
+		if !cur.Dir {
+			return nil, fmt.Errorf("core: %s: not a directory", cur.Name)
+		}
+		num, ok := cur.children[part]
+		if !ok {
+			return nil, fmt.Errorf("core: %s: no such file", p)
+		}
+		cur = fs.inodes[num]
+	}
+	return cur, nil
+}
+
+// parentOf finds the directory containing an inode (the root is its own
+// parent). Linear over inodes; used only by rename's cycle check.
+func (fs *FileSystem) parentOf(num int64) *Inode {
+	if num == 1 {
+		return fs.inodes[1]
+	}
+	for _, ino := range fs.inodes {
+		if !ino.Dir {
+			continue
+		}
+		for _, child := range ino.children {
+			if child == num {
+				return ino
+			}
+		}
+	}
+	return nil
+}
+
+// resolveParent returns the directory containing p and the final element.
+func (fs *FileSystem) resolveParent(p string) (*Inode, string, error) {
+	p = path.Clean("/" + p)
+	dir, base := path.Split(p)
+	if base == "" {
+		return nil, "", fmt.Errorf("core: cannot operate on root")
+	}
+	parent, err := fs.resolve(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	if !parent.Dir {
+		return nil, "", fmt.Errorf("core: %s: not a directory", dir)
+	}
+	return parent, base, nil
+}
+
+func (i *Inode) canRead(id Identity) bool {
+	if id.Root || i.Mode&WorldRead != 0 {
+		return true
+	}
+	return id.DN != "" && id.DN == i.OwnerDN && i.Mode&OwnerRead != 0
+}
+
+func (i *Inode) canWrite(id Identity) bool {
+	if id.Root || i.Mode&WorldWrite != 0 {
+		return true
+	}
+	return id.DN != "" && id.DN == i.OwnerDN && i.Mode&OwnerWrite != 0
+}
+
+// serveMeta handles the metadata service. It runs in simulated time only
+// through the RPC transport; the operations themselves are instantaneous,
+// matching the paper's observation that WAN-GFS performance is a data-path
+// question.
+func (fs *FileSystem) serveMeta(p *sim.Proc, req *netsim.Request) netsim.Response {
+	op, ok := req.Payload.(metaOp)
+	if !ok {
+		return netsim.Response{Err: fmt.Errorf("core: bad meta payload %T", req.Payload)}
+	}
+	fs.metaOps++
+	dop := disk.Read
+	switch op.Op {
+	case "create", "mkdir", "remove", "alloc", "setsize", "truncate", "rename", "chmod", "chown":
+		dop = disk.Write
+	}
+	if err := fs.checkClusterAccess(op.Cluster, dop); err != nil {
+		return netsim.Response{Err: err}
+	}
+	switch op.Op {
+	case "lookup", "stat":
+		var ino *Inode
+		if op.Path == "" && op.Inode != 0 {
+			ino = fs.inodes[op.Inode]
+			if ino == nil {
+				return netsim.Response{Size: 64, Err: fmt.Errorf("core: no inode %d", op.Inode)}
+			}
+		} else {
+			var err error
+			ino, err = fs.resolve(op.Path)
+			if err != nil {
+				return netsim.Response{Size: 64, Err: err}
+			}
+		}
+		return netsim.Response{Size: 256, Payload: ino.attrs()}
+
+	case "create", "mkdir":
+		parent, base, err := fs.resolveParent(op.Path)
+		if err != nil {
+			return netsim.Response{Size: 64, Err: err}
+		}
+		if !parent.canWrite(op.Caller) {
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: %s: permission denied", op.Path)}
+		}
+		if _, exists := parent.children[base]; exists {
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: %s: exists", op.Path)}
+		}
+		ino := &Inode{
+			Num: fs.nextInode, Name: base, OwnerDN: op.Caller.DN,
+			Mode: op.Mode, Dir: op.Op == "mkdir",
+		}
+		if ino.Mode == 0 {
+			ino.Mode = DefaultPerm
+		}
+		if ino.Dir {
+			ino.children = map[string]int64{}
+		}
+		fs.nextInode++
+		fs.inodes[ino.Num] = ino
+		parent.children[base] = ino.Num
+		return netsim.Response{Size: 256, Payload: ino.attrs()}
+
+	case "list":
+		ino, err := fs.resolve(op.Path)
+		if err != nil {
+			return netsim.Response{Size: 64, Err: err}
+		}
+		if !ino.Dir {
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: %s: not a directory", op.Path)}
+		}
+		if !ino.canRead(op.Caller) {
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: %s: permission denied", op.Path)}
+		}
+		var out []Attrs
+		for _, num := range ino.children {
+			out = append(out, fs.inodes[num].attrs())
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+		return netsim.Response{Size: units.Bytes(64 + 128*len(out)), Payload: out}
+
+	case "remove":
+		parent, base, err := fs.resolveParent(op.Path)
+		if err != nil {
+			return netsim.Response{Size: 64, Err: err}
+		}
+		num, ok := parent.children[base]
+		if !ok {
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: %s: no such file", op.Path)}
+		}
+		ino := fs.inodes[num]
+		// Removal needs a writable parent, and — sticky-directory style —
+		// the caller must own the file, own the directory, or be root,
+		// unless the file itself is world-writable.
+		ownsFile := op.Caller.DN != "" && op.Caller.DN == ino.OwnerDN
+		ownsDir := op.Caller.DN != "" && op.Caller.DN == parent.OwnerDN
+		if !parent.canWrite(op.Caller) ||
+			!(op.Caller.Root || ownsFile || ownsDir || ino.Mode&WorldWrite != 0) {
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: %s: permission denied", op.Path)}
+		}
+		if ino.Dir && len(ino.children) > 0 {
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: %s: directory not empty", op.Path)}
+		}
+		fs.freeBlocks(ino, 0)
+		delete(parent.children, base)
+		delete(fs.inodes, num)
+		fs.tokens.dropInode(num)
+		return netsim.Response{Size: 64}
+
+	case "alloc":
+		ino := fs.inodes[op.Inode]
+		if ino == nil || ino.Dir {
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: alloc on bad inode %d", op.Inode)}
+		}
+		refs, err := fs.allocBlocks(ino, op.From, op.Count)
+		if err != nil {
+			return netsim.Response{Size: 64, Err: err}
+		}
+		return netsim.Response{Size: units.Bytes(64 + 16*len(refs)), Payload: refs}
+
+	case "layout":
+		ino := fs.inodes[op.Inode]
+		if ino == nil || ino.Dir {
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: layout on bad inode %d", op.Inode)}
+		}
+		from, count := op.From, op.Count
+		if from < 0 {
+			from = 0
+		}
+		if from > int64(len(ino.Blocks)) {
+			from = int64(len(ino.Blocks))
+		}
+		if from+count > int64(len(ino.Blocks)) {
+			count = int64(len(ino.Blocks)) - from
+		}
+		refs := make([]BlockRef, count)
+		copy(refs, ino.Blocks[from:from+count])
+		return netsim.Response{Size: units.Bytes(64 + 16*len(refs)), Payload: refs}
+
+	case "setsize":
+		ino := fs.inodes[op.Inode]
+		if ino == nil {
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: setsize on bad inode %d", op.Inode)}
+		}
+		if op.Size > ino.Size {
+			ino.Size = op.Size
+		}
+		return netsim.Response{Size: 64}
+
+	case "chmod":
+		ino, err := fs.resolve(op.Path)
+		if err != nil {
+			return netsim.Response{Size: 64, Err: err}
+		}
+		if !op.Caller.Root && (op.Caller.DN == "" || op.Caller.DN != ino.OwnerDN) {
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: chmod %s: not owner", op.Path)}
+		}
+		ino.Mode = op.Mode
+		return netsim.Response{Size: 64}
+
+	case "chown":
+		ino, err := fs.resolve(op.Path)
+		if err != nil {
+			return netsim.Response{Size: 64, Err: err}
+		}
+		// Like POSIX, only root may give a file away.
+		if !op.Caller.Root {
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: chown %s: permission denied", op.Path)}
+		}
+		ino.OwnerDN = op.Path2 // new owner DN travels in Path2
+		return netsim.Response{Size: 64}
+
+	case "rename":
+		src, srcBase, err := fs.resolveParent(op.Path)
+		if err != nil {
+			return netsim.Response{Size: 64, Err: err}
+		}
+		num, ok := src.children[srcBase]
+		if !ok {
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: %s: no such file", op.Path)}
+		}
+		dst, dstBase, err := fs.resolveParent(op.Path2)
+		if err != nil {
+			return netsim.Response{Size: 64, Err: err}
+		}
+		if !src.canWrite(op.Caller) || !dst.canWrite(op.Caller) {
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: rename: permission denied")}
+		}
+		if _, exists := dst.children[dstBase]; exists {
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: %s: exists", op.Path2)}
+		}
+		// A directory must not move under itself.
+		ino := fs.inodes[num]
+		if ino.Dir {
+			for cur := dst; cur != nil; {
+				if cur == ino {
+					return netsim.Response{Size: 64, Err: fmt.Errorf("core: rename: would create a cycle")}
+				}
+				parent := fs.parentOf(cur.Num)
+				if parent == cur {
+					break
+				}
+				cur = parent
+			}
+		}
+		delete(src.children, srcBase)
+		dst.children[dstBase] = num
+		ino.Name = dstBase
+		return netsim.Response{Size: 64}
+
+	case "statfs":
+		return netsim.Response{Size: 256, Payload: FSStat{
+			FS: fs.Name, BlockSize: fs.BlockSize,
+			Capacity: fs.Capacity(), Free: fs.FreeBytes(),
+			NSDs: len(fs.nsds), Inodes: len(fs.inodes),
+		}}
+
+	case "truncate":
+		ino := fs.inodes[op.Inode]
+		if ino == nil || ino.Dir {
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: truncate on bad inode %d", op.Inode)}
+		}
+		if !ino.canWrite(op.Caller) {
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: truncate: permission denied")}
+		}
+		keep := int64((op.Size + fs.BlockSize - 1) / fs.BlockSize)
+		fs.freeBlocks(ino, keep)
+		ino.Size = op.Size
+		return netsim.Response{Size: 64}
+	}
+	return netsim.Response{Err: fmt.Errorf("core: unknown meta op %q", op.Op)}
+}
+
+// allocBlocks extends an inode's block list so indexes [from, from+count)
+// exist, allocating slots round-robin across NSDs with spill to the next
+// NSD when one fills.
+func (fs *FileSystem) allocBlocks(ino *Inode, from, count int64) ([]BlockRef, error) {
+	striper := Striper{NSDs: len(fs.nsds), First: int(ino.Num) % len(fs.nsds)}
+	for int64(len(ino.Blocks)) < from+count {
+		idx := int64(len(ino.Blocks))
+		first := striper.NSDFor(idx)
+		var ref = NilBlock
+		for k := 0; k < len(fs.nsds); k++ {
+			ni := (first + k) % len(fs.nsds)
+			if slot, ok := fs.nsds[ni].alloc.Alloc(); ok {
+				ref = BlockRef{NSD: ni, Block: slot}
+				break
+			}
+		}
+		if !ref.Valid() {
+			return nil, fmt.Errorf("core: %s: no space", fs.Name)
+		}
+		ino.Blocks = append(ino.Blocks, ref)
+	}
+	out := make([]BlockRef, count)
+	copy(out, ino.Blocks[from:from+count])
+	return out, nil
+}
+
+// freeBlocks releases block slots beyond index keep and clears content.
+func (fs *FileSystem) freeBlocks(ino *Inode, keep int64) {
+	if ino.Blocks == nil {
+		return
+	}
+	for i := keep; i < int64(len(ino.Blocks)); i++ {
+		ref := ino.Blocks[i]
+		if ref.Valid() {
+			fs.nsds[ref.NSD].alloc.Release(ref.Block)
+			delete(fs.nsds[ref.NSD].content, ref.Block)
+		}
+	}
+	ino.Blocks = ino.Blocks[:keep]
+}
+
+// mountReq asks for mount configuration and registers the client for
+// token revocation callbacks.
+type mountReq struct {
+	Cluster string
+	Client  *Client
+}
+
+// serveMount returns mount configuration to an authenticated cluster.
+func (fs *FileSystem) serveMount(p *sim.Proc, req *netsim.Request) netsim.Response {
+	mr, ok := req.Payload.(mountReq)
+	if !ok {
+		return netsim.Response{Err: fmt.Errorf("core: bad mount payload %T", req.Payload)}
+	}
+	cluster := mr.Cluster
+	if err := fs.checkClusterAccess(cluster, disk.Read); err != nil {
+		return netsim.Response{Err: err}
+	}
+	if cluster != fs.cluster.Name && !fs.cluster.Authenticated(cluster) {
+		return netsim.Response{Err: fmt.Errorf("core: cluster %s has not authenticated to %s", cluster, fs.cluster.Name)}
+	}
+	if mr.Client != nil {
+		fs.cluster.clients[mr.Client.id] = mr.Client
+	}
+	servers := make([]*NSDServer, len(fs.nsds))
+	backups := make([]*NSDServer, len(fs.nsds))
+	for i, n := range fs.nsds {
+		servers[i] = n.Primary
+		backups[i] = n.Backup
+	}
+	return netsim.Response{
+		Size: units.Bytes(256 + 64*len(fs.nsds)),
+		Payload: mountInfo{
+			FS: fs.Name, BlockSize: fs.BlockSize, NSDs: len(fs.nsds),
+			Servers: servers, Backups: backups, Manager: fs.mgr,
+		},
+	}
+}
+
+// SetBackup designates a second server for an NSD; clients fail over to
+// it when the primary is down (mmchnsd).
+func (fs *FileSystem) SetBackup(n *NSD, server *NSDServer) {
+	if server.fs != fs {
+		panic(fmt.Sprintf("core: backup server %s belongs to another filesystem", server.Name))
+	}
+	n.Backup = server
+	server.nsds = append(server.nsds, n)
+}

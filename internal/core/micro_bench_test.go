@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"gfs/internal/sim"
+	"gfs/internal/units"
+)
+
+func BenchmarkAllocatorAllocRelease(b *testing.B) {
+	a := NewAllocator(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, ok := a.Alloc()
+		if !ok {
+			b.Fatal("full")
+		}
+		a.Release(s)
+	}
+}
+
+func BenchmarkStriperMapping(b *testing.B) {
+	s := Striper{NSDs: 224, First: 17}
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += s.NSDFor(int64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkSpansDecomposition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = spans(units.MiB, 12345, 16*units.MiB)
+	}
+}
+
+func BenchmarkTokenTableAcquireCycle(b *testing.B) {
+	tt := newTokenTable()
+	for i := 0; i < b.N; i++ {
+		start := units.Bytes(i%1024) * units.MiB
+		end := start + 4*units.MiB
+		if !tt.holderCovers(1, "c", start, end, TokExclusive) {
+			for h, sp := range tt.conflicts(1, start, end, TokExclusive, "c") {
+				tt.carve(1, h, sp[0], sp[1])
+			}
+			tt.insert(1, "c", start, end, TokExclusive)
+		}
+	}
+}
+
+func BenchmarkFSCK(b *testing.B) {
+	// A filesystem with a few hundred files and a few thousand blocks.
+	r := newRig(b, 4, 1, 256*units.KiB)
+	r.run(b, func(p *sim.Proc) error {
+		m, err := r.clients[0].MountLocal(p, r.fs)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 200; i++ {
+			f, err := m.Create(p, fileName(i), DefaultPerm)
+			if err != nil {
+				return err
+			}
+			if err := f.WriteAt(p, 0, units.Bytes(i%8+1)*256*units.KiB); err != nil {
+				return err
+			}
+			if err := f.Close(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := r.fs.Check(); !rep.OK() {
+			b.Fatal(rep.Problems)
+		}
+	}
+}
+
+func fileName(i int) string {
+	return "/f" + string(rune('a'+i/26%26)) + string(rune('a'+i%26)) + string(rune('0'+i/676))
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"gfs/internal/disk"
+	"gfs/internal/netsim"
+	"gfs/internal/raid"
+	"gfs/internal/san"
+	"gfs/internal/sim"
+	"gfs/internal/units"
+)
+
+// BlockStore is the media behind one NSD, as seen from its server node.
+// Implementations account the simulated time of moving the bytes between
+// the server and the media.
+type BlockStore interface {
+	// IO performs a contiguous transfer at the store; it blocks p for the
+	// simulated duration.
+	IO(p *sim.Proc, op disk.Op, off, size units.Bytes) error
+	// Capacity is the usable size of the store.
+	Capacity() units.Bytes
+}
+
+// RAIDStore is a direct-attached RAID set (no fabric hop).
+type RAIDStore struct{ Set *raid.Set }
+
+// IO implements BlockStore.
+func (s RAIDStore) IO(p *sim.Proc, op disk.Op, off, size units.Bytes) error {
+	if op == disk.Read {
+		s.Set.Read(p, off, size)
+	} else {
+		s.Set.Write(p, off, size)
+	}
+	return nil
+}
+
+// Capacity implements BlockStore.
+func (s RAIDStore) Capacity() units.Bytes { return s.Set.Capacity() }
+
+// DiskStore is a single direct-attached drive.
+type DiskStore struct{ Disk *disk.Disk }
+
+// IO implements BlockStore.
+func (s DiskStore) IO(p *sim.Proc, op disk.Op, off, size units.Bytes) error {
+	s.Disk.Access(p, op, off, size)
+	return nil
+}
+
+// Capacity implements BlockStore.
+func (s DiskStore) Capacity() units.Bytes { return s.Disk.Params().Capacity }
+
+// SANStore is a LUN on a dual-controller array reached across the FC
+// fabric; the bytes cross HBA and controller links.
+type SANStore struct {
+	Array     *san.Array
+	LUN       int
+	Initiator *netsim.Endpoint // the NSD server's fabric endpoint
+}
+
+// IO implements BlockStore.
+func (s SANStore) IO(p *sim.Proc, op disk.Op, off, size units.Bytes) error {
+	if op == disk.Read {
+		return s.Array.ReadLUN(s.Initiator, p, s.LUN, off, size)
+	}
+	return s.Array.WriteLUN(s.Initiator, p, s.LUN, off, size)
+}
+
+// Capacity implements BlockStore.
+func (s SANStore) Capacity() units.Bytes { return s.Array.Sets[s.LUN].Capacity() }
+
+// RateStore is an idealized store with a fixed service rate and no seeks —
+// useful for experiments where the paper's bottleneck was strictly the
+// network (the SC'03 demonstration).
+type RateStore struct {
+	sim  *sim.Sim
+	res  *sim.Resource
+	rate units.BytesPerSec
+	cap  units.Bytes
+}
+
+// NewRateStore builds a rate-limited store with the given parallelism.
+func NewRateStore(s *sim.Sim, name string, rate units.BytesPerSec, capacity units.Bytes, streams int) *RateStore {
+	if streams < 1 {
+		streams = 1
+	}
+	return &RateStore{sim: s, res: sim.NewResource(s, name, streams), rate: rate, cap: capacity}
+}
+
+// IO implements BlockStore.
+func (s *RateStore) IO(p *sim.Proc, op disk.Op, off, size units.Bytes) error {
+	s.res.Acquire(p, 1)
+	p.Sleep(sim.FromSeconds(float64(size) / float64(s.rate)))
+	s.res.Release(1)
+	return nil
+}
+
+// Capacity implements BlockStore.
+func (s *RateStore) Capacity() units.Bytes { return s.cap }
+
+// NSD is one Network Shared Disk: a block store plus the servers that
+// export it (a primary and an optional backup, as GPFS NSDs carry) and
+// the block-content shadow for byte-exact tests.
+type NSD struct {
+	Name    string
+	Store   BlockStore
+	Primary *NSDServer
+	Backup  *NSDServer // optional; clients fail over when Primary is down
+
+	blockSize units.Bytes
+	alloc     *Allocator
+	content   map[int64][]byte // sparse real contents, keyed by block slot
+}
+
+// Blocks returns the number of block slots on the NSD.
+func (n *NSD) Blocks() int64 { return n.alloc.Total() }
+
+// FreeBlocks returns unallocated slots.
+func (n *NSD) FreeBlocks() int64 { return n.alloc.Free() }
+
+// byteOff converts a block slot + offset to a store byte offset.
+func (n *NSD) byteOff(block int64, off units.Bytes) units.Bytes {
+	return units.Bytes(block)*n.blockSize + off
+}
+
+// readContent copies stored bytes for [off,off+ln) of a block; absent
+// content reads as zeros.
+func (n *NSD) readContent(block int64, off, ln units.Bytes) []byte {
+	out := make([]byte, ln)
+	if b, ok := n.content[block]; ok {
+		copy(out, b[off:off+ln])
+	}
+	return out
+}
+
+// writeContent stores real bytes into a block.
+func (n *NSD) writeContent(block int64, off units.Bytes, data []byte) {
+	b, ok := n.content[block]
+	if !ok {
+		b = make([]byte, n.blockSize)
+		n.content[block] = b
+	}
+	copy(b[off:], data)
+}
+
+// NSDServer is an I/O node exporting NSDs to clients. One server may
+// export several NSDs (the production machines served multiple DS4100
+// LUNs each).
+type NSDServer struct {
+	fs   *FileSystem
+	Name string
+	EP   *netsim.Endpoint
+
+	nsds []*NSD
+	down bool
+
+	bytesIn  units.Bytes // client writes landed here
+	bytesOut units.Bytes // client reads served from here
+}
+
+// ErrServerDown is returned (promptly, like a connection refusal) by a
+// failed NSD server; clients fail over to the NSD's backup server.
+var ErrServerDown = errors.New("core: NSD server down")
+
+// Fail takes the server down: subsequent requests are refused.
+func (s *NSDServer) Fail() { s.down = true }
+
+// Recover brings the server back.
+func (s *NSDServer) Recover() { s.down = false }
+
+// Down reports the failure state.
+func (s *NSDServer) Down() bool { return s.down }
+
+// BytesServed returns (reads, writes) moved through this server.
+func (s *NSDServer) BytesServed() (units.Bytes, units.Bytes) { return s.bytesOut, s.bytesIn }
+
+// ioPayload is the nsd.io RPC body.
+type ioPayload struct {
+	Cluster string // requesting cluster, for access enforcement
+	FS      string
+	NSD     int
+	Block   int64
+	Off     units.Bytes
+	Len     units.Bytes
+	Op      disk.Op
+	Data    []byte // optional real bytes on writes
+	Verify  bool   // on reads: return real bytes
+}
+
+const nsdService = "nsd.io"
+
+func (s *NSDServer) serve(p *sim.Proc, req *netsim.Request) netsim.Response {
+	io, ok := req.Payload.(ioPayload)
+	if !ok {
+		return netsim.Response{Err: fmt.Errorf("core: bad nsd.io payload %T", req.Payload)}
+	}
+	if s.down {
+		return netsim.Response{Err: ErrServerDown}
+	}
+	if io.FS != s.fs.Name {
+		return netsim.Response{Err: fmt.Errorf("core: server exports %s, not %s", s.fs.Name, io.FS)}
+	}
+	if err := s.fs.checkClusterAccess(io.Cluster, io.Op); err != nil {
+		return netsim.Response{Err: err}
+	}
+	if io.NSD < 0 || io.NSD >= len(s.fs.nsds) {
+		return netsim.Response{Err: fmt.Errorf("core: no NSD %d", io.NSD)}
+	}
+	n := s.fs.nsds[io.NSD]
+	if n.Primary != s && n.Backup != s {
+		return netsim.Response{Err: fmt.Errorf("core: NSD %s not served by %s", n.Name, s.Name)}
+	}
+	if io.Off+io.Len > n.blockSize {
+		return netsim.Response{Err: fmt.Errorf("core: I/O past block end (%d+%d > %d)", io.Off, io.Len, n.blockSize)}
+	}
+	if err := n.Store.IO(p, io.Op, n.byteOff(io.Block, io.Off), io.Len); err != nil {
+		return netsim.Response{Err: err}
+	}
+	if io.Op == disk.Read {
+		s.bytesOut += io.Len
+		var data []byte
+		if io.Verify {
+			data = n.readContent(io.Block, io.Off, io.Len)
+		}
+		return netsim.Response{Size: io.Len, Payload: data}
+	}
+	s.bytesIn += io.Len
+	if io.Data != nil {
+		n.writeContent(io.Block, io.Off, io.Data)
+	}
+	return netsim.Response{Size: 64}
+}

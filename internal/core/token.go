@@ -1,0 +1,298 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gfs/internal/netsim"
+	"gfs/internal/sim"
+	"gfs/internal/units"
+)
+
+// TokenMode is the lock strength of a byte-range token.
+type TokenMode int
+
+// Token modes.
+const (
+	TokShared TokenMode = iota
+	TokExclusive
+)
+
+func (m TokenMode) String() string {
+	if m == TokExclusive {
+		return "xw"
+	}
+	return "ro"
+}
+
+// heldRange is one granted byte-range token.
+type heldRange struct {
+	Start, End units.Bytes // [Start, End)
+	Mode       TokenMode
+	Holder     string // client ID
+}
+
+// tokenTable is the manager-side state: granted ranges per inode.
+type tokenTable struct {
+	byInode map[int64][]heldRange
+	grants  uint64
+	revokes uint64
+}
+
+func newTokenTable() *tokenTable {
+	return &tokenTable{byInode: make(map[int64][]heldRange)}
+}
+
+// Grants returns the cumulative number of token grants.
+func (t *tokenTable) Grants() uint64 { return t.grants }
+
+// Revokes returns the cumulative number of revocations sent.
+func (t *tokenTable) Revokes() uint64 { return t.revokes }
+
+func overlaps(aS, aE, bS, bE units.Bytes) bool { return aS < bE && bS < aE }
+
+// conflicts returns the holders (other than requester) whose ranges
+// conflict with the request, with the conflicting span per holder.
+func (t *tokenTable) conflicts(inode int64, start, end units.Bytes, mode TokenMode, requester string) map[string][2]units.Bytes {
+	out := map[string][2]units.Bytes{}
+	for _, r := range t.byInode[inode] {
+		if r.Holder == requester || !overlaps(r.Start, r.End, start, end) {
+			continue
+		}
+		if mode == TokShared && r.Mode == TokShared {
+			continue
+		}
+		span, ok := out[r.Holder]
+		if !ok {
+			out[r.Holder] = [2]units.Bytes{r.Start, r.End}
+			continue
+		}
+		if r.Start < span[0] {
+			span[0] = r.Start
+		}
+		if r.End > span[1] {
+			span[1] = r.End
+		}
+		out[r.Holder] = span
+	}
+	return out
+}
+
+// carve removes [start,end) of a holder's ranges on an inode, splitting
+// partially-covered ranges.
+func (t *tokenTable) carve(inode int64, holder string, start, end units.Bytes) {
+	in := t.byInode[inode]
+	out := in[:0]
+	for _, r := range in {
+		if r.Holder != holder || !overlaps(r.Start, r.End, start, end) {
+			out = append(out, r)
+			continue
+		}
+		if r.Start < start {
+			out = append(out, heldRange{r.Start, start, r.Mode, r.Holder})
+		}
+		if r.End > end {
+			out = append(out, heldRange{end, r.End, r.Mode, r.Holder})
+		}
+	}
+	t.byInode[inode] = out
+}
+
+// insert grants [start,end) to holder, absorbing the holder's own
+// overlapping or adjacent ranges of the same mode.
+func (t *tokenTable) insert(inode int64, holder string, start, end units.Bytes, mode TokenMode) {
+	in := t.byInode[inode]
+	out := in[:0]
+	for _, r := range in {
+		if r.Holder == holder && r.Mode == mode && r.Start <= end && start <= r.End {
+			if r.Start < start {
+				start = r.Start
+			}
+			if r.End > end {
+				end = r.End
+			}
+			continue
+		}
+		if r.Holder == holder && overlaps(r.Start, r.End, start, end) && mode == TokExclusive {
+			// Upgrading a shared range: swallow the overlapped part.
+			if r.Start < start {
+				out = append(out, heldRange{r.Start, start, r.Mode, r.Holder})
+			}
+			if r.End > end {
+				out = append(out, heldRange{end, r.End, r.Mode, r.Holder})
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	out = append(out, heldRange{start, end, mode, holder})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Holder < out[j].Holder
+	})
+	t.byInode[inode] = out
+	t.grants++
+}
+
+// dropHolder releases every token a client holds (unmount / eviction).
+func (t *tokenTable) dropHolder(holder string) {
+	for inode, rs := range t.byInode {
+		out := rs[:0]
+		for _, r := range rs {
+			if r.Holder != holder {
+				out = append(out, r)
+			}
+		}
+		if len(out) == 0 {
+			delete(t.byInode, inode)
+		} else {
+			t.byInode[inode] = out
+		}
+	}
+}
+
+// dropInode forgets all tokens for a removed file.
+func (t *tokenTable) dropInode(inode int64) { delete(t.byInode, inode) }
+
+// holderCovers reports whether holder already holds [start,end) at >= mode.
+func (t *tokenTable) holderCovers(inode int64, holder string, start, end units.Bytes, mode TokenMode) bool {
+	cur := start
+	rs := t.byInode[inode]
+	for cur < end {
+		advanced := false
+		for _, r := range rs {
+			if r.Holder != holder || cur < r.Start || cur >= r.End {
+				continue
+			}
+			if mode == TokExclusive && r.Mode != TokExclusive {
+				continue
+			}
+			cur = r.End
+			advanced = true
+			break
+		}
+		if !advanced {
+			return false
+		}
+	}
+	return true
+}
+
+// Token RPC payloads.
+const tokenService = "token"
+
+type tokenOp struct {
+	Op      string // acquire | release
+	Cluster string
+	Client  string
+	Inode   int64
+	Start   units.Bytes // required range start
+	End     units.Bytes // required range end
+	DStart  units.Bytes // desired range start (>= granted >= required)
+	DEnd    units.Bytes // desired range end
+	Mode    TokenMode
+}
+
+// grantRange is the acquire response payload.
+type grantRange struct {
+	Start, End units.Bytes
+}
+
+type revokePayload struct {
+	FS    string
+	Inode int64
+	Start units.Bytes
+	End   units.Bytes
+}
+
+const revokeService = "token.revoke"
+
+// serveToken handles acquire/release on the manager.
+func (fs *FileSystem) serveToken(p *sim.Proc, req *netsim.Request) netsim.Response {
+	op, ok := req.Payload.(tokenOp)
+	if !ok {
+		return netsim.Response{Err: fmt.Errorf("core: bad token payload %T", req.Payload)}
+	}
+	switch op.Op {
+	case "acquire":
+		if op.End <= op.Start {
+			return netsim.Response{Err: fmt.Errorf("core: empty token range [%d,%d)", op.Start, op.End)}
+		}
+		// GPFS-style negotiation: the client names a required range (the
+		// access) and a desired range (required widened forward). The
+		// manager revokes conflicting holders across the whole desired
+		// range and grants all of it, so a holder re-entering a region it
+		// lost makes progress in desired-sized strides, not per-I/O.
+		// Pattern-aware clients size the widening (ClientConfig.TokenChunk)
+		// so that disjoint strided writers — the Fig. 11 MPI-IO pattern —
+		// produce no conflicts at all.
+		dStart, dEnd := op.DStart, op.DEnd
+		if dStart > op.Start || dStart < 0 {
+			dStart = op.Start
+		}
+		if dEnd < op.End {
+			dEnd = op.End
+		}
+		t := fs.tokens
+		if t.holderCovers(op.Inode, op.Client, op.Start, op.End, op.Mode) {
+			return netsim.Response{Size: 64, Payload: grantRange{op.Start, op.End}}
+		}
+		conf := t.conflicts(op.Inode, dStart, dEnd, op.Mode, op.Client)
+		if len(conf) > 0 {
+			// Revoke conflicting holders in parallel; wait for all. A
+			// revoked client flushes dirty data in the span before acking,
+			// which is what makes cross-site caching coherent.
+			holders := make([]string, 0, len(conf))
+			for h := range conf {
+				holders = append(holders, h)
+			}
+			sort.Strings(holders)
+			wg := sim.NewWaitGroup(fs.Sim)
+			for _, h := range holders {
+				// Victims lose only the requester's desired span; their
+				// holdings outside it survive.
+				s0, e0 := dStart, dEnd
+				if sp := conf[h]; sp[0] > s0 {
+					s0 = sp[0]
+				}
+				if sp := conf[h]; sp[1] < e0 {
+					e0 = sp[1]
+				}
+				cl := fs.cluster.clients[h]
+				if cl == nil {
+					t.carve(op.Inode, h, s0, e0)
+					continue
+				}
+				wg.Add(1)
+				t.revokes++
+				h := h
+				fs.mgr.Go(cl.EP, revokeService, 128,
+					revokePayload{FS: fs.Name, Inode: op.Inode, Start: s0, End: e0},
+					func(netsim.Response) {
+						t.carve(op.Inode, h, s0, e0)
+						wg.Done()
+					})
+			}
+			wg.Wait(p)
+		}
+		t.insert(op.Inode, op.Client, dStart, dEnd, op.Mode)
+		return netsim.Response{Size: 64, Payload: grantRange{dStart, dEnd}}
+
+	case "release":
+		fs.tokens.carve(op.Inode, op.Client, op.Start, op.End)
+		return netsim.Response{Size: 64}
+
+	case "unmount":
+		fs.tokens.dropHolder(op.Client)
+		delete(fs.cluster.clients, op.Client)
+		return netsim.Response{Size: 64}
+	}
+	return netsim.Response{Err: fmt.Errorf("core: unknown token op %q", op.Op)}
+}
+
+// TokenStats returns (grants, revokes) counters for tests and benches.
+func (fs *FileSystem) TokenStats() (uint64, uint64) {
+	return fs.tokens.Grants(), fs.tokens.Revokes()
+}

@@ -1,0 +1,106 @@
+// Package experiments reconstructs every quantitative artifact of the
+// paper — Figures 2, 5, 8 and 11 plus the headline deployment numbers
+// (SC'04 StorCloud local rate, ANL remote mount, DEISA core sites, the
+// GFS-vs-GridFTP paradigm comparison and the HSM future-work scenario) —
+// on top of the simulation substrates. Each Run* function builds the
+// generation-appropriate topology, drives the paper's workload, and
+// returns series/headlines; cmd/gfssim and the benchmark harness print
+// them.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gfs/internal/metrics"
+)
+
+// Result is one experiment's output.
+type Result struct {
+	ID       string
+	Title    string
+	Series   []*metrics.Series
+	Headline map[string]float64
+	Notes    []string
+}
+
+// NewResult initializes an empty result.
+func NewResult(id, title string) *Result {
+	return &Result{ID: id, Title: title, Headline: map[string]float64{}}
+}
+
+// Add attaches a series.
+func (r *Result) Add(s *metrics.Series) { r.Series = append(r.Series, s) }
+
+// Note records a free-form observation.
+func (r *Result) Note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// HeadlineTable renders the named scalars as an aligned table, keys
+// sorted.
+func (r *Result) HeadlineTable() string {
+	keys := make([]string, 0, len(r.Headline))
+	for k := range r.Headline {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rows := make([][]string, 0, len(keys))
+	for _, k := range keys {
+		rows = append(rows, []string{k, fmt.Sprintf("%.2f", r.Headline[k])})
+	}
+	return metrics.Table([]string{"metric", "value"}, rows)
+}
+
+// String renders the full result: headline table, notes, and an ASCII
+// chart per series group.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	b.WriteString(r.HeadlineTable())
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	if len(r.Series) > 0 {
+		ch := metrics.NewChart(r.Title)
+		for _, s := range r.Series {
+			ch.Add(s)
+		}
+		b.WriteString(ch.Render())
+	}
+	return b.String()
+}
+
+// Runner is a registered experiment.
+type Runner struct {
+	Name  string
+	Paper string // which figure/table/section it regenerates
+	Run   func() *Result
+}
+
+// All returns the experiment registry in presentation order.
+func All() []Runner {
+	return []Runner{
+		{"sc02", "Fig. 2 — SC'02 FCIP read from the show floor", func() *Result { return RunSC02(DefaultSC02Config()) }},
+		{"sc03", "Fig. 5 — SC'03 native WAN-GPFS bandwidth", func() *Result { return RunSC03(DefaultSC03Config()) }},
+		{"sc04", "Fig. 8 — SC'04 multi-cluster transfer rates", func() *Result { return RunSC04(DefaultSC04Config()) }},
+		{"storcloud", "§4 — SC'04 local StorCloud file system rate", func() *Result { return RunStorCloudLocal(DefaultStorCloudConfig()) }},
+		{"production", "Fig. 11 — 2005 production scaling, reads and writes", func() *Result { return RunProductionScaling(DefaultProductionConfig()) }},
+		{"anl", "§5 — ANL remote mount, 32 nodes", func() *Result { return RunANL(DefaultANLConfig()) }},
+		{"deisa", "§7 — DEISA core-site MC-GPFS", func() *Result { return RunDEISA(DefaultDEISAConfig()) }},
+		{"paradigm", "§1/§8 — direct GFS access vs GridFTP movement", func() *Result { return RunParadigm(DefaultParadigmConfig()) }},
+		{"hsm", "§8 — HSM migration and recall", func() *Result { return RunHSM(DefaultHSMConfig()) }},
+		{"cache", "§8 — automatic edge caching over a copyright library", func() *Result { return RunCache(DefaultCacheConfig()) }},
+	}
+}
+
+// ByName finds a registered experiment.
+func ByName(name string) (Runner, bool) {
+	for _, r := range All() {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}

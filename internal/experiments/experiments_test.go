@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"gfs/internal/sim"
+	"gfs/internal/units"
+)
+
+// The full-size experiment configs run in the benchmark harness; tests use
+// scaled-down versions to verify construction, plumbing and shape.
+
+func TestSC02Small(t *testing.T) {
+	cfg := DefaultSC02Config()
+	cfg.FileSize = 4 * units.GB
+	r := RunSC02(cfg)
+	if r.Headline["sustained MB/s"] < 400 {
+		t.Errorf("sustained = %.0f MB/s, want > 400 (paper: 720)", r.Headline["sustained MB/s"])
+	}
+	if r.Headline["peak MB/s"] > r.Headline["path cap MB/s"]*1.05 {
+		t.Errorf("peak %.0f exceeds path cap %.0f", r.Headline["peak MB/s"], r.Headline["path cap MB/s"])
+	}
+	if len(r.Series) == 0 || r.Series[0].Len() < 3 {
+		t.Error("no time series produced")
+	}
+}
+
+func TestSC03Small(t *testing.T) {
+	cfg := DefaultSC03Config()
+	cfg.Servers = 10
+	cfg.VizNodes = 12
+	cfg.Files = 24
+	cfg.FileSize = 512 * units.MiB
+	cfg.RestartGap = 4 * sim.Second
+	r := RunSC03(cfg)
+	if r.Headline["peak Gb/s"] < 6 {
+		t.Errorf("peak = %.2f Gb/s, want > 6 (paper: 8.96 on 10GbE)", r.Headline["peak Gb/s"])
+	}
+	if r.Headline["peak Gb/s"] > 10.01 {
+		t.Errorf("peak = %.2f Gb/s exceeds the link", r.Headline["peak Gb/s"])
+	}
+	// The restart gap must appear as a dip: some interior bin well below peak.
+	ser := r.Series[0]
+	dip := false
+	for _, pt := range ser.Points[2 : ser.Len()-2] {
+		if pt.Y < r.Headline["peak Gb/s"]*0.3 {
+			dip = true
+		}
+	}
+	if !dip {
+		t.Error("no visible dip at the viz-app restart")
+	}
+}
+
+func TestSC04Small(t *testing.T) {
+	cfg := DefaultSC04Config()
+	cfg.Servers = 12
+	cfg.SiteNodes = 10
+	cfg.ReadFiles = 20
+	cfg.FileSize = 512 * units.MiB
+	cfg.WriteBytes = 256 * units.MiB
+	cfg.Phases = 1
+	r := RunSC04(cfg)
+	if r.Headline["peak aggregate Gb/s"] < 8 {
+		t.Errorf("aggregate peak = %.1f Gb/s, want > 8 with 20 GbE clients", r.Headline["peak aggregate Gb/s"])
+	}
+	if r.Headline["peak per-link Gb/s"] > 10.01 {
+		t.Errorf("per-link peak %.1f exceeds 10 GbE", r.Headline["peak per-link Gb/s"])
+	}
+	if len(r.Series) != cfg.WANLinks+1 {
+		t.Errorf("series = %d, want %d per-link + aggregate", len(r.Series), cfg.WANLinks+1)
+	}
+}
+
+func TestStorCloudSmall(t *testing.T) {
+	cfg := DefaultStorCloudConfig()
+	cfg.Servers = 10
+	cfg.Arrays = 8
+	cfg.PerServer = 2 * units.GiB
+	r := RunStorCloudLocal(cfg)
+	// 10 servers x 3 HBA x 250 MB/s = 7.5 GB/s HBA-side; 8 arrays x 2 ctl
+	// x 250 MB/s = 4 GB/s controller-side cap.
+	if r.Headline["aggregate GB/s"] < 1.5 {
+		t.Errorf("aggregate = %.2f GB/s, too low", r.Headline["aggregate GB/s"])
+	}
+	if r.Headline["aggregate GB/s"] > 4.05 {
+		t.Errorf("aggregate = %.2f GB/s exceeds controller cap", r.Headline["aggregate GB/s"])
+	}
+}
+
+func TestProductionSmall(t *testing.T) {
+	cfg := DefaultProductionConfig()
+	cfg.Servers = 16
+	cfg.Arrays = 8
+	cfg.NodeCounts = []int{2, 8, 16}
+	cfg.SizePer = 256 * units.MiB
+	r := RunProductionScaling(cfg)
+	read, write := r.Series[0], r.Series[1]
+	if read.Len() != 3 || write.Len() != 3 {
+		t.Fatalf("series lens %d/%d", read.Len(), write.Len())
+	}
+	// Reads scale with node count until saturation.
+	if !(read.Points[1].Y > read.Points[0].Y*2) {
+		t.Errorf("read scaling broken: %v", read.Points)
+	}
+	// The paper's asymmetry: writes below reads at scale.
+	if write.Points[2].Y >= read.Points[2].Y {
+		t.Errorf("write %.0f >= read %.0f at 16 nodes; RAID5 penalty missing",
+			write.Points[2].Y, read.Points[2].Y)
+	}
+}
+
+func TestANLSmall(t *testing.T) {
+	cfg := DefaultANLConfig()
+	cfg.Production.Servers = 16
+	cfg.Production.Arrays = 8
+	cfg.ANLNodes = 16
+	cfg.SizePer = 256 * units.MiB
+	r := RunANL(cfg)
+	// 16 nodes x GbE = 2 GB/s demand against a 1.25 GB/s WAN: should land
+	// near the WAN cap.
+	if r.Headline["aggregate GB/s"] < 0.9 {
+		t.Errorf("aggregate = %.2f GB/s, want near the 1.25 GB/s WAN cap", r.Headline["aggregate GB/s"])
+	}
+	if r.Headline["aggregate GB/s"] > 1.3 {
+		t.Errorf("aggregate = %.2f GB/s exceeds the WAN", r.Headline["aggregate GB/s"])
+	}
+}
+
+func TestDEISASmall(t *testing.T) {
+	cfg := DefaultDEISAConfig()
+	cfg.Sites = []string{"cineca", "fzj", "rzg"}
+	cfg.Servers = 4
+	cfg.FileSize = 512 * units.MiB
+	r := RunDEISA(cfg)
+	if r.Headline["min pair MB/s"] < 100 {
+		t.Errorf("min pair = %.0f MB/s, paper says >100", r.Headline["min pair MB/s"])
+	}
+	if r.Headline["max pair MB/s"] > 126 {
+		t.Errorf("max pair = %.0f MB/s exceeds 1 Gb/s", r.Headline["max pair MB/s"])
+	}
+	if r.Series[0].Len() != 6 {
+		t.Errorf("pairs = %d, want 6", r.Series[0].Len())
+	}
+}
+
+func TestParadigmSmall(t *testing.T) {
+	cfg := DefaultParadigmConfig()
+	cfg.FileSize = 8 * units.GB
+	cfg.Queries = 100
+	cfg.TouchedFiles = 4
+	r := RunParadigm(cfg)
+	if r.Headline["speedup"] <= 1 {
+		t.Errorf("GFS speedup = %.2f, want > 1 for partial access", r.Headline["speedup"])
+	}
+	if r.Headline["byte amplification (GridFTP)"] < 5 {
+		t.Errorf("amplification = %.1f, want large", r.Headline["byte amplification (GridFTP)"])
+	}
+	if r.Headline["GFS bytes moved GB"] > 2*r.Headline["useful bytes GB"]+1 {
+		t.Errorf("GFS moved %.1f GB for %.1f GB useful", r.Headline["GFS bytes moved GB"], r.Headline["useful bytes GB"])
+	}
+}
+
+func TestHSMSmall(t *testing.T) {
+	cfg := DefaultHSMConfig()
+	cfg.Files = 12
+	cfg.FileSize = 200 * units.GB
+	cfg.DiskPool = units.TB
+	cfg.Accesses = 10
+	r := RunHSM(cfg)
+	if r.Headline["migrations"] == 0 {
+		t.Error("no migrations with dataset > pool")
+	}
+	if r.Headline["recalls"] == 0 {
+		t.Error("no recalls triggered")
+	}
+	if r.Headline["mean recall s"] < 60 {
+		t.Errorf("mean recall %.0f s; tape cannot be that fast", r.Headline["mean recall s"])
+	}
+	if r.Headline["mean resident s"] != 0 {
+		t.Errorf("resident access took %.2f s", r.Headline["mean resident s"])
+	}
+}
+
+func TestRegistryAndRendering(t *testing.T) {
+	if len(All()) != 10 {
+		t.Errorf("registry has %d experiments, want 10", len(All()))
+	}
+	if _, ok := ByName("production"); !ok {
+		t.Error("ByName(production) missing")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName(nope) found")
+	}
+	r := NewResult("X", "test")
+	r.Headline["a metric"] = 1.5
+	r.Note("hello %d", 7)
+	out := r.String()
+	for _, want := range []string{"== X: test ==", "a metric", "1.50", "hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCacheExperimentSmall(t *testing.T) {
+	cfg := DefaultCacheConfig()
+	cfg.Files = 6
+	cfg.FileSize = 64 * units.MiB
+	cfg.Budget = 512 * units.MiB
+	cfg.Accesses = 12
+	cfg.HotSet = 2
+	r := RunCache(cfg)
+	if r.Headline["speedup"] <= 1.5 {
+		t.Errorf("cache speedup = %.2f, want > 1.5", r.Headline["speedup"])
+	}
+	if r.Headline["WAN reduction x"] <= 1.5 {
+		t.Errorf("WAN reduction = %.2f", r.Headline["WAN reduction x"])
+	}
+	if r.Headline["cache hits"] == 0 {
+		t.Error("no cache hits")
+	}
+}

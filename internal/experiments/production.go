@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gfs/internal/auth"
+	"gfs/internal/core"
+	"gfs/internal/disk"
+	"gfs/internal/metrics"
+	"gfs/internal/netsim"
+	"gfs/internal/san"
+	"gfs/internal/sim"
+	"gfs/internal/units"
+	"gfs/internal/workload"
+)
+
+// ProductionConfig sizes the 2005 SDSC production GFS (§5).
+type ProductionConfig struct {
+	Servers    int // 64 dual-IA64 NSD servers, 1 GbE each
+	Arrays     int // 32 DS4100 enclosures (0.5 PB raw)
+	NodeCounts []int
+	SizePer    units.Bytes // bytes moved per client node
+	BlockSize  units.Bytes // filesystem block size
+	MPIBlock   units.Bytes // MPI-IO ownership block (paper: 128 MB)
+	Transfer   units.Bytes // MPI-IO transfer size (paper: 1 MB)
+}
+
+// DefaultProductionConfig mirrors the paper's machine-room measurement,
+// scaled so the sweep completes quickly.
+func DefaultProductionConfig() ProductionConfig {
+	return ProductionConfig{
+		Servers:    64,
+		Arrays:     32,
+		NodeCounts: []int{1, 2, 4, 8, 16, 32, 48, 64},
+		SizePer:    units.GiB,
+		BlockSize:  units.MiB,
+		MPIBlock:   128 * units.MB,
+		Transfer:   units.MiB,
+	}
+}
+
+// buildProduction stands up the §5 configuration and returns the site.
+func buildProduction(s *sim.Sim, nw *netsim.Network, cfg ProductionConfig) *Site {
+	site := NewSite(s, nw, "sdsc")
+	site.BuildFS(FSOptions{
+		Name: "gpfs-prod", BlockSize: cfg.BlockSize,
+		Servers: cfg.Servers, ServerEth: units.Gbps,
+		Arrays:    cfg.Arrays,
+		ArrayCfg:  san.DS4100Config(),
+		ServerHBA: san.FC2, HBAsPer: 1,
+	})
+	return site
+}
+
+// RunProductionScaling regenerates Fig. 11: aggregate MPI-IO read and
+// write rates versus client node count on the production system.
+func RunProductionScaling(cfg ProductionConfig) *Result {
+	res := NewResult("E4/Fig11", "Production GFS scaling with remote node count (MPI-IO)")
+	readSer := &metrics.Series{Name: "Read", XLabel: "node count", YLabel: "MB/s"}
+	writeSer := &metrics.Series{Name: "Write", XLabel: "node count", YLabel: "MB/s"}
+
+	for _, nodes := range cfg.NodeCounts {
+		for _, doWrite := range []bool{true, false} {
+			s := sim.New()
+			nw := newEthernetNet(s)
+			site := buildProduction(s, nw, cfg)
+			ccfg := core.DefaultClientConfig()
+			ccfg.ReadAhead = 16
+			ccfg.WriteBehind = 16
+			// Widen tokens to exactly one MPI block: strided writers then
+			// never conflict (see core token negotiation).
+			ccfg.TokenChunk = int64(cfg.MPIBlock / cfg.BlockSize)
+			clients := site.AddClients(nodes, units.Gbps, ccfg)
+			var rate float64
+			run(s, func(p *sim.Proc) error {
+				mounts, err := MountAll(p, clients, site.FS, "")
+				if err != nil {
+					return err
+				}
+				mp := &workload.MPIIO{
+					Mounts: mounts, Path: "/ior.dat",
+					SizePer: cfg.SizePer, BlockSize: cfg.MPIBlock,
+					Transfer: cfg.Transfer, Write: true,
+				}
+				wres, err := mp.Run(p)
+				if err != nil {
+					return err
+				}
+				if doWrite {
+					rate = float64(wres.Rate())
+					return nil
+				}
+				// Read pass over the file just written (fresh mounts keep
+				// the pagepool cold: reads go to the NSD servers).
+				rd := &workload.MPIIO{
+					Mounts: mounts, Path: "/ior.dat",
+					SizePer: cfg.SizePer, BlockSize: cfg.MPIBlock,
+					Transfer: cfg.Transfer, Write: false,
+				}
+				// Invalidate caches by reopening via fresh clients is
+				// expensive; instead shift each rank's assignment so it
+				// reads blocks another rank wrote.
+				rd.Mounts = append(mounts[1:], mounts[0])
+				rres, err := rd.Run(p)
+				if err != nil {
+					return err
+				}
+				rate = float64(rres.Rate())
+				return nil
+			})
+			if doWrite {
+				writeSer.Add(float64(nodes), rate/1e6)
+			} else {
+				readSer.Add(float64(nodes), rate/1e6)
+			}
+		}
+	}
+	res.Add(readSer)
+	res.Add(writeSer)
+	res.Headline["max read MB/s"] = readSer.MaxY()
+	res.Headline["max write MB/s"] = writeSer.MaxY()
+	res.Headline["theoretical MB/s"] = float64(cfg.Servers) * 125
+	res.Headline["read/write ratio"] = readSer.MaxY() / writeSer.MaxY()
+	res.Note("paper: read max ~5.9 GB/s of 8 GB/s theoretical; writes visibly lower (discrepancy 'not yet understood'; our model attributes it to RAID5 read-modify-write)")
+	return res
+}
+
+// ANLConfig parameterizes the §5 remote-mount check.
+type ANLConfig struct {
+	Production ProductionConfig
+	ANLNodes   int // paper: all 32 nodes at Argonne
+	WANRate    units.BitsPerSec
+	WANDelay   sim.Time
+	SizePer    units.Bytes
+}
+
+// DefaultANLConfig mirrors the paper: 32 ANL nodes over the TeraGrid.
+func DefaultANLConfig() ANLConfig {
+	p := DefaultProductionConfig()
+	p.Servers = 32 // only the WAN path matters; halve the farm for speed
+	p.Arrays = 16
+	return ANLConfig{
+		Production: p,
+		ANLNodes:   32,
+		WANRate:    10 * units.Gbps,
+		WANDelay:   28 * sim.Millisecond, // San Diego - Chicago
+		SizePer:    512 * units.MiB,
+	}
+}
+
+// RunANL regenerates the §5 number: "at ANL the maximum rates are
+// approximately 1.2 GB/s to all 32 nodes".
+func RunANL(cfg ANLConfig) *Result {
+	res := NewResult("E5", "ANL remote mount of the SDSC production GFS")
+	s := sim.New()
+	nw := newEthernetNet(s)
+	site := buildProduction(s, nw, cfg.Production)
+
+	anl := NewSite(s, nw, "anl")
+	nw.DuplexLink("teragrid-anl", site.Switch, anl.Switch, cfg.WANRate, cfg.WANDelay)
+	device := Peer(site, anl, auth.ReadWrite)
+	ccfg := core.DefaultClientConfig()
+	ccfg.ReadAhead = 32
+	clients := anl.AddClients(cfg.ANLNodes, units.Gbps, ccfg)
+	seeder := site.AddClients(1, 10*units.Gbps, core.DefaultClientConfig())[0]
+
+	var rate float64
+	run(s, func(p *sim.Proc) error {
+		sm, err := seeder.MountLocal(p, site.FS)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < cfg.ANLNodes; i++ {
+			if err := seedFile(p, sm, fmt.Sprintf("/remote%02d.dat", i), cfg.SizePer, 8*units.MiB); err != nil {
+				return err
+			}
+		}
+		mounts, err := MountAll(p, clients, nil, device)
+		if err != nil {
+			return err
+		}
+		t0 := p.Now()
+		wg := sim.NewWaitGroup(s)
+		var firstErr error
+		var moved units.Bytes
+		for i, m := range mounts {
+			i, m := i, m
+			wg.Add(1)
+			s.Go("anl-read", func(rp *sim.Proc) {
+				defer wg.Done()
+				f, err := m.Open(rp, fmt.Sprintf("/remote%02d.dat", i))
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				for off := units.Bytes(0); off < f.Size(); off += units.MiB {
+					if err := f.ReadAt(rp, off, units.MiB); err != nil {
+						if firstErr == nil {
+							firstErr = err
+						}
+						return
+					}
+				}
+				moved += f.Size()
+			})
+		}
+		wg.Wait(p)
+		if firstErr != nil {
+			return firstErr
+		}
+		rate = float64(moved) / (p.Now() - t0).Seconds()
+		return nil
+	})
+	res.Headline["aggregate GB/s"] = rate / 1e9
+	res.Headline["WAN cap GB/s"] = float64(cfg.WANRate) / 8e9
+	res.Headline["nodes"] = float64(cfg.ANLNodes)
+	res.Note("paper: ~1.2 GB/s to all 32 ANL nodes over the TeraGrid")
+	return res
+}
+
+// ensure disk import is used even if configs change.
+var _ = disk.SATA250

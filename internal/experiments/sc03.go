@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gfs/internal/core"
+	"gfs/internal/metrics"
+	"gfs/internal/sim"
+	"gfs/internal/units"
+)
+
+// SC03Config parameterizes the Fig. 5 reproduction.
+type SC03Config struct {
+	Servers   int // NSD servers in the show-floor booth (paper: 40)
+	VizNodes  int // visualization clients at SDSC (paper: 32)
+	WANRate   units.BitsPerSec
+	WANDelay  sim.Time
+	FileSize  units.Bytes // per visualization file
+	Files     int
+	BlockSize units.Bytes
+	Interval  sim.Time
+	// RestartGap is the pause when the viz app exhausts its data and is
+	// restarted — the dip in Fig. 5.
+	RestartGap sim.Time
+}
+
+// DefaultSC03Config mirrors SC'03: 40 dual-IA64 servers on the Phoenix
+// show floor serving over a 10 GbE SciNet link to 32 viz nodes at SDSC.
+func DefaultSC03Config() SC03Config {
+	return SC03Config{
+		Servers:    40,
+		VizNodes:   32,
+		WANRate:    10 * units.Gbps,
+		WANDelay:   6 * sim.Millisecond, // Phoenix - San Diego
+		FileSize:   2 * units.GiB,
+		Files:      64,
+		BlockSize:  units.MiB,
+		Interval:   sim.Second,
+		RestartGap: 8 * sim.Second,
+	}
+}
+
+// RunSC03 regenerates Fig. 5: native WAN-GPFS bandwidth over time, with
+// the mid-run dip where the visualization application ran out of data and
+// was restarted.
+func RunSC03(cfg SC03Config) *Result {
+	res := NewResult("E2/Fig5", "SC'03 native WAN-GPFS bandwidth, show floor to SDSC")
+	s := sim.New()
+	nw := newEthernetNet(s)
+
+	show := NewSite(s, nw, "showfloor")
+	show.BuildFS(FSOptions{
+		Name: "gpfs-sc03", BlockSize: cfg.BlockSize,
+		Servers: cfg.Servers, ServerEth: units.Gbps,
+		StoreRate: 200 * units.MBps, StoreCap: units.TB, StoreStreams: 4,
+	})
+	// SciNet 10 GbE from the booth to the TeraGrid, then SDSC.
+	sdscSW := nw.NewNode("sdsc-sw")
+	wanFwd, _ := nw.DuplexLink("scinet", show.Switch, sdscSW, cfg.WANRate, cfg.WANDelay)
+	mon := metrics.NewRateMonitor(s, "scinet", cfg.Interval)
+	wanFwd.Monitor = mon
+
+	ccfg := core.DefaultClientConfig()
+	ccfg.ReadAhead = 32
+	var viz []*core.Client
+	for i := 0; i < cfg.VizNodes; i++ {
+		node := nw.NewNode(fmt.Sprintf("sdsc-viz%d", i))
+		nw.DuplexLink(fmt.Sprintf("viz%d", i), node, sdscSW, units.Gbps, lanDelay)
+		viz = append(viz, core.NewClient(show.Cluster, fmt.Sprintf("viz%d", i), node, ccfg,
+			core.Identity{DN: fmt.Sprintf("/O=SDSC/CN=viz%d", i)}))
+	}
+	// A local seeder writes the dataset on the show floor first (data was
+	// copied from SDSC to the booth before the demo).
+	seeder := show.AddClients(1, 10*units.Gbps, core.DefaultClientConfig())[0]
+
+	var vizStart sim.Time
+	run(s, func(p *sim.Proc) error {
+		sm, err := seeder.MountLocal(p, show.FS)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < cfg.Files; i++ {
+			if err := seedFile(p, sm, fmt.Sprintf("/viz%02d.dat", i), cfg.FileSize, 8*units.MiB); err != nil {
+				return err
+			}
+		}
+		mounts, err := MountAll(p, viz, show.FS, "")
+		if err != nil {
+			return err
+		}
+		vizStart = p.Now()
+		// pass streams one file per viz node; shift picks a disjoint file
+		// set so the second pass isn't served from the pagepool.
+		pass := func(shift int) error {
+			wg := sim.NewWaitGroup(s)
+			var firstErr error
+			for i, m := range mounts {
+				m, i := m, i
+				wg.Add(1)
+				s.Go(fmt.Sprintf("viz%d", i), func(vp *sim.Proc) {
+					defer wg.Done()
+					f, err := m.Open(vp, fmt.Sprintf("/viz%02d.dat", (i+shift)%cfg.Files))
+					if err != nil {
+						if firstErr == nil {
+							firstErr = err
+						}
+						return
+					}
+					for off := units.Bytes(0); off < f.Size(); off += cfg.BlockSize {
+						if err := f.ReadAt(vp, off, cfg.BlockSize); err != nil {
+							if firstErr == nil {
+								firstErr = err
+							}
+							return
+						}
+					}
+				})
+			}
+			wg.Wait(p)
+			return firstErr
+		}
+		if err := pass(0); err != nil {
+			return err
+		}
+		p.Sleep(cfg.RestartGap) // the Fig. 5 dip
+		return pass(cfg.VizNodes)
+	})
+
+	ser := mon.SeriesGbps()
+	vizSer := &metrics.Series{Name: "WAN bandwidth", XLabel: "time (s)", YLabel: "Gb/s"}
+	for _, pt := range ser.Points {
+		if pt.X >= vizStart.Seconds() {
+			vizSer.Add(pt.X-vizStart.Seconds(), pt.Y)
+		}
+	}
+	res.Add(vizSer)
+	res.Headline["peak Gb/s"] = vizSer.MaxY()
+	res.Headline["sustained GB/s"] = vizSer.MeanY() / 8
+	res.Headline["link Gb/s"] = float64(cfg.WANRate) / 1e9
+	res.Note("paper: peak 8.96 Gb/s on a 10 Gb/s link, >1 GB/s sustained; dip = viz app restart")
+	return res
+}

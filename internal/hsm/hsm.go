@@ -1,0 +1,367 @@
+// Package hsm models the Hierarchical Storage Management layer the paper
+// marks as the GFS's future (§8): a tape library behind the disk farm,
+// watermark-driven migration of cold data to tape, and transparent recall
+// when migrated data is touched again. SDSC ran SAM-QFS and HPSS this way;
+// the paper argues most sites will instead rely on a few archive-capable
+// "copyright library" sites.
+package hsm
+
+import (
+	"fmt"
+	"sort"
+
+	"gfs/internal/sim"
+	"gfs/internal/units"
+)
+
+// TapeParams models a 2005-era LTO-2 class drive.
+type TapeParams struct {
+	LoadTime     sim.Time          // robot fetch + load + thread
+	SeekRate     units.BytesPerSec // locate speed along the tape
+	TransferRate units.BytesPerSec // streaming rate
+	Capacity     units.Bytes       // per cartridge
+}
+
+// LTO2 returns typical LTO-2 parameters.
+func LTO2() TapeParams {
+	return TapeParams{
+		LoadTime:     45 * sim.Second,
+		SeekRate:     1200 * units.MBps, // fast locate
+		TransferRate: 30 * units.MBps,
+		Capacity:     200 * units.GB,
+	}
+}
+
+// Drive is one tape drive; it serializes its operations.
+type Drive struct {
+	sim    *sim.Sim
+	name   string
+	params TapeParams
+	queue  *sim.Resource
+
+	loadedCart int // -1 = empty
+	pos        units.Bytes
+
+	mounts    uint64
+	bytesIO   units.Bytes
+	busyUntil sim.Time
+}
+
+// Library is a tape robot: cartridges plus drives.
+type Library struct {
+	sim    *sim.Sim
+	name   string
+	drives []*Drive
+	params TapeParams
+
+	carts     int
+	cartUsed  []units.Bytes
+	nextCart  int
+	drivePick int
+}
+
+// NewLibrary builds a library with the given drive and cartridge counts.
+func NewLibrary(s *sim.Sim, name string, drives, cartridges int, params TapeParams) *Library {
+	if drives < 1 || cartridges < 1 {
+		panic(fmt.Sprintf("hsm: library %q needs drives and cartridges", name))
+	}
+	l := &Library{sim: s, name: name, params: params, carts: cartridges, cartUsed: make([]units.Bytes, cartridges)}
+	for i := 0; i < drives; i++ {
+		l.drives = append(l.drives, &Drive{
+			sim: s, name: fmt.Sprintf("%s/drive%d", name, i), params: params,
+			queue: sim.NewResource(s, fmt.Sprintf("%s/d%d", name, i), 1), loadedCart: -1,
+		})
+	}
+	return l
+}
+
+// Drives returns the number of drives.
+func (l *Library) Drives() int { return len(l.drives) }
+
+// Capacity returns total cartridge capacity.
+func (l *Library) Capacity() units.Bytes {
+	return units.Bytes(l.carts) * l.params.Capacity
+}
+
+// tapeAddr is where a migrated file landed.
+type tapeAddr struct {
+	Cart int
+	Off  units.Bytes
+}
+
+// allocate places size bytes on a cartridge (append-only, like SAM).
+func (l *Library) allocate(size units.Bytes) (tapeAddr, error) {
+	for tries := 0; tries < l.carts; tries++ {
+		c := (l.nextCart + tries) % l.carts
+		if l.cartUsed[c]+size <= l.params.Capacity {
+			addr := tapeAddr{Cart: c, Off: l.cartUsed[c]}
+			l.cartUsed[c] += size
+			l.nextCart = c
+			return addr, nil
+		}
+	}
+	return tapeAddr{}, fmt.Errorf("hsm: %s: all cartridges full", l.name)
+}
+
+// io performs a tape read or write of size at addr, blocking p for load,
+// locate and streaming time on a chosen drive.
+func (l *Library) io(p *sim.Proc, addr tapeAddr, size units.Bytes) {
+	d := l.drives[l.drivePick%len(l.drives)]
+	l.drivePick++
+	d.queue.Acquire(p, 1)
+	defer d.queue.Release(1)
+	t := sim.Time(0)
+	if d.loadedCart != addr.Cart {
+		t += l.params.LoadTime
+		d.loadedCart = addr.Cart
+		d.pos = 0
+		d.mounts++
+	}
+	seek := addr.Off - d.pos
+	if seek < 0 {
+		seek = -seek
+	}
+	t += sim.FromSeconds(float64(seek) / float64(l.params.SeekRate))
+	t += sim.FromSeconds(float64(size) / float64(l.params.TransferRate))
+	d.pos = addr.Off + size
+	d.bytesIO += size
+	p.Sleep(t)
+}
+
+// State is where a managed file's bytes live.
+type State int
+
+// File states.
+const (
+	Resident State = iota // disk only
+	Dual                  // disk + tape (premigrated)
+	Migrated              // tape only; disk stub
+)
+
+func (s State) String() string {
+	switch s {
+	case Dual:
+		return "dual"
+	case Migrated:
+		return "migrated"
+	default:
+		return "resident"
+	}
+}
+
+// entry is one managed file.
+type entry struct {
+	name       string
+	size       units.Bytes
+	state      State
+	addr       tapeAddr
+	lastAccess sim.Time
+}
+
+// Manager is the HSM policy engine over a disk pool of fixed capacity.
+type Manager struct {
+	sim  *sim.Sim
+	lib  *Library
+	name string
+
+	// DiskCapacity is the managed disk pool size.
+	DiskCapacity units.Bytes
+	// HighWater starts migration when disk use exceeds this fraction.
+	HighWater float64
+	// LowWater is the target fraction migration drains to.
+	LowWater float64
+	// DiskRate approximates the disk pool's streaming bandwidth for
+	// migrate/recall staging.
+	DiskRate units.BytesPerSec
+
+	files    map[string]*entry
+	diskUsed units.Bytes
+
+	migrations uint64
+	recalls    uint64
+	replicas   map[string]replica
+}
+
+// NewManager creates an HSM manager.
+func NewManager(s *sim.Sim, name string, lib *Library, diskCap units.Bytes) *Manager {
+	return &Manager{
+		sim: s, lib: lib, name: name,
+		DiskCapacity: diskCap, HighWater: 0.9, LowWater: 0.75,
+		DiskRate: 2 * units.GBps,
+		files:    make(map[string]*entry),
+	}
+}
+
+// DiskUsed returns current disk pool occupancy.
+func (m *Manager) DiskUsed() units.Bytes { return m.diskUsed }
+
+// Migrations returns the number of files migrated to tape.
+func (m *Manager) Migrations() uint64 { return m.migrations }
+
+// Recalls returns the number of tape recalls.
+func (m *Manager) Recalls() uint64 { return m.recalls }
+
+// StateOf reports a managed file's state.
+func (m *Manager) StateOf(name string) (State, bool) {
+	e, ok := m.files[name]
+	if !ok {
+		return Resident, false
+	}
+	return e.state, true
+}
+
+// Ingest registers a new resident file (just written to the GFS), then
+// runs the watermark policy.
+func (m *Manager) Ingest(p *sim.Proc, name string, size units.Bytes) error {
+	if _, dup := m.files[name]; dup {
+		return fmt.Errorf("hsm: %s already managed", name)
+	}
+	if size > m.DiskCapacity {
+		return fmt.Errorf("hsm: %s (%v) exceeds the disk pool", name, size)
+	}
+	m.files[name] = &entry{name: name, size: size, state: Resident, lastAccess: m.sim.Now()}
+	m.diskUsed += size
+	return m.enforceWatermarks(p)
+}
+
+// Access touches a file, transparently recalling it from tape if needed,
+// and returns the state it was in before the access.
+func (m *Manager) Access(p *sim.Proc, name string) (State, error) {
+	e, ok := m.files[name]
+	if !ok {
+		return Resident, fmt.Errorf("hsm: %s not managed", name)
+	}
+	prev := e.state
+	if e.state == Migrated {
+		// Recall: make room, stream from tape to disk.
+		m.recalls++
+		if err := m.makeRoom(p, e.size); err != nil {
+			return prev, err
+		}
+		m.lib.io(p, e.addr, e.size)
+		p.Sleep(sim.FromSeconds(float64(e.size) / float64(m.DiskRate)))
+		e.state = Dual // tape copy remains valid
+		m.diskUsed += e.size
+	}
+	e.lastAccess = m.sim.Now()
+	return prev, nil
+}
+
+// Premigrate writes a tape copy while keeping the disk copy (state Dual) —
+// the cheap-to-release form SAM calls "premigration", and the mechanism
+// behind the paper's remote second-copy replication with PSC.
+func (m *Manager) Premigrate(p *sim.Proc, name string) error {
+	e, ok := m.files[name]
+	if !ok {
+		return fmt.Errorf("hsm: %s not managed", name)
+	}
+	if e.state != Resident {
+		return nil
+	}
+	addr, err := m.lib.allocate(e.size)
+	if err != nil {
+		return err
+	}
+	p.Sleep(sim.FromSeconds(float64(e.size) / float64(m.DiskRate)))
+	m.lib.io(p, addr, e.size)
+	e.addr = addr
+	e.state = Dual
+	return nil
+}
+
+// Release drops the disk copy of a Dual file (instant — the tape copy
+// already exists).
+func (m *Manager) Release(name string) error {
+	e, ok := m.files[name]
+	if !ok {
+		return fmt.Errorf("hsm: %s not managed", name)
+	}
+	if e.state != Dual {
+		return fmt.Errorf("hsm: %s is %v, not dual", name, e.state)
+	}
+	e.state = Migrated
+	m.diskUsed -= e.size
+	m.migrations++
+	return nil
+}
+
+// enforceWatermarks migrates least-recently-used files until below the
+// low watermark, if the high watermark is exceeded.
+func (m *Manager) enforceWatermarks(p *sim.Proc) error {
+	high := units.Bytes(float64(m.DiskCapacity) * m.HighWater)
+	if m.diskUsed <= high {
+		return nil
+	}
+	low := units.Bytes(float64(m.DiskCapacity) * m.LowWater)
+	for _, e := range m.lruOrder() {
+		if m.diskUsed <= low {
+			break
+		}
+		if e.state == Dual {
+			if err := m.Release(e.name); err != nil {
+				return err
+			}
+			continue
+		}
+		if e.state != Resident {
+			continue
+		}
+		if err := m.Premigrate(p, e.name); err != nil {
+			return err
+		}
+		if err := m.Release(e.name); err != nil {
+			return err
+		}
+	}
+	if m.diskUsed > high {
+		return fmt.Errorf("hsm: %s cannot reach low watermark", m.name)
+	}
+	return nil
+}
+
+// makeRoom frees disk for an incoming recall.
+func (m *Manager) makeRoom(p *sim.Proc, need units.Bytes) error {
+	for m.diskUsed+need > m.DiskCapacity {
+		freed := false
+		for _, e := range m.lruOrder() {
+			if e.state == Dual {
+				if err := m.Release(e.name); err != nil {
+					return err
+				}
+				freed = true
+				break
+			}
+			if e.state == Resident {
+				if err := m.Premigrate(p, e.name); err != nil {
+					return err
+				}
+				if err := m.Release(e.name); err != nil {
+					return err
+				}
+				freed = true
+				break
+			}
+		}
+		if !freed {
+			return fmt.Errorf("hsm: no room for %v recall", need)
+		}
+	}
+	return nil
+}
+
+// lruOrder returns on-disk entries, least recently used first.
+func (m *Manager) lruOrder() []*entry {
+	var out []*entry
+	for _, e := range m.files {
+		if e.state != Migrated {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].lastAccess != out[j].lastAccess {
+			return out[i].lastAccess < out[j].lastAccess
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}

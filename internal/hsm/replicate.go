@@ -1,0 +1,142 @@
+package hsm
+
+import (
+	"fmt"
+
+	"gfs/internal/sim"
+	"gfs/internal/units"
+)
+
+// §8: "SDSC and the Pittsburgh Supercomputing Center are already providing
+// remote second copies for each other's archives" — the paper's "copyright
+// library" model, where a guaranteed copy exists at a peer site "from
+// which replacements can be obtained after local catastrophes". This file
+// implements that: a WAN replicator between two archive managers, replica
+// bookkeeping, catastrophe injection and restore.
+
+// replica is a second copy held on this site's tape for a peer's file.
+type replica struct {
+	owner string // the peer site holding the primary
+	name  string
+	size  units.Bytes
+	addr  tapeAddr
+}
+
+// Replicator pushes second copies between two archive sites over a WAN.
+type Replicator struct {
+	sim  *sim.Sim
+	A, B *Manager
+	rate units.BytesPerSec // WAN transfer rate between the sites
+
+	replicated uint64
+	restored   uint64
+}
+
+// NewReplicator joins two managers at the given WAN rate.
+func NewReplicator(s *sim.Sim, a, b *Manager, rate units.BytesPerSec) *Replicator {
+	if rate <= 0 {
+		panic("hsm: replicator rate")
+	}
+	return &Replicator{sim: s, A: a, B: b, rate: rate}
+}
+
+// peerOf returns the other site.
+func (r *Replicator) peerOf(m *Manager) (*Manager, error) {
+	switch m {
+	case r.A:
+		return r.B, nil
+	case r.B:
+		return r.A, nil
+	}
+	return nil, fmt.Errorf("hsm: manager not part of this replication pair")
+}
+
+// Replicated returns the number of second copies written.
+func (r *Replicator) Replicated() uint64 { return r.replicated }
+
+// Restored returns the number of catastrophe recoveries served.
+func (r *Replicator) Restored() uint64 { return r.restored }
+
+// Replicate streams owner's file to the peer's tape: read locally (disk,
+// or tape when already migrated), cross the WAN, write the peer cartridge.
+func (r *Replicator) Replicate(p *sim.Proc, owner *Manager, name string) error {
+	peer, err := r.peerOf(owner)
+	if err != nil {
+		return err
+	}
+	e, ok := owner.files[name]
+	if !ok {
+		return fmt.Errorf("hsm: %s not managed at %s", name, owner.name)
+	}
+	if _, dup := peer.replicas[ownerKey(owner, name)]; dup {
+		return nil // already replicated
+	}
+	// Source read.
+	if e.state == Migrated {
+		owner.lib.io(p, e.addr, e.size)
+	} else {
+		p.Sleep(sim.FromSeconds(float64(e.size) / float64(owner.DiskRate)))
+	}
+	// WAN transfer.
+	p.Sleep(sim.FromSeconds(float64(e.size) / float64(r.rate)))
+	// Peer tape write.
+	addr, err := peer.lib.allocate(e.size)
+	if err != nil {
+		return fmt.Errorf("hsm: replica allocation at %s: %w", peer.name, err)
+	}
+	peer.lib.io(p, addr, e.size)
+	if peer.replicas == nil {
+		peer.replicas = make(map[string]replica)
+	}
+	peer.replicas[ownerKey(owner, name)] = replica{owner: owner.name, name: name, size: e.size, addr: addr}
+	r.replicated++
+	return nil
+}
+
+// HasReplicaOf reports whether m holds a second copy of the peer's file.
+func (m *Manager) HasReplicaOf(owner *Manager, name string) bool {
+	_, ok := m.replicas[ownerKey(owner, name)]
+	return ok
+}
+
+// Catastrophe destroys the local primary (disk and tape copy alike) — the
+// event the copyright-library model exists for.
+func (m *Manager) Catastrophe(name string) error {
+	e, ok := m.files[name]
+	if !ok {
+		return fmt.Errorf("hsm: %s not managed", name)
+	}
+	if e.state != Migrated {
+		m.diskUsed -= e.size
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// Restore rebuilds owner's lost file from the peer's replica: peer tape
+// read, WAN transfer back, local disk landing (state Resident).
+func (r *Replicator) Restore(p *sim.Proc, owner *Manager, name string) error {
+	peer, err := r.peerOf(owner)
+	if err != nil {
+		return err
+	}
+	rep, ok := peer.replicas[ownerKey(owner, name)]
+	if !ok {
+		return fmt.Errorf("hsm: %s holds no replica of %s", peer.name, name)
+	}
+	if _, exists := owner.files[name]; exists {
+		return fmt.Errorf("hsm: %s still exists at %s", name, owner.name)
+	}
+	if err := owner.makeRoom(p, rep.size); err != nil {
+		return err
+	}
+	peer.lib.io(p, rep.addr, rep.size)
+	p.Sleep(sim.FromSeconds(float64(rep.size) / float64(r.rate)))
+	p.Sleep(sim.FromSeconds(float64(rep.size) / float64(owner.DiskRate)))
+	owner.files[name] = &entry{name: name, size: rep.size, state: Resident, lastAccess: r.sim.Now()}
+	owner.diskUsed += rep.size
+	r.restored++
+	return nil
+}
+
+func ownerKey(owner *Manager, name string) string { return owner.name + ":" + name }

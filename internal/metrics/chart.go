@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart renders one or more series as an ASCII line chart, the output
+// format of cmd/gfssim for regenerating the paper's figures in a terminal.
+type Chart struct {
+	Title  string
+	Width  int // plot columns (default 72)
+	Height int // plot rows (default 18)
+	series []*Series
+}
+
+// NewChart returns a chart with default dimensions.
+func NewChart(title string) *Chart {
+	return &Chart{Title: title, Width: 72, Height: 18}
+}
+
+// Add attaches a series to the chart. Up to eight series get distinct
+// glyphs.
+func (c *Chart) Add(s *Series) *Chart {
+	c.series = append(c.series, s)
+	return c
+}
+
+var chartGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart.
+func (c *Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 18
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	maxY := 0.0
+	empty := true
+	for _, s := range c.series {
+		for _, p := range s.Points {
+			empty = false
+			if p.X < minX {
+				minX = p.X
+			}
+			if p.X > maxX {
+				maxX = p.X
+			}
+			if p.Y > maxY {
+				maxY = p.Y
+			}
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if empty {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range c.series {
+		g := chartGlyphs[si%len(chartGlyphs)]
+		for _, p := range s.Points {
+			col := int(float64(w-1) * (p.X - minX) / (maxX - minX))
+			row := int(float64(h-1) * p.Y / maxY)
+			r := h - 1 - row
+			if r >= 0 && r < h && col >= 0 && col < w {
+				grid[r][col] = g
+			}
+		}
+	}
+	yLab := ""
+	if len(c.series) > 0 {
+		yLab = c.series[0].YLabel
+	}
+	for i, row := range grid {
+		val := maxY * float64(h-1-i) / float64(h-1)
+		if i == 0 {
+			fmt.Fprintf(&b, "%9.1f |%s  %s\n", val, row, yLab)
+		} else {
+			fmt.Fprintf(&b, "%9.1f |%s\n", val, row)
+		}
+	}
+	fmt.Fprintf(&b, "%9s +%s\n", "", strings.Repeat("-", w))
+	xLab := ""
+	if len(c.series) > 0 {
+		xLab = c.series[0].XLabel
+	}
+	fmt.Fprintf(&b, "%9s  %-8.6g%s%8.6g  %s\n", "", minX,
+		strings.Repeat(" ", maxInt(0, w-16)), maxX, xLab)
+	if len(c.series) > 1 {
+		b.WriteString("legend:")
+		for si, s := range c.series {
+			fmt.Fprintf(&b, "  %c=%s", chartGlyphs[si%len(chartGlyphs)], s.Name)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Table renders aligned rows, headed by cols, as fixed-width text — the
+// output format for the paper-vs-measured tables in EXPERIMENTS.md.
+func Table(cols []string, rows [][]string) string {
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+	for _, r := range rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	line(cols)
+	seps := make([]string, len(cols))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,55 @@
+package metrics
+
+import (
+	"gfs/internal/sim"
+)
+
+// Sampler polls a gauge function at a fixed virtual-time interval and
+// records a series — how one watches queue depths, cache occupancy or
+// dirty-page counts evolve during an experiment.
+type Sampler struct {
+	sim      *sim.Sim
+	series   *Series
+	interval sim.Time
+	gauge    func() float64
+	ev       *sim.Event
+	stopped  bool
+}
+
+// NewSampler starts sampling immediately; call Stop to end it (an
+// unbounded sampler keeps the event queue non-empty forever).
+func NewSampler(s *sim.Sim, name, yLabel string, interval sim.Time, gauge func() float64) *Sampler {
+	if interval <= 0 {
+		panic("metrics: non-positive sample interval")
+	}
+	sp := &Sampler{
+		sim:      s,
+		series:   &Series{Name: name, XLabel: "time (s)", YLabel: yLabel},
+		interval: interval,
+		gauge:    gauge,
+	}
+	sp.schedule()
+	return sp
+}
+
+func (sp *Sampler) schedule() {
+	sp.ev = sp.sim.Schedule(sp.interval, func() {
+		if sp.stopped {
+			return
+		}
+		sp.series.Add(sp.sim.Now().Seconds(), sp.gauge())
+		sp.schedule()
+	})
+}
+
+// Stop ends sampling.
+func (sp *Sampler) Stop() {
+	sp.stopped = true
+	if sp.ev != nil {
+		sp.ev.Cancel()
+		sp.ev = nil
+	}
+}
+
+// Series returns the samples collected so far.
+func (sp *Sampler) Series() *Series { return sp.series }

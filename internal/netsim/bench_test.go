@@ -1,0 +1,56 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+
+	"gfs/internal/sim"
+	"gfs/internal/units"
+)
+
+// BenchmarkRecompute measures the max-min allocation pass with a fleet of
+// active conns on a fat-tree-ish topology — the simulator's hot path.
+func BenchmarkRecompute(b *testing.B) {
+	s := sim.New()
+	nw := New(s)
+	core := nw.NewNode("core")
+	var hosts []*Node
+	for i := 0; i < 64; i++ {
+		h := nw.NewNode(fmt.Sprintf("h%d", i))
+		nw.DuplexLink(fmt.Sprintf("l%d", i), h, core, units.Gbps, sim.Millisecond)
+		hosts = append(hosts, h)
+	}
+	s.Schedule(0, func() {
+		for i := 0; i < 256; i++ {
+			c := nw.DialTCP(hosts[i%64], hosts[(i+7)%64], TCPConfig{})
+			c.Send(100*units.GB, nil) // long-lived: stays active
+		}
+	})
+	s.RunUntil(sim.Second)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.recomputeOnce()
+	}
+}
+
+// BenchmarkMessageThroughput measures simulator cost per delivered
+// message under heavy small-message traffic.
+func BenchmarkMessageThroughput(b *testing.B) {
+	s := sim.New()
+	nw := New(s)
+	a := nw.NewNode("a")
+	c := nw.NewNode("b")
+	nw.DuplexLink("ab", a, c, 10*units.Gbps, sim.Millisecond)
+	conn := nw.DialTCP(a, c, TCPConfig{})
+	delivered := 0
+	b.ResetTimer()
+	s.Schedule(0, func() {
+		for i := 0; i < b.N; i++ {
+			conn.Send(units.MiB, func() { delivered++ })
+		}
+	})
+	s.Run()
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d", delivered, b.N)
+	}
+}

@@ -1,0 +1,464 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"gfs/internal/sim"
+	"gfs/internal/units"
+)
+
+const rateEps = 0.5 // bytes; slop for float remaining-byte arithmetic
+
+// message is one byte-counted transfer queued on a conn.
+type message struct {
+	size        float64
+	remaining   float64
+	started     sim.Time // when it reached the head of the queue
+	onDelivered func()
+}
+
+// Conn is a long-lived, directed transport connection (think one TCP
+// connection). Messages sent on a conn are delivered FIFO; while the conn
+// has queued bytes it competes for link bandwidth under max-min fairness,
+// capped at cwnd/RTT.
+type Conn struct {
+	net  *Network
+	id   int
+	src  *Node
+	dst  *Node
+	path []*Link
+
+	tcp    TCPConfig
+	cwnd   float64 // bytes
+	oneWay sim.Time
+	rtt    sim.Time
+
+	queue       []*message
+	active      bool
+	inList      bool    // present in Network.activeList
+	rate        float64 // bytes/sec currently allocated
+	prevRate    float64 // allocation scratch
+	lastAdvance sim.Time
+	idleSince   sim.Time
+
+	completionEv *sim.Event
+	bumpEv       *sim.Event
+
+	bytesSent units.Bytes
+	msgsSent  uint64
+
+	// allocation scratch
+	assigned bool
+}
+
+// Dial opens a connection from src to dst with the network's default TCP
+// config.
+func (nw *Network) Dial(src, dst *Node) *Conn {
+	return nw.DialTCP(src, dst, nw.DefaultTCP)
+}
+
+// DialTCP opens a connection with an explicit TCP config.
+func (nw *Network) DialTCP(src, dst *Node, tcp TCPConfig) *Conn {
+	c := &Conn{
+		net: nw, id: len(nw.conns),
+		src: src, dst: dst,
+		tcp:       tcp,
+		idleSince: nw.Sim.Now(),
+	}
+	path, err := nw.pathFor(src, dst, c.id)
+	if err != nil {
+		panic(err)
+	}
+	c.path = path
+	for _, l := range path {
+		c.oneWay += l.delay
+	}
+	c.rtt = 2 * c.oneWay
+	c.cwnd = c.initialWindow()
+	nw.conns = append(nw.conns, c)
+	return c
+}
+
+func (c *Conn) initialWindow() float64 {
+	if c.tcp.InitWindow > 0 && c.tcp.MaxWindow > 0 {
+		return float64(c.tcp.InitWindow)
+	}
+	return float64(c.tcp.MaxWindow)
+}
+
+// Src returns the sending node.
+func (c *Conn) Src() *Node { return c.src }
+
+// Dst returns the receiving node.
+func (c *Conn) Dst() *Node { return c.dst }
+
+// RTT returns the round-trip propagation delay of the conn's path.
+func (c *Conn) RTT() sim.Time { return c.rtt }
+
+// Path returns the links the conn crosses.
+func (c *Conn) Path() []*Link { return c.path }
+
+// BytesSent returns the cumulative payload bytes delivered.
+func (c *Conn) BytesSent() units.Bytes { return c.bytesSent }
+
+// Rate returns the currently allocated rate in bytes/sec.
+func (c *Conn) Rate() units.BytesPerSec { return units.BytesPerSec(c.rate) }
+
+// capBps returns the window-imposed rate cap in bytes/sec.
+func (c *Conn) capBps() float64 {
+	if c.tcp.MaxWindow <= 0 || c.rtt <= 0 {
+		return math.Inf(1)
+	}
+	return c.cwnd / c.rtt.Seconds()
+}
+
+// Queued returns the number of undelivered messages.
+func (c *Conn) Queued() int { return len(c.queue) }
+
+// Send queues size bytes for delivery; onDelivered (optional) fires at the
+// virtual instant the last byte arrives at the destination. Must be called
+// from event context (inside an event callback or a process).
+func (c *Conn) Send(size units.Bytes, onDelivered func()) {
+	if size < 0 {
+		panic(fmt.Sprintf("netsim: negative message size %d", size))
+	}
+	nw := c.net
+	if len(c.path) == 0 {
+		// Same-node loopback: deliver immediately.
+		c.bytesSent += size
+		c.msgsSent++
+		if onDelivered != nil {
+			nw.Sim.Schedule(0, onDelivered)
+		}
+		return
+	}
+	m := &message{size: float64(size), remaining: float64(size), onDelivered: onDelivered}
+	if size == 0 {
+		m.size, m.remaining = 1, 1 // headers are never free
+	}
+	c.queue = append(c.queue, m)
+	if !c.active {
+		c.activate()
+	}
+	nw.recompute()
+}
+
+func (c *Conn) activate() {
+	nw := c.net
+	now := nw.Sim.Now()
+	// Slow-start restart after a long idle period (RFC 2861).
+	restart := c.tcp.RestartIdle
+	if restart <= 0 {
+		restart = defaultRestartIdle
+	}
+	if now-c.idleSince > restart && c.rtt > 0 {
+		c.cwnd = c.initialWindow()
+	}
+	c.active = true
+	c.lastAdvance = now
+	c.queue[0].started = now
+	for _, l := range c.path {
+		l.flows[c] = struct{}{}
+		if len(l.flows) == 1 {
+			l.busyIdx = len(nw.busyLinks)
+			nw.busyLinks = append(nw.busyLinks, l)
+		}
+	}
+	if !c.inList {
+		c.inList = true
+		nw.activeList = append(nw.activeList, c)
+	}
+	c.scheduleBump()
+}
+
+func (c *Conn) deactivate() {
+	nw := c.net
+	c.active = false
+	c.rate = 0
+	c.idleSince = nw.Sim.Now()
+	for _, l := range c.path {
+		delete(l.flows, c)
+		if len(l.flows) == 0 && l.busyIdx >= 0 {
+			// Swap-remove from the busy list.
+			last := nw.busyLinks[len(nw.busyLinks)-1]
+			nw.busyLinks[l.busyIdx] = last
+			last.busyIdx = l.busyIdx
+			nw.busyLinks = nw.busyLinks[:len(nw.busyLinks)-1]
+			l.busyIdx = -1
+		}
+	}
+	// activeList entry is compacted lazily during the next recompute.
+	if c.completionEv != nil {
+		c.completionEv.Cancel()
+		c.completionEv = nil
+	}
+	if c.bumpEv != nil {
+		c.bumpEv.Cancel()
+		c.bumpEv = nil
+	}
+}
+
+// scheduleBump arranges the next slow-start window doubling.
+func (c *Conn) scheduleBump() {
+	if c.bumpEv != nil {
+		c.bumpEv.Cancel()
+		c.bumpEv = nil
+	}
+	if c.tcp.MaxWindow <= 0 || c.rtt <= 0 || c.cwnd >= float64(c.tcp.MaxWindow) {
+		return
+	}
+	c.bumpEv = c.net.Sim.Schedule(c.rtt, func() {
+		c.bumpEv = nil
+		if !c.active {
+			return
+		}
+		c.cwnd *= 2
+		if c.cwnd > float64(c.tcp.MaxWindow) {
+			c.cwnd = float64(c.tcp.MaxWindow)
+		}
+		c.scheduleBump()
+		c.net.recompute()
+	})
+}
+
+// advance credits progress to the head messages up to now, delivering any
+// that finish.
+func (c *Conn) advance(now sim.Time) {
+	if !c.active {
+		return
+	}
+	credit := c.rate * (now - c.lastAdvance).Seconds()
+	c.lastAdvance = now
+	for len(c.queue) > 0 {
+		head := c.queue[0]
+		if head.remaining > credit+rateEps {
+			head.remaining -= credit
+			return
+		}
+		credit -= head.remaining
+		head.remaining = 0
+		c.deliverHead(now)
+	}
+}
+
+func (c *Conn) deliverHead(now sim.Time) {
+	nw := c.net
+	head := c.queue[0]
+	c.queue = c.queue[1:]
+	// Any pending completion event refers to the delivered message; drop
+	// it so a skipped reschedule can never fire it for the next one.
+	if c.completionEv != nil {
+		c.completionEv.Cancel()
+		c.completionEv = nil
+	}
+	c.bytesSent += units.Bytes(head.size)
+	c.msgsSent++
+	for _, l := range c.path {
+		if l.Monitor != nil {
+			l.Monitor.RecordSpread(units.Bytes(head.size), head.started, now)
+		}
+	}
+	if head.onDelivered != nil {
+		cb := head.onDelivered
+		nw.Sim.Schedule(c.oneWay, cb)
+	}
+	if len(c.queue) == 0 {
+		c.deactivate()
+		nw.recomputeNeeded = true
+	} else {
+		c.queue[0].started = now
+	}
+}
+
+// scheduleCompletion arranges the event at which the head message finishes
+// at the current rate.
+func (c *Conn) scheduleCompletion() {
+	if c.completionEv != nil {
+		c.completionEv.Cancel()
+		c.completionEv = nil
+	}
+	if !c.active || len(c.queue) == 0 || c.rate <= 0 {
+		return
+	}
+	// Round the completion instant up to a whole nanosecond so a
+	// sub-epsilon float remainder can never re-arm a zero-delay event in
+	// an endless same-timestamp loop.
+	dt := sim.Time(math.Ceil(c.queue[0].remaining / c.rate * 1e9))
+	if dt < 1 {
+		dt = 1
+	}
+	c.completionEv = c.net.Sim.Schedule(dt, func() {
+		c.completionEv = nil
+		c.net.onCompletion(c)
+	})
+}
+
+func (nw *Network) onCompletion(c *Conn) {
+	c.advance(nw.Sim.Now())
+	if c.active {
+		c.scheduleCompletion()
+	}
+	if nw.recomputeNeeded {
+		nw.recompute()
+	}
+}
+
+// recompute requests a rate reallocation. Requests are coalesced into a
+// single zero-delay event so a burst of sends at one instant pays for one
+// allocation pass, not one per message.
+func (nw *Network) recompute() {
+	if nw.inRecompute {
+		nw.recomputeNeeded = true
+		return
+	}
+	if nw.recomputeScheduled {
+		return
+	}
+	nw.recomputeScheduled = true
+	var delay sim.Time
+	if nw.MinRecomputeInterval > 0 {
+		if next := nw.lastRecompute + nw.MinRecomputeInterval; next > nw.Sim.Now() {
+			delay = next - nw.Sim.Now()
+		}
+	}
+	nw.Sim.Schedule(delay, nw.doRecompute)
+}
+
+// doRecompute reallocates rates across all active conns by progressive
+// filling (max-min fairness with per-conn window caps), then reschedules
+// completion events. Reentrant calls fold into the loop.
+func (nw *Network) doRecompute() {
+	nw.recomputeScheduled = false
+	nw.lastRecompute = nw.Sim.Now()
+	nw.inRecompute = true
+	defer func() { nw.inRecompute = false }()
+	for {
+		nw.recomputeNeeded = false
+		nw.recomputeOnce()
+		if !nw.recomputeNeeded {
+			return
+		}
+	}
+}
+
+func (nw *Network) recomputeOnce() {
+	now := nw.Sim.Now()
+	// Advance progress at old rates before changing them. This may deliver
+	// messages and deactivate conns. Compact the active list as we go; its
+	// insertion order is event-deterministic.
+	live := nw.activeList[:0]
+	for _, c := range nw.activeList {
+		c.advance(now)
+		if c.active {
+			live = append(live, c)
+			c.assigned = false
+			c.prevRate = c.rate
+		} else {
+			c.inList = false
+		}
+	}
+	for i := len(live); i < len(nw.activeList); i++ {
+		nw.activeList[i] = nil
+	}
+	nw.activeList = live
+	conns := live
+	if len(conns) == 0 {
+		return
+	}
+
+	links := nw.busyLinks
+	for _, l := range links {
+		l.residual = l.cap
+		l.nActive = len(l.flows)
+	}
+
+	assign := func(c *Conn, r float64) {
+		c.rate = r
+		c.assigned = true
+		for _, l := range c.path {
+			l.residual -= r
+			if l.residual < 0 {
+				l.residual = 0
+			}
+			l.nActive--
+		}
+	}
+
+	unassigned := len(conns)
+	for unassigned > 0 {
+		// Fair share of the most constrained link.
+		m := math.Inf(1)
+		for _, l := range links {
+			if l.nActive > 0 {
+				if s := l.residual / float64(l.nActive); s < m {
+					m = s
+				}
+			}
+		}
+		// Window-capped conns below the fair share are fixed first.
+		fixedCap := false
+		for _, c := range conns {
+			if !c.assigned && c.capBps() <= m {
+				assign(c, c.capBps())
+				unassigned--
+				fixedCap = true
+			}
+		}
+		if fixedCap {
+			continue
+		}
+		if math.IsInf(m, 1) {
+			// No link constraint and no cap: should not happen (active
+			// conns always cross >= 1 link), but terminate safely.
+			for _, c := range conns {
+				if !c.assigned {
+					assign(c, c.capBps())
+					unassigned--
+				}
+			}
+			break
+		}
+		// Fix all conns whose tightest path link is a bottleneck at m.
+		// Iterating conns (not link flow maps) keeps this pass cache-
+		// friendly and allocation-free.
+		progressed := false
+		tol := m * (1 + 1e-9)
+		for _, c := range conns {
+			if c.assigned {
+				continue
+			}
+			share := math.Inf(1)
+			for _, l := range c.path {
+				if l.nActive > 0 {
+					if s := l.residual / float64(l.nActive); s < share {
+						share = s
+					}
+				}
+			}
+			if share <= tol {
+				assign(c, m)
+				unassigned--
+				progressed = true
+			}
+		}
+		if !progressed {
+			// Numerical corner: give everyone the current share.
+			for _, c := range conns {
+				if !c.assigned {
+					assign(c, m)
+					unassigned--
+				}
+			}
+		}
+	}
+
+	for _, c := range conns {
+		// A conn whose rate is unchanged keeps its pending completion
+		// event — rescheduling it would be pure heap churn.
+		if c.rate == c.prevRate && c.completionEv != nil {
+			continue
+		}
+		c.scheduleCompletion()
+	}
+}

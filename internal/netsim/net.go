@@ -1,0 +1,264 @@
+// Package netsim is a flow-level wide-area network simulator.
+//
+// Hosts and switches are Nodes joined by directed Links with a bandwidth
+// and a propagation delay. Traffic travels over long-lived Conns (TCP
+// connections): byte-counted messages queue FIFO on a conn, and the set of
+// active conns shares link bandwidth by progressive-filling max-min
+// fairness, recomputed whenever a conn activates, idles, or changes its
+// window. Each conn is additionally capped at cwnd/RTT with a slow-start
+// ramp, which is what makes an 80 ms cross-country RTT matter — the
+// question at the heart of the SC'02 Global File System demonstration.
+package netsim
+
+import (
+	"fmt"
+
+	"gfs/internal/metrics"
+	"gfs/internal/sim"
+	"gfs/internal/units"
+)
+
+// Network is a topology plus the machinery that schedules traffic over it.
+type Network struct {
+	Sim *sim.Sim
+
+	nodes []*Node
+	links []*Link
+	conns []*Conn
+
+	activeList         []*Conn // insertion order; compacted during recompute
+	busyLinks          []*Link // links with >= 1 active conn
+	inRecompute        bool
+	recomputeNeeded    bool
+	recomputeScheduled bool
+
+	routesDirty bool
+	dist        map[*Node]map[*Node]int // dist[dst][n] = hops from n to dst
+
+	// DefaultTCP is applied to conns dialed without explicit options.
+	DefaultTCP TCPConfig
+
+	// LinkEfficiency derates every subsequently created link's usable
+	// capacity below its nominal rate (Ethernet + IP + TCP framing eats
+	// ~6% at a 1500-byte MTU). Zero means 1.0 — nominal rate usable.
+	LinkEfficiency float64
+
+	// MinRecomputeInterval throttles global rate reallocation: after one
+	// allocation pass, the next runs no sooner than this much virtual
+	// time later. Zero recomputes at every instant traffic changes
+	// (exact). Large simulations set ~100-250 us: rates are then stale by
+	// at most the interval, a percent-level error against multi-ms block
+	// transfer times, for an order-of-magnitude event reduction.
+	MinRecomputeInterval sim.Time
+
+	lastRecompute sim.Time
+}
+
+// TCPConfig models the window behaviour of a connection.
+type TCPConfig struct {
+	// MaxWindow caps bytes in flight; rate <= MaxWindow/RTT. Zero means
+	// unlimited (no window cap).
+	MaxWindow units.Bytes
+	// InitWindow is the slow-start initial window. Zero disables the ramp
+	// (connections start at MaxWindow).
+	InitWindow units.Bytes
+	// RestartIdle is how long a conn must sit idle before the congestion
+	// window collapses back to InitWindow (RFC 2861 slow-start restart).
+	// Zero means the 500 ms default; RPC-style traffic with sub-second
+	// gaps keeps its window, as real stacks with steady ACK clocking do.
+	RestartIdle sim.Time
+}
+
+// defaultRestartIdle applies when TCPConfig.RestartIdle is zero.
+const defaultRestartIdle = 500 * sim.Millisecond
+
+// New returns an empty network on the given simulator.
+func New(s *sim.Sim) *Network {
+	return &Network{
+		Sim: s,
+		// 16 MiB default window: enough for ~1.6 Gb/s at 80 ms RTT per
+		// conn, matching well-tuned 2005-era TCP stacks.
+		DefaultTCP: TCPConfig{MaxWindow: 16 * units.MiB, InitWindow: 64 * units.KiB},
+	}
+}
+
+// Node is a host or switch.
+type Node struct {
+	net  *Network
+	id   int
+	name string
+
+	out []*Link // links whose Src is this node
+}
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.name }
+
+func (n *Node) String() string { return n.name }
+
+// NewNode adds a node.
+func (nw *Network) NewNode(name string) *Node {
+	n := &Node{net: nw, id: len(nw.nodes), name: name}
+	nw.nodes = append(nw.nodes, n)
+	nw.routesDirty = true
+	return n
+}
+
+// Link is a directed pipe with a capacity and one-way propagation delay.
+type Link struct {
+	net   *Network
+	id    int
+	name  string
+	Src   *Node
+	Dst   *Node
+	cap   float64 // bytes/sec
+	delay sim.Time
+
+	Monitor *metrics.RateMonitor // optional; records delivered bytes
+
+	// allocation scratch, valid during recompute
+	residual float64
+	nActive  int
+
+	busyIdx int                // index in Network.busyLinks, -1 when idle
+	flows   map[*Conn]struct{} // active conns crossing this link
+}
+
+// Name returns the link's name.
+func (l *Link) Name() string { return l.name }
+
+// Capacity returns the link bandwidth.
+func (l *Link) Capacity() units.BitsPerSec { return units.BitsPerSec(l.cap * 8) }
+
+// Delay returns the one-way propagation delay.
+func (l *Link) Delay() sim.Time { return l.delay }
+
+// ActiveConns returns the number of active connections crossing the link.
+func (l *Link) ActiveConns() int { return len(l.flows) }
+
+// NewLink adds a directed link.
+func (nw *Network) NewLink(name string, src, dst *Node, rate units.BitsPerSec, delay sim.Time) *Link {
+	if rate <= 0 {
+		panic(fmt.Sprintf("netsim: link %q rate %v", name, rate))
+	}
+	if delay < 0 {
+		panic(fmt.Sprintf("netsim: link %q negative delay", name))
+	}
+	eff := nw.LinkEfficiency
+	if eff <= 0 || eff > 1 {
+		eff = 1
+	}
+	l := &Link{
+		net: nw, id: len(nw.links), name: name,
+		Src: src, Dst: dst,
+		cap:     float64(rate) / 8 * eff,
+		delay:   delay,
+		busyIdx: -1,
+		flows:   make(map[*Conn]struct{}),
+	}
+	nw.links = append(nw.links, l)
+	src.out = append(src.out, l)
+	nw.routesDirty = true
+	return l
+}
+
+// DuplexLink adds a pair of directed links (name+"/fwd", name+"/rev") and
+// returns them.
+func (nw *Network) DuplexLink(name string, a, b *Node, rate units.BitsPerSec, delay sim.Time) (fwd, rev *Link) {
+	fwd = nw.NewLink(name+"/fwd", a, b, rate, delay)
+	rev = nw.NewLink(name+"/rev", b, a, rate, delay)
+	return fwd, rev
+}
+
+// MonitorLink attaches a rate monitor with the given binning interval to a
+// link and returns it.
+func (nw *Network) MonitorLink(l *Link, interval sim.Time) *metrics.RateMonitor {
+	l.Monitor = metrics.NewRateMonitor(nw.Sim, l.name, interval)
+	return l.Monitor
+}
+
+// Nodes returns all nodes.
+func (nw *Network) Nodes() []*Node { return nw.nodes }
+
+// Links returns all links.
+func (nw *Network) Links() []*Link { return nw.links }
+
+// recomputeRoutes rebuilds hop-count distance tables (BFS per destination).
+func (nw *Network) recomputeRoutes() {
+	nw.dist = make(map[*Node]map[*Node]int, len(nw.nodes))
+	// Reverse adjacency: for BFS from destination we need links into a node.
+	in := make(map[*Node][]*Link)
+	for _, l := range nw.links {
+		in[l.Dst] = append(in[l.Dst], l)
+	}
+	for _, dst := range nw.nodes {
+		d := make(map[*Node]int, len(nw.nodes))
+		d[dst] = 0
+		queue := []*Node{dst}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, l := range in[n] {
+				if _, ok := d[l.Src]; !ok {
+					d[l.Src] = d[n] + 1
+					queue = append(queue, l.Src)
+				}
+			}
+		}
+		nw.dist[dst] = d
+	}
+	nw.routesDirty = false
+}
+
+// pathFor computes the path from src to dst for conn id, spreading conns
+// across equal-cost parallel links deterministically (ECMP by conn id).
+func (nw *Network) pathFor(src, dst *Node, connID int) ([]*Link, error) {
+	if src == dst {
+		return nil, nil
+	}
+	if nw.routesDirty {
+		nw.recomputeRoutes()
+	}
+	d := nw.dist[dst]
+	if _, ok := d[src]; !ok {
+		return nil, fmt.Errorf("netsim: no route %s -> %s", src, dst)
+	}
+	var path []*Link
+	cur := src
+	hop := 0
+	for cur != dst {
+		var candidates []*Link
+		for _, l := range cur.out {
+			if dn, ok := d[l.Dst]; ok && dn == d[cur]-1 {
+				candidates = append(candidates, l)
+			}
+		}
+		if len(candidates) == 0 {
+			return nil, fmt.Errorf("netsim: routing hole at %s toward %s", cur, dst)
+		}
+		// Deterministic ECMP: mix conn id, hop index and node id.
+		h := uint(connID)*2654435761 + uint(hop)*40503 + uint(cur.id)*97
+		l := candidates[h%uint(len(candidates))]
+		path = append(path, l)
+		cur = l.Dst
+		hop++
+		if hop > len(nw.nodes)+1 {
+			return nil, fmt.Errorf("netsim: path loop %s -> %s", src, dst)
+		}
+	}
+	return path, nil
+}
+
+// PathDelay returns the one-way propagation delay between two nodes along
+// the route a fresh conn would take.
+func (nw *Network) PathDelay(src, dst *Node) sim.Time {
+	path, err := nw.pathFor(src, dst, 0)
+	if err != nil {
+		panic(err)
+	}
+	var d sim.Time
+	for _, l := range path {
+		d += l.delay
+	}
+	return d
+}

@@ -1,0 +1,128 @@
+package netsim
+
+import (
+	"fmt"
+
+	"gfs/internal/sim"
+	"gfs/internal/units"
+)
+
+// Request is an in-flight RPC as seen by a service handler.
+type Request struct {
+	From    *Endpoint
+	Service string
+	Size    units.Bytes // wire size of the request
+	Payload any
+}
+
+// Response is what a handler returns.
+type Response struct {
+	Size    units.Bytes // wire size of the response
+	Payload any
+	Err     error
+}
+
+// Handler serves one request. It runs in its own simulated process and may
+// block (on disk resources, nested RPCs, etc.).
+type Handler func(p *sim.Proc, req *Request) Response
+
+// Endpoint gives a node an RPC personality: named services, plus Call for
+// outbound requests. Each (endpoint, peer) pair shares a pool of conns,
+// modeling the fixed number of TCP connections a real NSD client keeps per
+// server.
+type Endpoint struct {
+	net      *Network
+	node     *Node
+	services map[string]Handler
+
+	connsPerPeer int
+	out          map[*Endpoint][]*Conn // request conns, this -> peer
+	rr           map[*Endpoint]int     // round-robin index
+}
+
+// HeaderBytes is the fixed protocol overhead added to every request and
+// response.
+const HeaderBytes = 64
+
+// NewEndpoint wraps a node for RPC. connsPerPeer is the number of parallel
+// conns to each peer (>=1); more conns raise the aggregate window over long
+// fat networks, as parallel TCP streams do.
+func (nw *Network) NewEndpoint(node *Node, connsPerPeer int) *Endpoint {
+	if connsPerPeer < 1 {
+		connsPerPeer = 1
+	}
+	return &Endpoint{
+		net:          nw,
+		node:         node,
+		services:     make(map[string]Handler),
+		connsPerPeer: connsPerPeer,
+		out:          make(map[*Endpoint][]*Conn),
+		rr:           make(map[*Endpoint]int),
+	}
+}
+
+// Node returns the underlying network node.
+func (e *Endpoint) Node() *Node { return e.node }
+
+// Handle registers a service handler by name.
+func (e *Endpoint) Handle(service string, h Handler) {
+	if _, dup := e.services[service]; dup {
+		panic(fmt.Sprintf("netsim: duplicate service %q on %s", service, e.node))
+	}
+	e.services[service] = h
+}
+
+func (e *Endpoint) connTo(peer *Endpoint) *Conn {
+	pool := e.out[peer]
+	if pool == nil {
+		pool = make([]*Conn, e.connsPerPeer)
+		for i := range pool {
+			pool[i] = e.net.Dial(e.node, peer.node)
+		}
+		e.out[peer] = pool
+	}
+	i := e.rr[peer]
+	e.rr[peer] = (i + 1) % len(pool)
+	return pool[i]
+}
+
+// Call performs a blocking RPC from process p: the request's bytes cross
+// the network, the handler runs on the peer (possibly blocking), and the
+// response's bytes cross back. It returns the handler's response.
+func (e *Endpoint) Call(p *sim.Proc, peer *Endpoint, service string, reqSize units.Bytes, payload any) Response {
+	var resp Response
+	done := false
+	wake := p.Suspend()
+	e.Go(peer, service, reqSize, payload, func(r Response) {
+		resp = r
+		done = true
+		wake()
+	})
+	if !done {
+		p.Block()
+	}
+	return resp
+}
+
+// Go performs a non-blocking RPC; onDone fires in event context when the
+// response arrives. Useful for keeping many requests in flight (the
+// read-ahead pipeline at the heart of WAN-GFS performance).
+func (e *Endpoint) Go(peer *Endpoint, service string, reqSize units.Bytes, payload any, onDone func(Response)) {
+	h, ok := peer.services[service]
+	if !ok {
+		panic(fmt.Sprintf("netsim: no service %q on %s", service, peer.node))
+	}
+	reqConn := e.connTo(peer)
+	respConn := peer.connTo(e)
+	req := &Request{From: e, Service: service, Size: reqSize, Payload: payload}
+	reqConn.Send(reqSize+HeaderBytes, func() {
+		peer.net.Sim.Go("rpc:"+service, func(sp *sim.Proc) {
+			resp := h(sp, req)
+			respConn.Send(resp.Size+HeaderBytes, func() {
+				if onDone != nil {
+					onDone(resp)
+				}
+			})
+		})
+	})
+}

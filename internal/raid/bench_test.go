@@ -1,0 +1,34 @@
+package raid
+
+import (
+	"testing"
+
+	"gfs/internal/units"
+)
+
+func BenchmarkXORParity(b *testing.B) {
+	blocks := make([][]byte, 8)
+	for i := range blocks {
+		blocks[i] = make([]byte, 256*units.KiB)
+		for j := range blocks[i] {
+			blocks[i][j] = byte(i * j)
+		}
+	}
+	b.SetBytes(8 * 256 * 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = XORParity(blocks)
+	}
+}
+
+func BenchmarkUpdateParity(b *testing.B) {
+	n := int(256 * units.KiB)
+	oldP := make([]byte, n)
+	oldD := make([]byte, n)
+	newD := make([]byte, n)
+	b.SetBytes(int64(n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = UpdateParity(oldP, oldD, newD)
+	}
+}

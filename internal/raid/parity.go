@@ -1,0 +1,49 @@
+// Package raid models RAID5 sets (the paper's 8+P sets of SATA drives
+// inside each DS4100) with real XOR parity math, full-stripe versus
+// read-modify-write timing, degraded reads and rebuild.
+package raid
+
+import "fmt"
+
+// XORParity returns the byte-wise XOR of equal-length blocks — the RAID5
+// parity segment.
+func XORParity(blocks [][]byte) []byte {
+	if len(blocks) == 0 {
+		return nil
+	}
+	n := len(blocks[0])
+	p := make([]byte, n)
+	for _, b := range blocks {
+		if len(b) != n {
+			panic(fmt.Sprintf("raid: parity over unequal blocks: %d vs %d", len(b), n))
+		}
+		for i, v := range b {
+			p[i] ^= v
+		}
+	}
+	return p
+}
+
+// Reconstruct rebuilds the missing data block from the survivors and the
+// parity block.
+func Reconstruct(survivors [][]byte, parity []byte) []byte {
+	all := make([][]byte, 0, len(survivors)+1)
+	all = append(all, survivors...)
+	all = append(all, parity)
+	return XORParity(all)
+}
+
+// UpdateParity computes the new parity after overwriting one data segment:
+// newParity = oldParity XOR oldData XOR newData. This identity is why a
+// partial-stripe RAID5 write costs two reads and two writes — the
+// read-modify-write penalty behind the paper's Fig. 11 read/write gap.
+func UpdateParity(oldParity, oldData, newData []byte) []byte {
+	if len(oldParity) != len(oldData) || len(oldData) != len(newData) {
+		panic("raid: UpdateParity length mismatch")
+	}
+	p := make([]byte, len(oldParity))
+	for i := range p {
+		p[i] = oldParity[i] ^ oldData[i] ^ newData[i]
+	}
+	return p
+}

@@ -1,0 +1,297 @@
+package raid
+
+import (
+	"fmt"
+
+	"gfs/internal/disk"
+	"gfs/internal/sim"
+	"gfs/internal/units"
+)
+
+// Set is one RAID5 group: n member drives, n-1 of data per stripe plus
+// rotating parity (left-symmetric layout). The paper's DS4100s use 8+P
+// sets (9 members) of 250 GB SATA drives.
+type Set struct {
+	sim        *sim.Sim
+	name       string
+	disks      []*disk.Disk
+	stripeUnit units.Bytes // segment size per member disk
+
+	failed int // index of failed member, -1 if healthy
+
+	reads     uint64
+	writes    uint64
+	rmwWrites uint64 // partial-stripe (read-modify-write) writes
+}
+
+// NewSet builds a RAID5 set over the given member drives (>= 3) with the
+// given per-disk stripe unit.
+func NewSet(s *sim.Sim, name string, members []*disk.Disk, stripeUnit units.Bytes) *Set {
+	if len(members) < 3 {
+		panic(fmt.Sprintf("raid %q: RAID5 needs >= 3 members, got %d", name, len(members)))
+	}
+	if stripeUnit <= 0 {
+		panic(fmt.Sprintf("raid %q: stripe unit %d", name, stripeUnit))
+	}
+	return &Set{sim: s, name: name, disks: members, stripeUnit: stripeUnit, failed: -1}
+}
+
+// Name returns the set name.
+func (r *Set) Name() string { return r.name }
+
+// Members returns the number of member drives.
+func (r *Set) Members() int { return len(r.disks) }
+
+// DataDisks returns members minus parity.
+func (r *Set) DataDisks() int { return len(r.disks) - 1 }
+
+// StripeWidth returns the logical bytes per full stripe.
+func (r *Set) StripeWidth() units.Bytes { return r.stripeUnit * units.Bytes(r.DataDisks()) }
+
+// Capacity returns usable (data) capacity.
+func (r *Set) Capacity() units.Bytes {
+	per := r.disks[0].Params().Capacity
+	return per * units.Bytes(r.DataDisks())
+}
+
+// Reads returns the number of Read calls served.
+func (r *Set) Reads() uint64 { return r.reads }
+
+// Writes returns the number of Write calls served.
+func (r *Set) Writes() uint64 { return r.writes }
+
+// RMWWrites returns how many Write calls touched a partial stripe.
+func (r *Set) RMWWrites() uint64 { return r.rmwWrites }
+
+// Degraded reports whether a member has failed.
+func (r *Set) Degraded() bool { return r.failed >= 0 }
+
+// FailDisk marks member i failed; reads reconstruct from survivors.
+func (r *Set) FailDisk(i int) {
+	if i < 0 || i >= len(r.disks) {
+		panic(fmt.Sprintf("raid %q: no member %d", r.name, i))
+	}
+	r.failed = i
+}
+
+// RepairDisk clears the failure (after an out-of-band rebuild).
+func (r *Set) RepairDisk() { r.failed = -1 }
+
+// parityDisk returns the member holding parity for the given stripe
+// (left-symmetric rotation).
+func (r *Set) parityDisk(stripe int64) int {
+	n := int64(len(r.disks))
+	return int((n - 1 - stripe%n) % n)
+}
+
+// dataDisk returns the member holding data segment k (0..DataDisks-1) of
+// the given stripe, skipping the parity member.
+func (r *Set) dataDisk(stripe int64, k int) int {
+	p := r.parityDisk(stripe)
+	if k < p {
+		return k
+	}
+	return k + 1
+}
+
+// diskOffset returns the on-disk byte offset of the given stripe's segment.
+func (r *Set) diskOffset(stripe int64) units.Bytes {
+	return units.Bytes(stripe) * r.stripeUnit
+}
+
+// diskWork is a per-member list of operations for one logical request.
+type diskWork struct {
+	op     disk.Op
+	offset units.Bytes
+	size   units.Bytes
+}
+
+// coalesce merges adjacent same-op, contiguous entries in a work list —
+// the request merging every real RAID controller performs, without which
+// a striped read degenerates into per-segment seeks.
+func coalesce(ops []diskWork) []diskWork {
+	out := ops[:0]
+	for _, w := range ops {
+		if n := len(out); n > 0 {
+			last := &out[n-1]
+			if last.op == w.op && last.offset+last.size == w.offset {
+				last.size += w.size
+				continue
+			}
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// run executes the per-member work lists in parallel and blocks p until
+// all complete (a logical RAID op finishes when its slowest member does).
+func (r *Set) run(p *sim.Proc, work map[int][]diskWork) {
+	wg := sim.NewWaitGroup(r.sim)
+	for i, ops := range work {
+		ops = coalesce(ops)
+		if len(ops) == 0 {
+			continue
+		}
+		wg.Add(1)
+		d := r.disks[i]
+		ops := ops
+		r.sim.Go(r.name+"/member", func(mp *sim.Proc) {
+			defer wg.Done()
+			for _, w := range ops {
+				d.Access(mp, w.op, w.offset, w.size)
+			}
+		})
+	}
+	wg.Wait(p)
+}
+
+// segments invokes fn for every (stripe, segment k, byte range within the
+// segment) overlapping [off, off+size).
+func (r *Set) segments(off, size units.Bytes, fn func(stripe int64, k int, segOff, segLen units.Bytes)) {
+	if size <= 0 {
+		panic(fmt.Sprintf("raid %q: request size %d", r.name, size))
+	}
+	if off < 0 || off+size > r.Capacity() {
+		panic(fmt.Sprintf("raid %q: request [%d,%d) beyond capacity %d", r.name, off, off+size, r.Capacity()))
+	}
+	d := units.Bytes(r.DataDisks())
+	sw := r.stripeUnit * d
+	for cur := off; cur < off+size; {
+		stripe := int64(cur / sw)
+		inStripe := cur % sw
+		k := int(inStripe / r.stripeUnit)
+		segOff := inStripe % r.stripeUnit
+		segLen := r.stripeUnit - segOff
+		if rem := off + size - cur; segLen > rem {
+			segLen = rem
+		}
+		fn(stripe, k, segOff, segLen)
+		cur += segLen
+	}
+}
+
+// Read services a logical read, blocking p for the slowest member.
+// Degraded sets reconstruct segments on the failed member by reading the
+// whole stripe from survivors.
+func (r *Set) Read(p *sim.Proc, off, size units.Bytes) {
+	r.reads++
+	work := map[int][]diskWork{}
+	r.segments(off, size, func(stripe int64, k int, segOff, segLen units.Bytes) {
+		di := r.dataDisk(stripe, k)
+		base := r.diskOffset(stripe)
+		if di == r.failed {
+			// Reconstruct: read the same range from every survivor.
+			for m := range r.disks {
+				if m == r.failed {
+					continue
+				}
+				work[m] = append(work[m], diskWork{disk.Read, base + segOff, segLen})
+			}
+			return
+		}
+		work[di] = append(work[di], diskWork{disk.Read, base + segOff, segLen})
+	})
+	r.run(p, work)
+}
+
+// Write services a logical write. Full stripes write data plus parity in
+// one pass; partial stripes pay read-modify-write: read old data and old
+// parity, then write new data and new parity.
+func (r *Set) Write(p *sim.Proc, off, size units.Bytes) {
+	r.writes++
+	work := map[int][]diskWork{}
+	sw := r.StripeWidth()
+	rmw := false
+	// Track which stripes are written in full.
+	type stripeAcc struct {
+		touched units.Bytes
+		ops     []struct {
+			k              int
+			segOff, segLen units.Bytes
+			stripe         int64
+		}
+	}
+	stripes := map[int64]*stripeAcc{}
+	order := []int64{}
+	r.segments(off, size, func(stripe int64, k int, segOff, segLen units.Bytes) {
+		sa := stripes[stripe]
+		if sa == nil {
+			sa = &stripeAcc{}
+			stripes[stripe] = sa
+			order = append(order, stripe)
+		}
+		sa.touched += segLen
+		sa.ops = append(sa.ops, struct {
+			k              int
+			segOff, segLen units.Bytes
+			stripe         int64
+		}{k, segOff, segLen, stripe})
+	})
+	for _, stripe := range order {
+		sa := stripes[stripe]
+		base := r.diskOffset(stripe)
+		pd := r.parityDisk(stripe)
+		if sa.touched == sw {
+			// Full stripe: write every data segment and the parity segment.
+			for _, op := range sa.ops {
+				di := r.dataDisk(stripe, op.k)
+				if di != r.failed {
+					work[di] = append(work[di], diskWork{disk.Write, base + op.segOff, op.segLen})
+				}
+			}
+			if pd != r.failed {
+				work[pd] = append(work[pd], diskWork{disk.Write, base, r.stripeUnit})
+			}
+			continue
+		}
+		// Partial stripe: read-modify-write on touched data segments + parity.
+		rmw = true
+		for _, op := range sa.ops {
+			di := r.dataDisk(stripe, op.k)
+			if di != r.failed {
+				work[di] = append(work[di],
+					diskWork{disk.Read, base + op.segOff, op.segLen},
+					diskWork{disk.Write, base + op.segOff, op.segLen})
+			}
+		}
+		if pd != r.failed {
+			work[pd] = append(work[pd],
+				diskWork{disk.Read, base, r.stripeUnit},
+				diskWork{disk.Write, base, r.stripeUnit})
+		}
+	}
+	if rmw {
+		r.rmwWrites++
+	}
+	r.run(p, work)
+}
+
+// Rebuild reconstructs the failed member onto a spare, reading every
+// stripe from the survivors and writing the spare, then repairs the set.
+// It blocks p for the whole rebuild — hours for a 2005 SATA drive, which
+// is why the paper's arrays carry hot spares.
+func (r *Set) Rebuild(p *sim.Proc, spare *disk.Disk) {
+	if r.failed < 0 {
+		panic(fmt.Sprintf("raid %q: rebuild with no failed member", r.name))
+	}
+	per := r.disks[0].Params().Capacity
+	const chunk = 8 * units.MiB
+	for off := units.Bytes(0); off < per; off += chunk {
+		n := chunk
+		if off+n > per {
+			n = per - off
+		}
+		work := map[int][]diskWork{}
+		for m := range r.disks {
+			if m == r.failed {
+				continue
+			}
+			work[m] = append(work[m], diskWork{disk.Read, off, n})
+		}
+		r.run(p, work)
+		spare.Access(p, disk.Write, off, n)
+	}
+	r.disks[r.failed] = spare
+	r.failed = -1
+}

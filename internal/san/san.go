@@ -1,0 +1,232 @@
+// Package san builds Fibre Channel storage fabrics on top of the netsim
+// flow simulator: switches, host bus adapters, inter-switch links, and the
+// dual-controller DS4100 SATA arrays of the paper's production Global File
+// System (32 arrays x 67 drives, seven 8+P RAID5 sets each, two 2 Gb/s
+// controllers per array).
+package san
+
+import (
+	"fmt"
+
+	"gfs/internal/disk"
+	"gfs/internal/netsim"
+	"gfs/internal/raid"
+	"gfs/internal/sim"
+	"gfs/internal/units"
+)
+
+// Fibre Channel generations (nominal signalling rates).
+const (
+	FC1 = 1 * units.Gbps
+	FC2 = 2 * units.Gbps
+	FC4 = 4 * units.Gbps
+)
+
+// fcDelay is the propagation delay of an in-machine-room FC hop.
+const fcDelay = 10 * sim.Microsecond
+
+// Fabric is a Fibre Channel SAN built from netsim nodes and links.
+type Fabric struct {
+	Sim *sim.Sim
+	Net *netsim.Network
+
+	switches map[string]*netsim.Node
+}
+
+// NewFabric wraps a network as a SAN fabric.
+func NewFabric(s *sim.Sim, nw *netsim.Network) *Fabric {
+	return &Fabric{Sim: s, Net: nw, switches: make(map[string]*netsim.Node)}
+}
+
+// Switch creates (or returns) a named FC switch.
+func (f *Fabric) Switch(name string) *netsim.Node {
+	if sw, ok := f.switches[name]; ok {
+		return sw
+	}
+	sw := f.Net.NewNode("fcsw:" + name)
+	f.switches[name] = sw
+	return sw
+}
+
+// ISL joins two switches with count parallel inter-switch links at the
+// given rate; conns spread across them by ECMP.
+func (f *Fabric) ISL(a, b *netsim.Node, rate units.BitsPerSec, count int) {
+	for i := 0; i < count; i++ {
+		f.Net.DuplexLink(fmt.Sprintf("isl:%s-%s/%d", a.Name(), b.Name(), i), a, b, rate, fcDelay)
+	}
+}
+
+// AttachHBA links a host into the fabric with nHBA parallel HBAs at the
+// given rate (the SC'04 servers carried three 2 Gb/s HBAs each).
+func (f *Fabric) AttachHBA(host *netsim.Node, sw *netsim.Node, rate units.BitsPerSec, nHBA int) {
+	for i := 0; i < nHBA; i++ {
+		f.Net.DuplexLink(fmt.Sprintf("hba:%s/%d", host.Name(), i), host, sw, rate, fcDelay)
+	}
+}
+
+// IORequest is the payload of a block I/O RPC to an array controller.
+type IORequest struct {
+	LUN  int
+	Op   disk.Op
+	Off  units.Bytes
+	Size units.Bytes
+}
+
+// ioService is the RPC service name controllers expose.
+const ioService = "san.io"
+
+// Array is a dual-controller RAID enclosure. Each controller is a fabric
+// node exposing the san.io service; LUN i prefers controller i%2, matching
+// the DS4100's split of its internal FC loops.
+type Array struct {
+	sim  *sim.Sim
+	name string
+
+	Sets   []*raid.Set
+	Spares []*disk.Disk
+
+	ctl [2]*netsim.Endpoint
+}
+
+// ArrayConfig sizes an enclosure.
+type ArrayConfig struct {
+	Sets        int              // RAID sets (LUNs)
+	MembersPer  int              // drives per set (9 = 8+P)
+	Spares      int              // hot spares
+	StripeUnit  units.Bytes      // per-disk segment
+	Drive       disk.Params      // member drive model
+	CtrlRate    units.BitsPerSec // per-controller FC rate
+	CtrlStreams int              // parallel conns per controller endpoint
+}
+
+// DS4100Config returns the paper's FastT100 DS4100 configuration: 67
+// SATA drives as seven 8+P sets plus four hot spares, dual 2 Gb/s
+// controllers.
+func DS4100Config() ArrayConfig {
+	return ArrayConfig{
+		Sets:        7,
+		MembersPer:  9,
+		Spares:      4,
+		StripeUnit:  256 * units.KiB,
+		Drive:       disk.SATA250(),
+		CtrlRate:    FC2,
+		CtrlStreams: 4,
+	}
+}
+
+// NewArray builds an enclosure and cables both controllers to sw.
+func (f *Fabric) NewArray(name string, sw *netsim.Node, cfg ArrayConfig) *Array {
+	if cfg.Sets <= 0 || cfg.MembersPer < 3 {
+		panic(fmt.Sprintf("san: array %q config %+v", name, cfg))
+	}
+	a := &Array{sim: f.Sim, name: name}
+	for i := 0; i < cfg.Sets; i++ {
+		members := make([]*disk.Disk, cfg.MembersPer)
+		for j := range members {
+			members[j] = disk.New(f.Sim, fmt.Sprintf("%s/set%d/d%d", name, i, j), cfg.Drive)
+		}
+		a.Sets = append(a.Sets, raid.NewSet(f.Sim, fmt.Sprintf("%s/set%d", name, i), members, cfg.StripeUnit))
+	}
+	for i := 0; i < cfg.Spares; i++ {
+		a.Spares = append(a.Spares, disk.New(f.Sim, fmt.Sprintf("%s/spare%d", name, i), cfg.Drive))
+	}
+	streams := cfg.CtrlStreams
+	if streams < 1 {
+		streams = 1
+	}
+	for c := 0; c < 2; c++ {
+		node := f.Net.NewNode(fmt.Sprintf("%s/ctl%c", name, 'A'+c))
+		f.Net.DuplexLink(fmt.Sprintf("fc:%s/ctl%c", name, 'A'+c), node, sw, cfg.CtrlRate, fcDelay)
+		ep := f.Net.NewEndpoint(node, streams)
+		a.ctl[c] = ep
+	}
+	a.ctl[0].Handle(ioService, a.serve)
+	a.ctl[1].Handle(ioService, a.serve)
+	return a
+}
+
+// Name returns the enclosure name.
+func (a *Array) Name() string { return a.name }
+
+// Controller returns the endpoint of controller c (0 or 1).
+func (a *Array) Controller(c int) *netsim.Endpoint { return a.ctl[c&1] }
+
+// LUNController returns the preferred controller endpoint for a LUN.
+func (a *Array) LUNController(lun int) *netsim.Endpoint { return a.ctl[lun&1] }
+
+// Capacity returns total usable capacity across sets.
+func (a *Array) Capacity() units.Bytes {
+	var c units.Bytes
+	for _, s := range a.Sets {
+		c += s.Capacity()
+	}
+	return c
+}
+
+// RawCapacity returns raw drive capacity including parity and spares.
+func (a *Array) RawCapacity() units.Bytes {
+	var c units.Bytes
+	for _, s := range a.Sets {
+		c += units.Bytes(s.Members()) * 250 * units.GB
+	}
+	for range a.Spares {
+		c += 250 * units.GB
+	}
+	return c
+}
+
+func (a *Array) serve(p *sim.Proc, req *netsim.Request) netsim.Response {
+	io, ok := req.Payload.(IORequest)
+	if !ok {
+		return netsim.Response{Err: fmt.Errorf("san: bad payload %T", req.Payload)}
+	}
+	if io.LUN < 0 || io.LUN >= len(a.Sets) {
+		return netsim.Response{Err: fmt.Errorf("san: %s has no LUN %d", a.name, io.LUN)}
+	}
+	set := a.Sets[io.LUN]
+	if io.Op == disk.Read {
+		set.Read(p, io.Off, io.Size)
+		return netsim.Response{Size: io.Size}
+	}
+	set.Write(p, io.Off, io.Size)
+	return netsim.Response{Size: 64}
+}
+
+// ReadLUN issues a blocking read of [off, off+size) on the LUN from the
+// initiator endpoint; the data bytes cross the fabric in the response.
+func (a *Array) ReadLUN(initiator *netsim.Endpoint, p *sim.Proc, lun int, off, size units.Bytes) error {
+	resp := initiator.Call(p, a.LUNController(lun), ioService, 64,
+		IORequest{LUN: lun, Op: disk.Read, Off: off, Size: size})
+	return resp.Err
+}
+
+// WriteLUN issues a blocking write; the data bytes cross the fabric in the
+// request.
+func (a *Array) WriteLUN(initiator *netsim.Endpoint, p *sim.Proc, lun int, off, size units.Bytes) error {
+	resp := initiator.Call(p, a.LUNController(lun), ioService, size,
+		IORequest{LUN: lun, Op: disk.Write, Off: off, Size: size})
+	return resp.Err
+}
+
+// GoWriteLUN issues a pipelined (non-blocking) write; the data crosses the
+// fabric in the request.
+func (a *Array) GoWriteLUN(initiator *netsim.Endpoint, lun int, off, size units.Bytes, onDone func(error)) {
+	initiator.Go(a.LUNController(lun), ioService, size,
+		IORequest{LUN: lun, Op: disk.Write, Off: off, Size: size},
+		func(r netsim.Response) {
+			if onDone != nil {
+				onDone(r.Err)
+			}
+		})
+}
+
+// GoReadLUN issues a pipelined (non-blocking) read.
+func (a *Array) GoReadLUN(initiator *netsim.Endpoint, lun int, off, size units.Bytes, onDone func(error)) {
+	initiator.Go(a.LUNController(lun), ioService, 64,
+		IORequest{LUN: lun, Op: disk.Read, Off: off, Size: size},
+		func(r netsim.Response) {
+			if onDone != nil {
+				onDone(r.Err)
+			}
+		})
+}

@@ -1,0 +1,144 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process: a goroutine whose execution interleaves with
+// the event loop one-at-a-time, SimPy style. Inside the process function,
+// blocking calls (Sleep, Resource.Acquire, Queue.Get, Signal.Wait) suspend
+// the process and hand control back to the simulator; the simulator resumes
+// it when the corresponding event fires. At most one goroutine — either the
+// event loop or exactly one process — runs at any moment, so process code
+// needs no locking and runs deterministically.
+type Proc struct {
+	sim    *Sim
+	name   string
+	resume chan struct{} // simulator -> process
+	park   chan struct{} // process -> simulator
+	done   bool
+	killed bool
+}
+
+// Go spawns a process running fn. The process starts at the current virtual
+// instant (after currently queued same-time events).
+func (s *Sim) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		sim:    s,
+		name:   name,
+		resume: make(chan struct{}),
+		park:   make(chan struct{}),
+	}
+	s.Schedule(0, func() {
+		go func() {
+			<-p.resume
+			func() {
+				defer handleKilled()
+				if !p.killed {
+					fn(p)
+				}
+			}()
+			p.done = true
+			p.park <- struct{}{}
+		}()
+		p.transfer()
+	})
+	return p
+}
+
+// transfer hands control to the process and waits for it to park again.
+// Called only from the event-loop side.
+func (p *Proc) transfer() {
+	p.resume <- struct{}{}
+	<-p.park
+}
+
+// yield parks the process and hands control back to the simulator.
+// Called only from the process side.
+func (p *Proc) yield() {
+	p.park <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(procKilled{})
+	}
+}
+
+type procKilled struct{}
+
+// Kill terminates the process the next time it would resume. Blocking calls
+// never return in a killed process; the goroutine unwinds via panic/recover
+// internally. Must be called from the event loop or another process, not
+// from the process itself.
+func (p *Proc) Kill() {
+	if p.done || p.killed {
+		return
+	}
+	p.killed = true
+	// The process is parked somewhere waiting for a resume. Resume it once
+	// so it can observe killed and unwind. It may be waiting inside a
+	// resource queue; those resumes are harmless on a done process because
+	// wake() checks the flags.
+	p.sim.Schedule(0, func() { p.wake() })
+}
+
+// wake resumes a parked process from the event loop. Safe on finished or
+// killed processes.
+func (p *Proc) wake() {
+	if p.done {
+		return
+	}
+	p.transfer()
+}
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the simulator this process belongs to.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.sim.Now() }
+
+// Done reports whether the process function has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Sleep suspends the process for duration d of virtual time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %v", d))
+	}
+	p.sim.Schedule(d, func() { p.wake() })
+	p.yield()
+}
+
+// WaitUntil suspends the process until absolute virtual time t (no-op if t
+// is in the past).
+func (p *Proc) WaitUntil(t Time) {
+	if t <= p.sim.Now() {
+		return
+	}
+	p.Sleep(t - p.sim.Now())
+}
+
+// Suspend parks the process until another party calls wake via the returned
+// function. The returned func is safe to call exactly once from event
+// context.
+func (p *Proc) Suspend() (wake func()) {
+	return func() { p.wake() }
+}
+
+// Block parks the process immediately; used together with Suspend by
+// resource implementations:
+//
+//	wake := p.Suspend()
+//	registerWaiter(wake)
+//	p.Block()
+func (p *Proc) Block() { p.yield() }
+
+// handleKilled converts the internal kill panic into a clean goroutine
+// exit. Go's wrapper uses it.
+func handleKilled() {
+	if r := recover(); r != nil {
+		if _, ok := r.(procKilled); !ok {
+			panic(r)
+		}
+	}
+}

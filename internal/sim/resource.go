@@ -1,0 +1,262 @@
+package sim
+
+import "fmt"
+
+// Resource is a counted semaphore with a FIFO wait queue — the standard
+// building block for modeling servers, disk queues and bounded channels.
+type Resource struct {
+	sim      *Sim
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*resWaiter
+
+	// Stats
+	totalAcquired uint64
+	peakInUse     int
+}
+
+type resWaiter struct {
+	n    int
+	wake func()
+}
+
+// NewResource returns a resource with the given capacity (> 0).
+func NewResource(s *Sim, name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: resource %q capacity %d", name, capacity))
+	}
+	return &Resource{sim: s, name: name, capacity: capacity}
+}
+
+// Capacity returns the total capacity.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the currently acquired units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Queued returns the number of waiting processes.
+func (r *Resource) Queued() int { return len(r.waiters) }
+
+// PeakInUse returns the high-water mark of acquired units.
+func (r *Resource) PeakInUse() int { return r.peakInUse }
+
+// TotalAcquired returns the cumulative number of successful acquisitions.
+func (r *Resource) TotalAcquired() uint64 { return r.totalAcquired }
+
+// TryAcquire acquires n units if available, without blocking. It reports
+// whether the acquisition happened.
+func (r *Resource) TryAcquire(n int) bool {
+	if n <= 0 || n > r.capacity {
+		panic(fmt.Sprintf("sim: resource %q acquire %d of %d", r.name, n, r.capacity))
+	}
+	if len(r.waiters) > 0 || r.inUse+n > r.capacity {
+		return false
+	}
+	r.grant(n)
+	return true
+}
+
+func (r *Resource) grant(n int) {
+	r.inUse += n
+	r.totalAcquired++
+	if r.inUse > r.peakInUse {
+		r.peakInUse = r.inUse
+	}
+}
+
+// Acquire blocks process p until n units are available, FIFO order.
+func (r *Resource) Acquire(p *Proc, n int) {
+	if r.TryAcquire(n) {
+		return
+	}
+	w := &resWaiter{n: n, wake: p.Suspend()}
+	r.waiters = append(r.waiters, w)
+	p.Block()
+}
+
+// Release returns n units and wakes any waiters that now fit.
+func (r *Resource) Release(n int) {
+	if n <= 0 || n > r.inUse {
+		panic(fmt.Sprintf("sim: resource %q release %d with %d in use", r.name, n, r.inUse))
+	}
+	r.inUse -= n
+	for len(r.waiters) > 0 {
+		w := r.waiters[0]
+		if r.inUse+w.n > r.capacity {
+			break
+		}
+		r.waiters = r.waiters[1:]
+		r.grant(w.n)
+		w.wake()
+	}
+}
+
+// Use runs fn while holding n units, handling release on all paths.
+func (r *Resource) Use(p *Proc, n int, fn func()) {
+	r.Acquire(p, n)
+	defer r.Release(n)
+	fn()
+}
+
+// Queue is an unbounded (or bounded) FIFO of items with blocking Get and,
+// when bounded, blocking Put.
+type Queue[T any] struct {
+	sim     *Sim
+	name    string
+	max     int // 0 = unbounded
+	items   []T
+	getters []func()
+	putters []func()
+
+	totalPut uint64
+	peakLen  int
+}
+
+// NewQueue returns a queue. max 0 means unbounded.
+func NewQueue[T any](s *Sim, name string, max int) *Queue[T] {
+	return &Queue[T]{sim: s, name: name, max: max}
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// PeakLen returns the maximum queue length observed.
+func (q *Queue[T]) PeakLen() int { return q.peakLen }
+
+// TotalPut returns the cumulative number of items enqueued.
+func (q *Queue[T]) TotalPut() uint64 { return q.totalPut }
+
+// TryPut enqueues without blocking; reports success.
+func (q *Queue[T]) TryPut(item T) bool {
+	if q.max > 0 && len(q.items) >= q.max {
+		return false
+	}
+	q.push(item)
+	return true
+}
+
+func (q *Queue[T]) push(item T) {
+	q.items = append(q.items, item)
+	q.totalPut++
+	if len(q.items) > q.peakLen {
+		q.peakLen = len(q.items)
+	}
+	if len(q.getters) > 0 {
+		wake := q.getters[0]
+		q.getters = q.getters[1:]
+		wake()
+	}
+}
+
+// Put enqueues item, blocking p while the queue is full.
+func (q *Queue[T]) Put(p *Proc, item T) {
+	for q.max > 0 && len(q.items) >= q.max {
+		q.putters = append(q.putters, p.Suspend())
+		p.Block()
+	}
+	q.push(item)
+}
+
+// TryGet dequeues without blocking.
+func (q *Queue[T]) TryGet() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	return q.pop(), true
+}
+
+func (q *Queue[T]) pop() T {
+	item := q.items[0]
+	q.items = q.items[1:]
+	if len(q.putters) > 0 {
+		wake := q.putters[0]
+		q.putters = q.putters[1:]
+		wake()
+	}
+	return item
+}
+
+// Get dequeues the oldest item, blocking p while the queue is empty.
+func (q *Queue[T]) Get(p *Proc) T {
+	for len(q.items) == 0 {
+		q.getters = append(q.getters, p.Suspend())
+		p.Block()
+	}
+	return q.pop()
+}
+
+// Signal is a broadcast condition: processes Wait on it and a later Fire
+// wakes all current waiters. Unlike sync.Cond there is no lock to reacquire
+// — the simulation is single-threaded.
+type Signal struct {
+	sim     *Sim
+	waiters []func()
+	fires   uint64
+}
+
+// NewSignal returns an empty signal.
+func NewSignal(s *Sim) *Signal { return &Signal{sim: s} }
+
+// Wait suspends p until the next Fire.
+func (sg *Signal) Wait(p *Proc) {
+	sg.waiters = append(sg.waiters, p.Suspend())
+	p.Block()
+}
+
+// Fire wakes all waiters registered before this call.
+func (sg *Signal) Fire() {
+	ws := sg.waiters
+	sg.waiters = nil
+	sg.fires++
+	for _, w := range ws {
+		w()
+	}
+}
+
+// Waiters returns the number of processes currently waiting.
+func (sg *Signal) Waiters() int { return len(sg.waiters) }
+
+// Fires returns how many times Fire has been called.
+func (sg *Signal) Fires() uint64 { return sg.fires }
+
+// WaitGroup counts outstanding work; Wait blocks until the count reaches
+// zero. It mirrors sync.WaitGroup for simulated processes.
+type WaitGroup struct {
+	sim     *Sim
+	count   int
+	waiters []func()
+}
+
+// NewWaitGroup returns a wait group with count zero.
+func NewWaitGroup(s *Sim) *WaitGroup { return &WaitGroup{sim: s} }
+
+// Add adjusts the counter by delta; going negative panics.
+func (wg *WaitGroup) Add(delta int) {
+	wg.count += delta
+	if wg.count < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if wg.count == 0 {
+		ws := wg.waiters
+		wg.waiters = nil
+		for _, w := range ws {
+			w()
+		}
+	}
+}
+
+// Done decrements the counter by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Count returns the current counter value.
+func (wg *WaitGroup) Count() int { return wg.count }
+
+// Wait suspends p until the counter is zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	for wg.count > 0 {
+		wg.waiters = append(wg.waiters, p.Suspend())
+		p.Block()
+	}
+}

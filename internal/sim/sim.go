@@ -1,0 +1,208 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel keeps a virtual clock and a priority queue of pending events.
+// Events scheduled for the same instant fire in scheduling order, so a
+// simulation run is fully reproducible. On top of the raw event queue the
+// package offers SimPy-style processes (see Proc) and blocking resources
+// (Resource, Queue, Signal) that make sequential protocol code readable.
+//
+// All other packages in this repository — the network, disk, RAID, SAN and
+// file-system models — are built on this kernel.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a virtual-time instant or duration in nanoseconds. A single type
+// serves both roles (like time.Duration) because simulations start at zero.
+type Time int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+	Minute      Time = 60 * Second
+	Hour        Time = 60 * Minute
+)
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis returns the time as a floating-point number of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// FromSeconds converts a floating-point number of seconds to a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second || t <= -Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond || t <= -Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond || t <= -Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Event is a scheduled callback. It may be canceled before it fires.
+type Event struct {
+	when     Time
+	seq      uint64
+	fn       func()
+	sim      *Sim
+	index    int // heap index, -1 once popped or canceled
+	canceled bool
+}
+
+// When returns the virtual time at which the event will fire.
+func (e *Event) When() Time { return e.when }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Cancel prevents the event from firing and removes it from the queue at
+// once — heavily rescheduled timers (flow completion estimates) would
+// otherwise flood the heap with dead entries. Canceling an already-fired
+// or already-canceled event is a no-op.
+func (e *Event) Cancel() {
+	if e.canceled {
+		return
+	}
+	e.canceled = true
+	if e.index >= 0 && e.sim != nil {
+		heap.Remove(&e.sim.pq, e.index)
+	}
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator instance. The zero value is not usable;
+// call New.
+type Sim struct {
+	now     Time
+	seq     uint64
+	pq      eventHeap
+	stopped bool
+
+	// Stats
+	fired uint64
+}
+
+// New returns an empty simulator with the clock at zero.
+func New() *Sim {
+	return &Sim{}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// EventsFired returns the number of events executed so far.
+func (s *Sim) EventsFired() uint64 { return s.fired }
+
+// Pending returns the number of events still queued (including canceled
+// events not yet reaped).
+func (s *Sim) Pending() int { return len(s.pq) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it would silently corrupt causality.
+func (s *Sim) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	s.seq++
+	e := &Event{when: t, seq: s.seq, fn: fn, sim: s}
+	heap.Push(&s.pq, e)
+	return e
+}
+
+// Schedule schedules fn to run after duration d (d may be zero; the event
+// then fires after all currently-running work at this instant).
+func (s *Sim) Schedule(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Step executes the next pending event, advancing the clock. It returns
+// false when no events remain.
+func (s *Sim) Step() bool {
+	for len(s.pq) > 0 {
+		e := heap.Pop(&s.pq).(*Event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.when
+		s.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (s *Sim) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to t.
+func (s *Sim) RunUntil(t Time) {
+	s.stopped = false
+	for !s.stopped {
+		if len(s.pq) == 0 {
+			break
+		}
+		// Peek.
+		next := s.pq[0]
+		if next.canceled {
+			heap.Pop(&s.pq)
+			continue
+		}
+		if next.when > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// Stop halts Run/RunUntil after the current event completes.
+func (s *Sim) Stop() { s.stopped = true }

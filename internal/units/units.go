@@ -1,0 +1,182 @@
+// Package units provides byte-count and data-rate types with the SI/IEC
+// formatting conventions used throughout the repository and the paper:
+// storage capacities are decimal (a "250 GB" SATA drive), memory and file
+// system block sizes are binary (a "1 MiB" block), network rates are
+// decimal bits per second (a "10 Gb/s" link) and file transfer rates are
+// decimal bytes per second (a "720 MB/s" read).
+package units
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Bytes is a byte count or offset.
+type Bytes int64
+
+// Binary (IEC) byte units, used for block sizes and memory.
+const (
+	KiB Bytes = 1 << 10
+	MiB Bytes = 1 << 20
+	GiB Bytes = 1 << 30
+	TiB Bytes = 1 << 40
+	PiB Bytes = 1 << 50
+)
+
+// Decimal (SI) byte units, used for disk capacities ("a 250 GB drive").
+const (
+	KB Bytes = 1e3
+	MB Bytes = 1e6
+	GB Bytes = 1e9
+	TB Bytes = 1e12
+	PB Bytes = 1e15
+)
+
+// String formats the byte count with a decimal SI suffix.
+func (b Bytes) String() string {
+	a := b
+	if a < 0 {
+		a = -a
+	}
+	switch {
+	case a >= PB:
+		return fmt.Sprintf("%.2fPB", float64(b)/float64(PB))
+	case a >= TB:
+		return fmt.Sprintf("%.2fTB", float64(b)/float64(TB))
+	case a >= GB:
+		return fmt.Sprintf("%.2fGB", float64(b)/float64(GB))
+	case a >= MB:
+		return fmt.Sprintf("%.2fMB", float64(b)/float64(MB))
+	case a >= KB:
+		return fmt.Sprintf("%.2fKB", float64(b)/float64(KB))
+	}
+	return fmt.Sprintf("%dB", int64(b))
+}
+
+// IEC formats the byte count with a binary suffix (KiB, MiB, ...).
+func (b Bytes) IEC() string {
+	a := b
+	if a < 0 {
+		a = -a
+	}
+	switch {
+	case a >= PiB:
+		return fmt.Sprintf("%.2fPiB", float64(b)/float64(PiB))
+	case a >= TiB:
+		return fmt.Sprintf("%.2fTiB", float64(b)/float64(TiB))
+	case a >= GiB:
+		return fmt.Sprintf("%.2fGiB", float64(b)/float64(GiB))
+	case a >= MiB:
+		return fmt.Sprintf("%.2fMiB", float64(b)/float64(MiB))
+	case a >= KiB:
+		return fmt.Sprintf("%.2fKiB", float64(b)/float64(KiB))
+	}
+	return fmt.Sprintf("%dB", int64(b))
+}
+
+// ParseBytes parses strings like "256KiB", "1.5GB", "4M" (decimal),
+// case-insensitive, optional "B"/"iB" suffix.
+func ParseBytes(s string) (Bytes, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, fmt.Errorf("units: empty byte string")
+	}
+	i := 0
+	for i < len(t) && (t[i] == '.' || t[i] == '-' || (t[i] >= '0' && t[i] <= '9')) {
+		i++
+	}
+	num, suffix := t[:i], strings.TrimSpace(t[i:])
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: bad byte string %q: %v", s, err)
+	}
+	mult := Bytes(1)
+	switch strings.ToUpper(suffix) {
+	case "", "B":
+		mult = 1
+	case "K", "KB":
+		mult = KB
+	case "KI", "KIB":
+		mult = KiB
+	case "M", "MB":
+		mult = MB
+	case "MI", "MIB":
+		mult = MiB
+	case "G", "GB":
+		mult = GB
+	case "GI", "GIB":
+		mult = GiB
+	case "T", "TB":
+		mult = TB
+	case "TI", "TIB":
+		mult = TiB
+	case "P", "PB":
+		mult = PB
+	case "PI", "PIB":
+		mult = PiB
+	default:
+		return 0, fmt.Errorf("units: unknown byte suffix %q in %q", suffix, s)
+	}
+	return Bytes(v * float64(mult)), nil
+}
+
+// BytesPerSec is a data rate in bytes per second.
+type BytesPerSec float64
+
+// Common byte-rate units.
+const (
+	MBps BytesPerSec = 1e6
+	GBps BytesPerSec = 1e9
+)
+
+// String formats the rate with an SI suffix.
+func (r BytesPerSec) String() string {
+	a := r
+	if a < 0 {
+		a = -a
+	}
+	switch {
+	case a >= GBps:
+		return fmt.Sprintf("%.2fGB/s", float64(r)/1e9)
+	case a >= MBps:
+		return fmt.Sprintf("%.2fMB/s", float64(r)/1e6)
+	case a >= 1e3:
+		return fmt.Sprintf("%.2fKB/s", float64(r)/1e3)
+	}
+	return fmt.Sprintf("%.0fB/s", float64(r))
+}
+
+// Bits returns the rate in bits per second.
+func (r BytesPerSec) Bits() BitsPerSec { return BitsPerSec(r * 8) }
+
+// BitsPerSec is a link rate in bits per second, the convention for network
+// hardware (a "10 Gb/s" Ethernet link).
+type BitsPerSec float64
+
+// Common bit-rate units.
+const (
+	Kbps BitsPerSec = 1e3
+	Mbps BitsPerSec = 1e6
+	Gbps BitsPerSec = 1e9
+)
+
+// String formats the rate with an SI suffix.
+func (r BitsPerSec) String() string {
+	a := r
+	if a < 0 {
+		a = -a
+	}
+	switch {
+	case a >= Gbps:
+		return fmt.Sprintf("%.2fGb/s", float64(r)/1e9)
+	case a >= Mbps:
+		return fmt.Sprintf("%.2fMb/s", float64(r)/1e6)
+	case a >= Kbps:
+		return fmt.Sprintf("%.2fKb/s", float64(r)/1e3)
+	}
+	return fmt.Sprintf("%.0fb/s", float64(r))
+}
+
+// Bytes returns the rate in bytes per second.
+func (r BitsPerSec) Bytes() BytesPerSec { return BytesPerSec(r / 8) }

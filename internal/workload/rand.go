@@ -1,0 +1,12 @@
+package workload
+
+import "math/rand"
+
+// newRand returns a deterministic source for workload randomness; a fixed
+// seed keeps simulation runs reproducible.
+func newRand(seed int64) *rand.Rand {
+	if seed == 0 {
+		seed = 20051112 // SC'05 opening day
+	}
+	return rand.New(rand.NewSource(seed))
+}
