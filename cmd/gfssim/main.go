@@ -1,25 +1,34 @@
 // Command gfssim regenerates the paper's figures and headline numbers.
 //
-//	gfssim -list             # show available experiments
-//	gfssim -exp production   # run one (Fig. 11)
-//	gfssim -exp all          # run everything
-//	gfssim -exp sc02 -csv    # emit the series as CSV instead of a chart
+//	gfssim -list                      # show available experiments
+//	gfssim -exp production            # run one (Fig. 11)
+//	gfssim -exp all                   # run everything
+//	gfssim -exp sc02 -csv             # emit the series as CSV instead of a chart
+//	gfssim -exp sc04 -trace out.json  # record a Chrome trace (load in Perfetto)
+//	gfssim -exp sc04 -stats           # mmpmon-style snapshot + metrics registry
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"gfs/internal/experiments"
 	"gfs/internal/metrics"
+	"gfs/internal/sim"
 )
 
 func main() {
 	var (
-		exp  = flag.String("exp", "", "experiment name (see -list), or 'all'")
-		list = flag.Bool("list", false, "list experiments")
-		csv  = flag.Bool("csv", false, "print series as CSV instead of ASCII charts")
+		exp      = flag.String("exp", "", "experiment name (see -list), or 'all'")
+		list     = flag.Bool("list", false, "list experiments")
+		csv      = flag.Bool("csv", false, "print series as CSV instead of ASCII charts")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file (chrome://tracing, Perfetto)")
+		jsonlOut = flag.String("jsonl", "", "write raw trace events as JSON lines")
+		stats    = flag.Bool("stats", false, "print an mmpmon-style snapshot and the metrics registry after each run")
+		interval = flag.Duration("interval", 0, "also print live mmpmon snapshots every so much simulated time (e.g. 5s)")
 	)
 	flag.Parse()
 
@@ -45,6 +54,18 @@ func main() {
 		}
 		runners = []experiments.Runner{r}
 	}
+
+	var obs *experiments.Obs
+	if *traceOut != "" || *jsonlOut != "" || *stats || *interval > 0 {
+		obs = experiments.SetObservability(&experiments.ObsConfig{
+			Trace:    *traceOut != "" || *jsonlOut != "",
+			Stats:    *stats || *interval > 0,
+			Interval: sim.Time((*interval) / time.Nanosecond),
+			Out:      os.Stdout,
+		})
+		defer experiments.SetObservability(nil)
+	}
+
 	for _, r := range runners {
 		fmt.Printf("running %s (%s)...\n", r.Name, r.Paper)
 		res := r.Run()
@@ -61,5 +82,40 @@ func main() {
 			fmt.Print(res.String())
 		}
 		fmt.Println()
+	}
+
+	if obs == nil {
+		return
+	}
+	if *stats {
+		obs.Snapshot(os.Stdout)
+		fmt.Print(obs.Registry.Render())
+	}
+	if obs.Tracer != nil {
+		fmt.Printf("trace: %d events (%s)\n", obs.Tracer.Len(), obs.Tracer.Summary())
+	}
+	if *traceOut != "" {
+		writeFileWith(*traceOut, obs.Tracer.WriteChrome)
+		fmt.Printf("trace: wrote Chrome trace to %s\n", *traceOut)
+	}
+	if *jsonlOut != "" {
+		writeFileWith(*jsonlOut, obs.Tracer.WriteJSONL)
+		fmt.Printf("trace: wrote JSONL events to %s\n", *jsonlOut)
+	}
+}
+
+// writeFileWith streams an exporter into a freshly created file, exiting
+// on any error — a truncated trace is worse than no trace.
+func writeFileWith(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err == nil {
+		err = write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gfssim: writing %s: %v\n", path, err)
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,59 @@
+// Command mmpmon runs one experiment with the performance monitor
+// attached and prints live mmpmon-style snapshots at a fixed simulated
+// interval, the way GPFS administrators watched fs_io_s counters tick
+// during the SC demonstrations.
+//
+//	mmpmon -exp sc04                # snapshot every simulated second
+//	mmpmon -exp production -i 10s   # every 10 simulated seconds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gfs/internal/experiments"
+	"gfs/internal/sim"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment name (gfssim -list shows them)")
+		interval = flag.Duration("i", time.Second, "simulated time between snapshots")
+		final    = flag.Bool("final", true, "also print a final snapshot and the metrics registry")
+	)
+	flag.Parse()
+
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "usage: mmpmon -exp <name> [-i <sim interval>]")
+		for _, r := range experiments.All() {
+			fmt.Fprintf(os.Stderr, "  %-11s %s\n", r.Name, r.Paper)
+		}
+		os.Exit(2)
+	}
+	r, ok := experiments.ByName(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mmpmon: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	if *interval <= 0 {
+		fmt.Fprintln(os.Stderr, "mmpmon: interval must be positive")
+		os.Exit(2)
+	}
+
+	obs := experiments.SetObservability(&experiments.ObsConfig{
+		Stats:    true,
+		Interval: sim.Time((*interval) / time.Nanosecond),
+		Out:      os.Stdout,
+	})
+	defer experiments.SetObservability(nil)
+
+	fmt.Printf("mmpmon: %s (%s), snapshot every %v of simulated time\n", r.Name, r.Paper, *interval)
+	r.Run()
+
+	if *final {
+		obs.Snapshot(os.Stdout)
+		fmt.Print(obs.Registry.Render())
+	}
+}

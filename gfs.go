@@ -35,8 +35,10 @@ import (
 	"gfs/internal/auth"
 	"gfs/internal/core"
 	"gfs/internal/experiments"
+	"gfs/internal/metrics"
 	"gfs/internal/netsim"
 	"gfs/internal/sim"
+	"gfs/internal/trace"
 	"gfs/internal/units"
 )
 
@@ -200,3 +202,37 @@ func Experiments() []Runner { return experiments.All() }
 
 // ExperimentByName finds a registered experiment.
 func ExperimentByName(name string) (Runner, bool) { return experiments.ByName(name) }
+
+// Observability: the mmpmon-style performance monitor and tracer.
+type (
+	// MountStats is the per-mount I/O statistics record (mmpmon fs_io_s).
+	MountStats = core.MountStats
+	// Tracer records typed, virtual-time-stamped events; export with
+	// WriteChrome (Perfetto) or WriteJSONL.
+	Tracer = trace.Tracer
+	// TraceEvent is one recorded span or instant.
+	TraceEvent = trace.Event
+	// Registry collects named counters, gauges and latency histograms.
+	Registry = metrics.Registry
+	// Histogram is a log-scale latency histogram with p50/p95/p99.
+	Histogram = metrics.Histogram
+	// ObsConfig selects what the experiment observability hook collects.
+	ObsConfig = experiments.ObsConfig
+	// Obs carries an observed run's tracer, registry and snapshots.
+	Obs = experiments.Obs
+)
+
+// NewTracer returns an empty tracer; attach it with Sim.SetTracer.
+func NewTracer() *Tracer { return trace.New() }
+
+// NewRegistry returns an empty metrics registry; attach it to
+// Network.Metrics to collect RPC, flow and file-system samples.
+func NewRegistry() *Registry { return metrics.NewRegistry() }
+
+// SetObservability installs (nil removes) the observability hook used by
+// experiment runs; see cmd/gfssim -trace/-stats and cmd/mmpmon.
+var SetObservability = experiments.SetObservability
+
+// WriteMmpmon renders an mmpmon-style statistics snapshot for clusters
+// built directly (without the experiments hook).
+var WriteMmpmon = core.WriteMmpmon

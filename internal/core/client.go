@@ -4,9 +4,12 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"sort"
 
+	"gfs/internal/metrics"
 	"gfs/internal/netsim"
 	"gfs/internal/sim"
+	"gfs/internal/trace"
 	"gfs/internal/units"
 )
 
@@ -104,6 +107,16 @@ type Mount struct {
 	bytesWritten units.Bytes
 	cacheHits    uint64
 	cacheMisses  uint64
+	opens        uint64
+	closes       uint64
+	readOps      uint64
+	writeOps     uint64
+}
+
+// obs returns the tracer and metrics registry visible to this mount.
+// Either may be nil; instrumentation sites branch once per operation.
+func (m *Mount) obs() (*trace.Tracer, *metrics.Registry) {
+	return m.c.sim.Tracer(), m.c.cluster.Net.Metrics
 }
 
 // MountLocal mounts a filesystem owned by the client's own cluster.
@@ -166,11 +179,6 @@ func (m *Mount) BlockSize() units.Bytes { return m.info.BlockSize }
 // are kept.
 func (m *Mount) DropCaches() { m.pool.invalidateAll() }
 
-// Stats returns (bytesRead, bytesWritten, cacheHits, cacheMisses).
-func (m *Mount) Stats() (units.Bytes, units.Bytes, uint64, uint64) {
-	return m.bytesRead, m.bytesWritten, m.cacheHits, m.cacheMisses
-}
-
 // --- metadata operations ---
 
 func (m *Mount) meta(p *sim.Proc, op metaOp) netsim.Response {
@@ -202,6 +210,7 @@ func (m *Mount) Open(p *sim.Proc, path string) (*File, error) {
 }
 
 func (m *Mount) fileFrom(a Attrs) *File {
+	m.opens++
 	return &File{m: m, ino: a.Inode, name: a.Name, size: a.Size}
 }
 
@@ -261,7 +270,7 @@ func (m *Mount) ResetFailover() { m.srvDown = make(map[int]bool) }
 // holds on the filesystem, and detaches the mount.
 func (m *Mount) Unmount(p *sim.Proc) error {
 	// Flush everything dirty across all inodes.
-	for _, pg := range m.pool.pages {
+	for _, pg := range m.pool.allPages() {
 		if pg.dirty {
 			m.flushAsync(pg)
 		}
@@ -304,6 +313,11 @@ func (m *Mount) acquireToken(p *sim.Proc, ino int64, start, end units.Bytes, mod
 	}
 	desStart := (reqStart / cbs) * cbs
 	desEnd := ((reqEnd + cbs - 1) / cbs) * cbs
+	tr, reg := m.obs()
+	var issued sim.Time
+	if tr != nil || reg != nil {
+		issued = m.c.sim.Now()
+	}
 	resp := m.c.EP.Call(p, m.info.Manager, tokenService+"."+m.fsName, 128, tokenOp{
 		Op: "acquire", Cluster: m.c.cluster.Name, Client: m.c.id,
 		Inode: ino, Start: reqStart, End: reqEnd, DStart: desStart, DEnd: desEnd, Mode: mode,
@@ -316,6 +330,18 @@ func (m *Mount) acquireToken(p *sim.Proc, ino int64, start, end units.Bytes, mod
 		g = grantRange{reqStart, reqEnd}
 	}
 	m.toks.insert(ino, m.c.id, g.Start, g.End, mode)
+	if tr != nil || reg != nil {
+		now := m.c.sim.Now()
+		if tr != nil {
+			tr.Span("token", "acquire", m.c.id, int64(issued), int64(now),
+				trace.I("ino", ino), trace.I("start", int64(g.Start)),
+				trace.I("end", int64(g.End)), trace.S("mode", mode.String()))
+		}
+		if reg != nil {
+			reg.Counter("token.acquires").Inc()
+			reg.Histogram("token.acquire_ns").Observe(float64(now - issued))
+		}
+	}
 	return nil
 }
 
@@ -419,6 +445,9 @@ func (pp *pagePool) evict() {
 	}
 }
 
+// pagesOf returns the inode's cached pages sorted by block index. The
+// sort is load-bearing: flush and revoke I/O is issued in this order, and
+// map order here would make event timing — and traces — nondeterministic.
 func (pp *pagePool) pagesOf(ino int64) []*page {
 	var out []*page
 	for _, pg := range pp.pages {
@@ -426,6 +455,23 @@ func (pp *pagePool) pagesOf(ino int64) []*page {
 			out = append(out, pg)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key.idx < out[j].key.idx })
+	return out
+}
+
+// allPages returns every cached page sorted by (inode, block index), for
+// deterministic whole-mount sweeps (unmount).
+func (pp *pagePool) allPages() []*page {
+	out := make([]*page, 0, len(pp.pages))
+	for _, pg := range pp.pages {
+		out = append(out, pg)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].key.ino != out[j].key.ino {
+			return out[i].key.ino < out[j].key.ino
+		}
+		return out[i].key.idx < out[j].key.idx
+	})
 	return out
 }
 

@@ -7,6 +7,7 @@ import (
 	"gfs/internal/auth"
 	"gfs/internal/netsim"
 	"gfs/internal/sim"
+	"gfs/internal/trace"
 	"gfs/internal/units"
 )
 
@@ -196,6 +197,10 @@ func (c *Cluster) serveHello(p *sim.Proc, req *netsim.Request) netsim.Response {
 		return netsim.Response{Err: err}
 	}
 	c.pending[hex.EncodeToString(hello.NonceC)] = ns
+	if tr := c.Sim.Tracer(); tr != nil {
+		tr.Instant("auth", "hello", c.Name, int64(c.Sim.Now()),
+			trace.S("peer", hello.Cluster))
+	}
 	return netsim.Response{Size: 512, Payload: ch}
 }
 
@@ -224,6 +229,10 @@ func (c *Cluster) serveProof(p *sim.Proc, req *netsim.Request) netsim.Response {
 		return netsim.Response{Err: err}
 	}
 	c.peers[sess.Peer] = true
+	if tr := c.Sim.Tracer(); tr != nil {
+		tr.Instant("auth", "proof", c.Name, int64(c.Sim.Now()),
+			trace.S("peer", sess.Peer))
+	}
 	return netsim.Response{Size: 128}
 }
 
@@ -239,19 +248,47 @@ func (c *Cluster) authenticateTo(p *sim.Proc, ep *netsim.Endpoint, rc *RemoteClu
 	if !ok {
 		return fmt.Errorf("core: %s has no key for %s", c.Name, rc.Name)
 	}
+	tr, reg := c.Sim.Tracer(), c.Net.Metrics
+	var issued sim.Time
+	if tr != nil || reg != nil {
+		issued = c.Sim.Now()
+	}
+	// record closes over the outcome so every network-visiting return path
+	// emits the handshake span with its error (or success) attached.
+	record := func(err error) error {
+		if tr == nil && reg == nil {
+			return err
+		}
+		now := c.Sim.Now()
+		if tr != nil {
+			args := []trace.Arg{trace.S("peer", rc.Name)}
+			if err != nil {
+				args = append(args, trace.S("err", err.Error()))
+			}
+			tr.Span("auth", "handshake", c.Name, int64(issued), int64(now), args...)
+		}
+		if reg != nil {
+			reg.Counter("auth.handshakes").Inc()
+			if err != nil {
+				reg.Counter("auth.failures").Inc()
+			}
+			reg.Histogram("auth.handshake_ns").Observe(float64(now - issued))
+		}
+		return err
+	}
 	hello, nc := auth.ClientHello(c.Registry.Key())
 	resp := ep.Call(p, rc.Contact, helloService+"."+rc.Name, 256, hello)
 	if resp.Err != nil {
-		return resp.Err
+		return record(resp.Err)
 	}
 	ch, ok := resp.Payload.(auth.Challenge)
 	if !ok {
-		return fmt.Errorf("core: bad challenge %T", resp.Payload)
+		return record(fmt.Errorf("core: bad challenge %T", resp.Payload))
 	}
 	proof, _, err := auth.ClientProof(c.Registry.Key(), serverPub, nc, ch, c.Registry.Mode())
 	if err != nil {
-		return err
+		return record(err)
 	}
 	resp = ep.Call(p, rc.Contact, proofService+"."+rc.Name, 768, proofMsg{Hello: hello, Proof: proof})
-	return resp.Err
+	return record(resp.Err)
 }

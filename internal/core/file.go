@@ -6,6 +6,7 @@ import (
 	"gfs/internal/disk"
 	"gfs/internal/netsim"
 	"gfs/internal/sim"
+	"gfs/internal/trace"
 	"gfs/internal/units"
 )
 
@@ -118,6 +119,14 @@ func (m *Mount) fetchAsync(f *File, idx int64, ref BlockRef, verify bool) *page 
 	}
 	pg.fetching = true
 	m.cacheMisses++
+	tr, reg := m.obs()
+	if tr != nil {
+		tr.Instant("cache", "miss", m.c.id, int64(m.c.sim.Now()),
+			trace.I("ino", f.ino), trace.I("block", idx))
+	}
+	if reg != nil {
+		reg.Counter("cache.misses").Inc()
+	}
 	bs := m.info.BlockSize
 	m.goIO(ref.NSD, 64, ioPayload{
 		Cluster: m.c.cluster.Name, FS: m.fsName,
@@ -196,6 +205,7 @@ func (f *File) readAt(p *sim.Proc, off, size units.Bytes, verify bool) ([]byte, 
 		return nil, fmt.Errorf("core: read [%d,%d) beyond EOF %d of %s", off, off+size, f.size, f.name)
 	}
 	m := f.m
+	m.readOps++
 	if err := m.acquireToken(p, f.ino, off, off+size, TokShared); err != nil {
 		return nil, err
 	}
@@ -207,12 +217,24 @@ func (f *File) readAt(p *sim.Proc, off, size units.Bytes, verify bool) ([]byte, 
 	sequential := off == f.pos
 	sps := spans(bs, off, size)
 	pages := make([]*page, len(sps))
+	tr, reg := m.obs()
+	var hits uint64
 	for i, sp := range sps {
 		pg := m.fetchAsync(f, sp.Index, f.layout[sp.Index], verify)
 		if !pg.fetching && pg.present {
 			m.cacheHits++
+			hits++
 		}
 		pages[i] = pg
+	}
+	if hits > 0 {
+		if tr != nil {
+			tr.Instant("cache", "hit", m.c.id, int64(m.c.sim.Now()),
+				trace.I("ino", f.ino), trace.I("blocks", int64(hits)))
+		}
+		if reg != nil {
+			reg.Counter("cache.hits").Add(hits)
+		}
 	}
 	// Read-ahead: keep the pipeline full beyond the request on sequential
 	// access. This is the mechanism that makes a WAN RTT survivable.
@@ -224,6 +246,15 @@ func (f *File) readAt(p *sim.Proc, off, size units.Bytes, verify bool) ([]byte, 
 		if err := f.ensureLayout(p, raLast); err == nil {
 			for idx := lastIdx + 1; idx <= raLast; idx++ {
 				m.fetchAsync(f, idx, f.layout[idx], verify)
+			}
+			if n := raLast - lastIdx; n > 0 {
+				if tr != nil {
+					tr.Instant("cache", "readahead", m.c.id, int64(m.c.sim.Now()),
+						trace.I("ino", f.ino), trace.I("blocks", n))
+				}
+				if reg != nil {
+					reg.Counter("cache.readahead_blocks").Add(uint64(n))
+				}
 			}
 		}
 	}
@@ -266,6 +297,7 @@ func (f *File) writeAt(p *sim.Proc, off, size units.Bytes, data []byte) error {
 		return nil
 	}
 	m := f.m
+	m.writeOps++
 	if err := m.acquireToken(p, f.ino, off, off+size, TokExclusive); err != nil {
 		return err
 	}
@@ -310,6 +342,14 @@ func (f *File) writeAt(p *sim.Proc, off, size units.Bytes, data []byte) error {
 	// Write-behind: once enough dirty pages accumulate, flush them all
 	// asynchronously; block the writer only when far over the limit.
 	if m.pool.dirty >= m.c.cfg.WriteBehind {
+		tr, reg := m.obs()
+		if tr != nil {
+			tr.Instant("cache", "writebehind", m.c.id, int64(m.c.sim.Now()),
+				trace.I("ino", f.ino), trace.I("dirty", int64(m.pool.dirty)))
+		}
+		if reg != nil {
+			reg.Counter("cache.writebehind_triggers").Inc()
+		}
 		m.flushAllDirty(f.ino)
 	}
 	for m.pool.dirty >= 2*m.c.cfg.WriteBehind {
@@ -339,6 +379,11 @@ func (m *Mount) flushAsync(pg *page) {
 		data = make([]byte, snapTo-snapFrom)
 		copy(data, pg.data[snapFrom:snapTo])
 	}
+	tr, reg := m.obs()
+	var issued sim.Time
+	if tr != nil || reg != nil {
+		issued = m.c.sim.Now()
+	}
 	m.wgFl.Add(1)
 	m.goIO(pg.ref.NSD, snapTo-snapFrom, ioPayload{
 		Cluster: m.c.cluster.Name, FS: m.fsName,
@@ -346,6 +391,14 @@ func (m *Mount) flushAsync(pg *page) {
 		Op: disk.Write, Data: data,
 	}, func(resp netsim.Response) {
 		pg.flushing = false
+		if tr != nil {
+			tr.Span("cache", "flush", m.c.id, int64(issued), int64(m.c.sim.Now()),
+				trace.I("ino", pg.key.ino), trace.I("bytes", int64(snapTo-snapFrom)))
+		}
+		if reg != nil {
+			reg.Counter("cache.flushes").Inc()
+			reg.Histogram("cache.flush_ns").Observe(float64(m.c.sim.Now() - issued))
+		}
 		if resp.Err == nil {
 			pg.err = nil
 			m.bytesWritten += snapTo - snapFrom
@@ -386,7 +439,10 @@ func (f *File) Sync(p *sim.Proc) error {
 
 // Close syncs and releases the handle (tokens are retained for reuse, as
 // GPFS does).
-func (f *File) Close(p *sim.Proc) error { return f.Sync(p) }
+func (f *File) Close(p *sim.Proc) error {
+	f.m.closes++
+	return f.Sync(p)
+}
 
 // Truncate shrinks or logically extends the file.
 func (f *File) Truncate(p *sim.Proc, size units.Bytes) error {

@@ -5,10 +5,12 @@ import (
 	"fmt"
 
 	"gfs/internal/disk"
+	"gfs/internal/metrics"
 	"gfs/internal/netsim"
 	"gfs/internal/raid"
 	"gfs/internal/san"
 	"gfs/internal/sim"
+	"gfs/internal/trace"
 	"gfs/internal/units"
 )
 
@@ -214,8 +216,17 @@ func (s *NSDServer) serve(p *sim.Proc, req *netsim.Request) netsim.Response {
 	if io.Off+io.Len > n.blockSize {
 		return netsim.Response{Err: fmt.Errorf("core: I/O past block end (%d+%d > %d)", io.Off, io.Len, n.blockSize)}
 	}
+	tr := s.fs.Sim.Tracer()
+	reg := s.fs.cluster.Net.Metrics
+	var issued sim.Time
+	if tr != nil || reg != nil {
+		issued = s.fs.Sim.Now()
+	}
 	if err := n.Store.IO(p, io.Op, n.byteOff(io.Block, io.Off), io.Len); err != nil {
 		return netsim.Response{Err: err}
+	}
+	if tr != nil || reg != nil {
+		s.recordIO(tr, reg, n, io.Op, io.Len, issued)
 	}
 	if io.Op == disk.Read {
 		s.bytesOut += io.Len
@@ -230,4 +241,23 @@ func (s *NSDServer) serve(p *sim.Proc, req *netsim.Request) netsim.Response {
 		n.writeContent(io.Block, io.Off, io.Data)
 	}
 	return netsim.Response{Size: 64}
+}
+
+// recordIO emits the disk-service span and registry samples for one NSD
+// transfer. Kept out of serve so the disabled path pays only nil checks.
+func (s *NSDServer) recordIO(tr *trace.Tracer, reg *metrics.Registry, n *NSD, op disk.Op, ln units.Bytes, issued sim.Time) {
+	now := s.fs.Sim.Now()
+	name := "read"
+	if op == disk.Write {
+		name = "write"
+	}
+	if tr != nil {
+		tr.Span("nsd", name, s.Name, int64(issued), int64(now),
+			trace.S("nsd", n.Name), trace.I("bytes", int64(ln)))
+	}
+	if reg != nil {
+		reg.Counter("nsd." + name + ".ops").Inc()
+		reg.Counter("nsd." + name + ".bytes").Add(uint64(ln))
+		reg.Histogram("nsd.service_ns").Observe(float64(now - issued))
+	}
 }

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"gfs/internal/sim"
+	"gfs/internal/units"
+)
+
+// MountStats is the per-mount I/O statistics record — the analogue of one
+// mmpmon fs_io_s response row.
+type MountStats struct {
+	BytesRead    units.Bytes
+	BytesWritten units.Bytes
+	CacheHits    uint64
+	CacheMisses  uint64
+	Opens        uint64
+	Closes       uint64
+	Reads        uint64 // read calls (ReadAt/Read), not blocks
+	Writes       uint64 // write calls (WriteAt/Write)
+}
+
+// Stats returns a snapshot of the mount's I/O statistics.
+func (m *Mount) Stats() MountStats {
+	return MountStats{
+		BytesRead:    m.bytesRead,
+		BytesWritten: m.bytesWritten,
+		CacheHits:    m.cacheHits,
+		CacheMisses:  m.cacheMisses,
+		Opens:        m.opens,
+		Closes:       m.closes,
+		Reads:        m.readOps,
+		Writes:       m.writeOps,
+	}
+}
+
+// FSName returns the name of the mounted filesystem (which may differ
+// from the local device name for remote mounts).
+func (m *Mount) FSName() string { return m.fsName }
+
+// OwnerCluster returns the name of the cluster owning the filesystem.
+func (m *Mount) OwnerCluster() string { return m.owner }
+
+// Client returns the client this mount belongs to.
+func (m *Mount) Client() *Client { return m.c }
+
+// Clients returns the cluster's known clients sorted by ID. Remote
+// clients that mounted one of this cluster's filesystems are included,
+// exactly as the token manager sees them.
+func (c *Cluster) Clients() []*Client {
+	out := make([]*Client, 0, len(c.clients))
+	for _, cl := range c.clients {
+		out = append(out, cl)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// Filesystems returns the cluster's filesystems sorted by name.
+func (c *Cluster) Filesystems() []*FileSystem {
+	out := make([]*FileSystem, 0, len(c.fss))
+	for _, fs := range c.fss {
+		out = append(out, fs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteMmpmon renders an mmpmon-style statistics snapshot: one fs_io_s
+// section per mounted filesystem per client, one io_s section per
+// filesystem (server-side aggregate plus token and metadata counters),
+// one nsd_s line per NSD server, and one resource line per registered
+// sim.Resource (service-capacity utilization). Ordering is fully
+// deterministic: clients by ID, filesystems by name, resources in
+// creation order.
+func WriteMmpmon(w io.Writer, s *sim.Sim, clusters []*Cluster) {
+	now := s.Now()
+	fmt.Fprintf(w, "=== mmpmon snapshot t=%.6fs ===\n", now.Seconds())
+
+	// Clients can appear in several clusters' registries (a remote mount
+	// registers the client with the exporting cluster too); dedupe by ID.
+	seen := map[string]bool{}
+	var all []*Client
+	for _, c := range clusters {
+		for _, cl := range c.Clients() {
+			if !seen[cl.id] {
+				seen[cl.id] = true
+				all = append(all, cl)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+
+	for _, cl := range all {
+		mounts := cl.Mounts()
+		sort.Slice(mounts, func(i, j int) bool { return mounts[i].Device < mounts[j].Device })
+		for _, m := range mounts {
+			st := m.Stats()
+			fmt.Fprintf(w, "mmpmon node %s fs_io_s OK\n", cl.id)
+			fmt.Fprintf(w, "cluster: %s\n", m.owner)
+			fmt.Fprintf(w, "filesystem: %s\n", m.fsName)
+			fmt.Fprintf(w, "disks: %d\n", m.info.NSDs)
+			fmt.Fprintf(w, "timestamp: %.6f\n", now.Seconds())
+			fmt.Fprintf(w, "bytes read: %d\n", int64(st.BytesRead))
+			fmt.Fprintf(w, "bytes written: %d\n", int64(st.BytesWritten))
+			fmt.Fprintf(w, "opens: %d\n", st.Opens)
+			fmt.Fprintf(w, "closes: %d\n", st.Closes)
+			fmt.Fprintf(w, "reads: %d\n", st.Reads)
+			fmt.Fprintf(w, "writes: %d\n", st.Writes)
+			fmt.Fprintf(w, "cache hits: %d\n", st.CacheHits)
+			fmt.Fprintf(w, "cache misses: %d\n", st.CacheMisses)
+		}
+	}
+
+	for _, c := range clusters {
+		for _, fs := range c.Filesystems() {
+			var in, out units.Bytes
+			for _, srv := range fs.servers {
+				o, i := srv.BytesServed()
+				out += o
+				in += i
+			}
+			grants, revokes := fs.TokenStats()
+			fmt.Fprintf(w, "mmpmon fs %s io_s OK\n", fs.Name)
+			fmt.Fprintf(w, "cluster: %s\n", c.Name)
+			fmt.Fprintf(w, "disks: %d\n", fs.NSDs())
+			fmt.Fprintf(w, "timestamp: %.6f\n", now.Seconds())
+			fmt.Fprintf(w, "bytes read: %d\n", int64(out))
+			fmt.Fprintf(w, "bytes written: %d\n", int64(in))
+			fmt.Fprintf(w, "token grants: %d\n", grants)
+			fmt.Fprintf(w, "token revokes: %d\n", revokes)
+			fmt.Fprintf(w, "meta ops: %d\n", fs.MetaOps())
+			fmt.Fprintf(w, "capacity: %d\n", int64(fs.Capacity()))
+			fmt.Fprintf(w, "free: %d\n", int64(fs.FreeBytes()))
+			for _, srv := range fs.servers {
+				o, i := srv.BytesServed()
+				state := "up"
+				if srv.Down() {
+					state = "down"
+				}
+				fmt.Fprintf(w, "mmpmon nsd %s %s read %d written %d\n",
+					srv.Name, state, int64(o), int64(i))
+			}
+		}
+	}
+
+	for _, r := range s.Resources() {
+		util := float64(r.PeakInUse()) / float64(r.Capacity())
+		fmt.Fprintf(w, "mmpmon resource %s cap %d inuse %d queued %d peak %d acquired %d peak_util %.2f\n",
+			r.Name(), r.Capacity(), r.InUse(), r.Queued(), r.PeakInUse(), r.TotalAcquired(), util)
+	}
+	fmt.Fprintf(w, "mmpmon sim events_fired %d pending %d\n", s.EventsFired(), s.Pending())
+}

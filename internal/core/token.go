@@ -6,6 +6,7 @@ import (
 
 	"gfs/internal/netsim"
 	"gfs/internal/sim"
+	"gfs/internal/trace"
 	"gfs/internal/units"
 )
 
@@ -209,6 +210,20 @@ type revokePayload struct {
 
 const revokeService = "token.revoke"
 
+// obsTokenEvent emits one token-protocol instant (manager side) plus its
+// counter: "grant" when a range is handed out, "revoke" when a victim is
+// asked to give a span up, "steal" when the span actually changes hands.
+func (fs *FileSystem) obsTokenEvent(what, holder string, ino int64, start, end units.Bytes) {
+	if tr := fs.Sim.Tracer(); tr != nil {
+		tr.Instant("token", what, fs.Name, int64(fs.Sim.Now()),
+			trace.S("holder", holder), trace.I("ino", ino),
+			trace.I("start", int64(start)), trace.I("end", int64(end)))
+	}
+	if reg := fs.cluster.Net.Metrics; reg != nil {
+		reg.Counter("token." + what + "s").Inc()
+	}
+}
+
 // serveToken handles acquire/release on the manager.
 func (fs *FileSystem) serveToken(p *sim.Proc, req *netsim.Request) netsim.Response {
 	op, ok := req.Payload.(tokenOp)
@@ -267,17 +282,20 @@ func (fs *FileSystem) serveToken(p *sim.Proc, req *netsim.Request) netsim.Respon
 				}
 				wg.Add(1)
 				t.revokes++
+				fs.obsTokenEvent("revoke", h, op.Inode, s0, e0)
 				h := h
 				fs.mgr.Go(cl.EP, revokeService, 128,
 					revokePayload{FS: fs.Name, Inode: op.Inode, Start: s0, End: e0},
 					func(netsim.Response) {
 						t.carve(op.Inode, h, s0, e0)
+						fs.obsTokenEvent("steal", h, op.Inode, s0, e0)
 						wg.Done()
 					})
 			}
 			wg.Wait(p)
 		}
 		t.insert(op.Inode, op.Client, dStart, dEnd, op.Mode)
+		fs.obsTokenEvent("grant", op.Client, op.Inode, dStart, dEnd)
 		return netsim.Response{Size: 64, Payload: grantRange{dStart, dEnd}}
 
 	case "release":

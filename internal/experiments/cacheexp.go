@@ -52,7 +52,7 @@ func RunCache(cfg CacheConfig) *Result {
 	}
 
 	build := func() (*sim.Sim, *Site, *core.Client, string) {
-		s := sim.New()
+		s := newSim()
 		nw := newEthernetNet(s)
 		library := NewSite(s, nw, "library")
 		library.BuildFS(FSOptions{
@@ -122,7 +122,7 @@ func RunCache(cfg CacheConfig) *Result {
 				}
 			}
 			directTime = p.Now() - t0
-			rd, _, _, _ := m.Stats()
+			rd := m.Stats().BytesRead
 			directWAN = rd
 			return nil
 		})
@@ -162,7 +162,7 @@ func RunCache(cfg CacheConfig) *Result {
 				}
 			}
 			cachedTime = p.Now() - t0
-			rd, _, _, _ := remote.Stats()
+			rd := remote.Stats().BytesRead
 			cachedWAN = rd
 			hits, misses, _, _ = c.Stats()
 			return nil

@@ -40,7 +40,7 @@ func DefaultDEISAConfig() DEISAConfig {
 // Mbytes/s, thus hitting the theoretical limit of the network").
 func RunDEISA(cfg DEISAConfig) *Result {
 	res := NewResult("E6", "DEISA MC-GPFS: all-pairs remote direct I/O")
-	s := sim.New()
+	s := newSim()
 	nw := newEthernetNet(s)
 
 	hub := nw.NewNode("deisa-net")

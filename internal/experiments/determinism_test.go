@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"gfs/internal/auth"
+	"gfs/internal/core"
+	"gfs/internal/sim"
+	"gfs/internal/units"
+)
+
+// traceRun builds a small two-site WAN topology, seeds a file at the
+// owning site, reads it remotely (read-ahead, tokens, a revoke via a
+// second writer) and returns the observability products: the Chrome
+// trace bytes, the JSONL bytes, the mmpmon snapshot and the registry.
+func traceRun(t *testing.T) (chrome, jsonl, snapshot, registry []byte) {
+	t.Helper()
+	o := SetObservability(&ObsConfig{Trace: true, Stats: true})
+	defer SetObservability(nil)
+
+	s := newSim()
+	nw := newEthernetNet(s)
+	owner := NewSite(s, nw, "alpha")
+	owner.BuildFS(FSOptions{
+		Name: "gpfs0", BlockSize: 256 * units.KiB,
+		Servers: 2, ServerEth: units.Gbps,
+		StoreRate: 200 * units.MBps, StoreCap: 64 * units.GiB, StoreStreams: 2,
+	})
+	importer := NewSite(s, nw, "beta")
+	importer.BuildFS(FSOptions{
+		Name: "scratch", BlockSize: 256 * units.KiB,
+		Servers: 1, ServerEth: units.Gbps,
+		StoreRate: 200 * units.MBps, StoreCap: 64 * units.GiB, StoreStreams: 2,
+	})
+	nw.DuplexLink("wan", owner.Switch, importer.Switch, units.Gbps, 10*sim.Millisecond)
+	device := Peer(owner, importer, auth.ReadWrite)
+
+	writer := owner.AddClients(1, units.Gbps, core.DefaultClientConfig())[0]
+	reader := importer.AddClients(1, units.Gbps, core.DefaultClientConfig())[0]
+
+	run(s, func(p *sim.Proc) error {
+		mw, err := writer.MountLocal(p, owner.FS)
+		if err != nil {
+			return err
+		}
+		if err := seedFile(p, mw, "/data", 16*units.MiB, units.MiB); err != nil {
+			return err
+		}
+		mr, err := reader.MountRemote(p, device)
+		if err != nil {
+			return err
+		}
+		f, err := mr.Open(p, "/data")
+		if err != nil {
+			return err
+		}
+		if err := f.Read(p, 8*units.MiB); err != nil {
+			return err
+		}
+		// Overlapping writes from the remote side force token revocation
+		// against the seeder's exclusive ranges.
+		g, err := mr.Open(p, "/data")
+		if err != nil {
+			return err
+		}
+		if err := g.WriteAt(p, 0, 2*units.MiB); err != nil {
+			return err
+		}
+		if err := g.Close(p); err != nil {
+			return err
+		}
+		return f.Close(p)
+	})
+
+	var cb, jb, sb bytes.Buffer
+	if err := o.Tracer.WriteChrome(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Tracer.WriteJSONL(&jb); err != nil {
+		t.Fatal(err)
+	}
+	o.Snapshot(&sb)
+	return cb.Bytes(), jb.Bytes(), sb.Bytes(), []byte(o.Registry.Render())
+}
+
+// TestTraceDeterminism runs the same seeded experiment twice and demands
+// byte-identical observability output — the property that makes traces
+// diffable across code changes.
+func TestTraceDeterminism(t *testing.T) {
+	c1, j1, s1, r1 := traceRun(t)
+	c2, j2, s2, r2 := traceRun(t)
+	if !bytes.Equal(c1, c2) {
+		t.Error("Chrome trace differs between identical runs")
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Error("JSONL trace differs between identical runs")
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Error("mmpmon snapshot differs between identical runs")
+	}
+	if !bytes.Equal(r1, r2) {
+		t.Error("metrics registry differs between identical runs")
+	}
+	if len(c1) == 0 || len(j1) == 0 || len(s1) == 0 || len(r1) == 0 {
+		t.Fatal("empty observability output")
+	}
+}
+
+// TestTraceCoversStack verifies the full-stack coverage the monitor
+// promises: RPC, flow, NSD, token, cache and auth events all appear, and
+// the mmpmon snapshot agrees with MountStats.
+func TestTraceCoversStack(t *testing.T) {
+	o := SetObservability(&ObsConfig{Trace: true, Stats: true})
+	defer SetObservability(nil)
+
+	s := newSim()
+	nw := newEthernetNet(s)
+	owner := NewSite(s, nw, "alpha")
+	owner.BuildFS(FSOptions{
+		Name: "gpfs0", BlockSize: 256 * units.KiB,
+		Servers: 2, ServerEth: units.Gbps,
+		StoreRate: 200 * units.MBps, StoreCap: 64 * units.GiB, StoreStreams: 2,
+	})
+	importer := NewSite(s, nw, "beta")
+	importer.BuildFS(FSOptions{
+		Name: "scratch", BlockSize: 256 * units.KiB,
+		Servers: 1, ServerEth: units.Gbps,
+		StoreRate: 200 * units.MBps, StoreCap: 64 * units.GiB, StoreStreams: 2,
+	})
+	nw.DuplexLink("wan", owner.Switch, importer.Switch, units.Gbps, 10*sim.Millisecond)
+	// ReadWrite: Close publishes the size via a setsize metadata write,
+	// which a read-only grant would refuse.
+	device := Peer(owner, importer, auth.ReadWrite)
+	writer := owner.AddClients(1, units.Gbps, core.DefaultClientConfig())[0]
+	reader := importer.AddClients(1, units.Gbps, core.DefaultClientConfig())[0]
+
+	var st core.MountStats
+	run(s, func(p *sim.Proc) error {
+		mw, err := writer.MountLocal(p, owner.FS)
+		if err != nil {
+			return err
+		}
+		if err := seedFile(p, mw, "/data", 8*units.MiB, units.MiB); err != nil {
+			return err
+		}
+		mr, err := reader.MountRemote(p, device)
+		if err != nil {
+			return err
+		}
+		f, err := mr.Open(p, "/data")
+		if err != nil {
+			return err
+		}
+		if err := f.Read(p, 8*units.MiB); err != nil {
+			return err
+		}
+		if err := f.Close(p); err != nil {
+			return err
+		}
+		st = mr.Stats()
+		return nil
+	})
+
+	for _, cat := range []string{"rpc", "flow", "nsd", "token", "cache", "auth"} {
+		if o.Tracer.CountByCat(cat) == 0 {
+			t.Errorf("no %q events in trace (%s)", cat, o.Tracer.Summary())
+		}
+	}
+	if st.BytesRead != 8*units.MiB {
+		t.Fatalf("remote mount read %v, want 8 MiB", st.BytesRead)
+	}
+	if st.Opens != 1 || st.Closes != 1 || st.Reads == 0 {
+		t.Fatalf("op counts %+v", st)
+	}
+
+	// The snapshot must carry the same per-mount byte totals as
+	// MountStats.
+	var buf bytes.Buffer
+	o.Snapshot(&buf)
+	want := fmt.Sprintf("bytes read: %d", int64(st.BytesRead))
+	if !bytes.Contains(buf.Bytes(), []byte(want)) {
+		t.Fatalf("snapshot missing %q:\n%s", want, buf.String())
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("mmpmon node beta/c0 fs_io_s OK")) {
+		t.Fatalf("snapshot missing importer fs_io_s section:\n%s", buf.String())
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("mmpmon resource ")) {
+		t.Fatalf("snapshot missing resource utilization lines:\n%s", buf.String())
+	}
+}
+
+// TestPeriodicSnapshotsDrain: a live snapshot tick must not keep the
+// simulation from draining, and must fire while work is in flight.
+func TestPeriodicSnapshotsDrain(t *testing.T) {
+	var out bytes.Buffer
+	SetObservability(&ObsConfig{Stats: true, Interval: 50 * sim.Millisecond, Out: &out})
+	defer SetObservability(nil)
+
+	s := newSim()
+	nw := newEthernetNet(s)
+	site := NewSite(s, nw, "solo")
+	site.BuildFS(FSOptions{
+		Name: "gpfs0", BlockSize: 256 * units.KiB,
+		Servers: 1, ServerEth: units.Gbps,
+		StoreRate: 100 * units.MBps, StoreCap: units.GiB, StoreStreams: 2,
+	})
+	client := site.AddClients(1, units.Gbps, core.DefaultClientConfig())[0]
+	run(s, func(p *sim.Proc) error {
+		m, err := client.MountLocal(p, site.FS)
+		if err != nil {
+			return err
+		}
+		return seedFile(p, m, "/f", 64*units.MiB, units.MiB)
+	})
+	if n := bytes.Count(out.Bytes(), []byte("=== mmpmon snapshot")); n < 2 {
+		t.Fatalf("expected several periodic snapshots, got %d:\n%.500s", n, out.String())
+	}
+}

@@ -38,7 +38,7 @@ func DefaultHSMConfig() HSMConfig {
 // archive sites.
 func RunHSM(cfg HSMConfig) *Result {
 	res := NewResult("E9", "HSM watermark migration and transparent recall")
-	s := sim.New()
+	s := newSim()
 	lib := hsm.NewLibrary(s, "silo", cfg.Drives, cfg.Carts, hsm.LTO2())
 	mgr := hsm.NewManager(s, "gfs-hsm", lib, cfg.DiskPool)
 

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"io"
+
+	"gfs/internal/core"
+	"gfs/internal/metrics"
+	"gfs/internal/netsim"
+	"gfs/internal/sim"
+	"gfs/internal/trace"
+)
+
+// ObsConfig selects what the observability layer collects while
+// experiments run. Experiments build their own simulators inside Run, so
+// the CLI cannot attach tracers directly; instead it installs a
+// package-level hook with SetObservability and every simulator, network
+// and cluster the experiments create is wired up as it is born.
+type ObsConfig struct {
+	// Trace collects virtual-time events for the Chrome/JSONL exporters.
+	Trace bool
+	// Stats attaches a metrics registry and enables mmpmon snapshots.
+	Stats bool
+	// Interval emits a live mmpmon snapshot to Out every so much
+	// *simulated* time. Zero means no periodic snapshots (the caller can
+	// still take a final one with Snapshot).
+	Interval sim.Time
+	// Out receives periodic snapshots; nil discards them.
+	Out io.Writer
+}
+
+// Obs is the live state of one observed run: the shared tracer and
+// registry plus every simulator and cluster created while it was
+// installed.
+type Obs struct {
+	cfg      ObsConfig
+	Tracer   *trace.Tracer
+	Registry *metrics.Registry
+	sims     []*sim.Sim
+	clusters []*core.Cluster
+}
+
+// obs is the installed hook; nil means observability is off and every
+// instrumentation site degrades to a branch or two.
+var obs *Obs
+
+// SetObservability installs the observability hook for subsequent
+// experiment runs (nil removes it). It returns the Obs whose Tracer,
+// Registry and Snapshot carry the results.
+func SetObservability(cfg *ObsConfig) *Obs {
+	if cfg == nil {
+		obs = nil
+		return nil
+	}
+	o := &Obs{cfg: *cfg}
+	if cfg.Trace {
+		o.Tracer = trace.New()
+	}
+	if cfg.Stats {
+		o.Registry = metrics.NewRegistry()
+	}
+	obs = o
+	return o
+}
+
+// Observability returns the installed hook, or nil.
+func Observability() *Obs { return obs }
+
+// newSim builds a simulator and, when observability is on, attaches the
+// tracer and the periodic snapshot tick. All experiments create their
+// simulators through this.
+func newSim() *sim.Sim {
+	s := sim.New()
+	if obs != nil {
+		obs.attachSim(s)
+	}
+	return s
+}
+
+// newNet builds a plain network on s, attaching the metrics registry.
+func newNet(s *sim.Sim) *netsim.Network {
+	nw := netsim.New(s)
+	if obs != nil {
+		nw.Metrics = obs.Registry
+	}
+	return nw
+}
+
+func (o *Obs) attachSim(s *sim.Sim) {
+	o.sims = append(o.sims, s)
+	if o.Tracer != nil {
+		s.SetTracer(o.Tracer)
+	}
+	if o.cfg.Stats && o.cfg.Interval > 0 && o.cfg.Out != nil {
+		var tick func()
+		tick = func() {
+			o.snapshotSim(o.cfg.Out, s)
+			// Only reschedule while other work is pending, so the tick
+			// never keeps Run from draining.
+			if s.Pending() > 0 {
+				s.At(s.Now()+o.cfg.Interval, tick)
+			}
+		}
+		s.At(o.cfg.Interval, tick)
+	}
+}
+
+// observeCluster registers a cluster for snapshot enumeration (called
+// from NewSite).
+func observeCluster(c *core.Cluster) {
+	if obs != nil {
+		obs.clusters = append(obs.clusters, c)
+	}
+}
+
+// snapshotSim writes one mmpmon snapshot for the clusters living on s.
+func (o *Obs) snapshotSim(w io.Writer, s *sim.Sim) {
+	var cs []*core.Cluster
+	for _, c := range o.clusters {
+		if c.Sim == s {
+			cs = append(cs, c)
+		}
+	}
+	core.WriteMmpmon(w, s, cs)
+}
+
+// Snapshot writes a final mmpmon snapshot for every simulator observed.
+func (o *Obs) Snapshot(w io.Writer) {
+	for _, s := range o.sims {
+		o.snapshotSim(w, s)
+	}
+}

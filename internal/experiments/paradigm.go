@@ -56,7 +56,7 @@ func RunParadigm(cfg ParadigmConfig) *Result {
 	var gfsTime sim.Time
 	var gfsMoved units.Bytes
 	{
-		s := sim.New()
+		s := newSim()
 		nw := newEthernetNet(s)
 		sdsc := NewSite(s, nw, "sdsc")
 		sdsc.BuildFS(FSOptions{
@@ -96,7 +96,7 @@ func RunParadigm(cfg ParadigmConfig) *Result {
 				return err
 			}
 			gfsTime = p.Now() - t0
-			rd, _, _, _ := m.Stats()
+			rd := m.Stats().BytesRead
 			gfsMoved = rd
 			_ = r
 			return nil
@@ -107,7 +107,7 @@ func RunParadigm(cfg ParadigmConfig) *Result {
 	var ftpTime sim.Time
 	var ftpMoved units.Bytes
 	{
-		s := sim.New()
+		s := newSim()
 		nw := newEthernetNet(s)
 		a := nw.NewNode("sdsc")
 		b := nw.NewNode("analysis")

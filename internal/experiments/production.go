@@ -61,7 +61,7 @@ func RunProductionScaling(cfg ProductionConfig) *Result {
 
 	for _, nodes := range cfg.NodeCounts {
 		for _, doWrite := range []bool{true, false} {
-			s := sim.New()
+			s := newSim()
 			nw := newEthernetNet(s)
 			site := buildProduction(s, nw, cfg)
 			ccfg := core.DefaultClientConfig()
@@ -152,7 +152,7 @@ func DefaultANLConfig() ANLConfig {
 // approximately 1.2 GB/s to all 32 nodes".
 func RunANL(cfg ANLConfig) *Result {
 	res := NewResult("E5", "ANL remote mount of the SDSC production GFS")
-	s := sim.New()
+	s := newSim()
 	nw := newEthernetNet(s)
 	site := buildProduction(s, nw, cfg.Production)
 

@@ -37,8 +37,8 @@ func DefaultSC02Config() SC02Config {
 // across the FCIP-extended SAN to the Baltimore show floor, 80 ms RTT.
 func RunSC02(cfg SC02Config) *Result {
 	res := NewResult("E1/Fig2", "SC'02 GFS read performance, SDSC to Baltimore over FCIP")
-	s := sim.New()
-	nw := netsim.New(s)
+	s := newSim()
+	nw := newNet(s)
 	nw.MinRecomputeInterval = 100 * sim.Microsecond
 	nw.DefaultTCP = netsim.TCPConfig{} // FC credit flow control, no TCP window
 	f := san.NewFabric(s, nw)

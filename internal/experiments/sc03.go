@@ -45,7 +45,7 @@ func DefaultSC03Config() SC03Config {
 // was restarted.
 func RunSC03(cfg SC03Config) *Result {
 	res := NewResult("E2/Fig5", "SC'03 native WAN-GPFS bandwidth, show floor to SDSC")
-	s := sim.New()
+	s := newSim()
 	nw := newEthernetNet(s)
 
 	show := NewSite(s, nw, "showfloor")

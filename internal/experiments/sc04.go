@@ -46,7 +46,7 @@ func DefaultSC04Config() SC04Config {
 // served from the Pittsburgh show floor.
 func RunSC04(cfg SC04Config) *Result {
 	res := NewResult("E3/Fig8", "SC'04 transfer rates: 3x10GbE, multi-cluster GPFS")
-	s := sim.New()
+	s := newSim()
 	nw := newEthernetNet(s)
 
 	// Show-floor cluster: 40 servers, SAN-backed by StorCloud arrays.

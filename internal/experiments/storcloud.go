@@ -42,8 +42,8 @@ func DefaultStorCloudConfig() StorCloudConfig {
 // 30 GB/s theoretical disk-to-server aggregate.
 func RunStorCloudLocal(cfg StorCloudConfig) *Result {
 	res := NewResult("E3b", "SC'04 StorCloud local transfer rate, 40 servers x 3 FC HBAs")
-	s := sim.New()
-	nw := netsim.New(s)
+	s := newSim()
+	nw := newNet(s)
 	nw.MinRecomputeInterval = 100 * sim.Microsecond
 	nw.DefaultTCP = netsim.TCPConfig{} // all FC, credit flow control
 	f := san.NewFabric(s, nw)

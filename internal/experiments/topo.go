@@ -31,6 +31,7 @@ func NewSite(s *sim.Sim, nw *netsim.Network, name string) *Site {
 	if err != nil {
 		panic(err)
 	}
+	observeCluster(cl)
 	return &Site{S: s, Net: nw, Cluster: cl, Switch: nw.NewNode(name + "-sw")}
 }
 
@@ -204,7 +205,7 @@ const ethEfficiency = 0.94
 // framing; the FC experiments (SC'02, StorCloud) build plain networks —
 // FC nominal rates already name payload capacity.
 func newEthernetNet(s *sim.Sim) *netsim.Network {
-	nw := netsim.New(s)
+	nw := newNet(s)
 	nw.LinkEfficiency = ethEfficiency
 	// Large fleets tolerate slightly stale rate allocations in exchange
 	// for an order of magnitude fewer allocation passes.

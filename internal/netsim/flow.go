@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"gfs/internal/sim"
+	"gfs/internal/trace"
 	"gfs/internal/units"
 )
 
@@ -258,6 +259,17 @@ func (c *Conn) deliverHead(now sim.Time) {
 		if l.Monitor != nil {
 			l.Monitor.RecordSpread(units.Bytes(head.size), head.started, now)
 		}
+	}
+	if tr := nw.Sim.Tracer(); tr != nil {
+		tr.Span("flow", "xfer", c.src.name+"->"+c.dst.name,
+			int64(head.started), int64(now),
+			trace.I("bytes", int64(head.size)),
+			trace.I("queued", int64(len(c.queue))))
+	}
+	if reg := nw.Metrics; reg != nil {
+		reg.Counter("net.msgs").Inc()
+		reg.Counter("net.bytes").Add(uint64(head.size))
+		reg.Histogram("flow.xfer_ns").Observe(float64(now - head.started))
 	}
 	if head.onDelivered != nil {
 		cb := head.onDelivered

@@ -38,6 +38,12 @@ type Network struct {
 	// DefaultTCP is applied to conns dialed without explicit options.
 	DefaultTCP TCPConfig
 
+	// Metrics, when non-nil, receives counters and latency histograms
+	// from the RPC and flow layers (and from the file-system core, which
+	// reaches it through its cluster's network). Nil disables metric
+	// collection at the cost of one branch per site.
+	Metrics *metrics.Registry
+
 	// LinkEfficiency derates every subsequently created link's usable
 	// capacity below its nominal rate (Ethernet + IP + TCP framing eats
 	// ~6% at a 1500-byte MTU). Zero means 1.0 — nominal rate usable.

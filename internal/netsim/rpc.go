@@ -3,7 +3,9 @@ package netsim
 import (
 	"fmt"
 
+	"gfs/internal/metrics"
 	"gfs/internal/sim"
+	"gfs/internal/trace"
 	"gfs/internal/units"
 )
 
@@ -112,6 +114,12 @@ func (e *Endpoint) Go(peer *Endpoint, service string, reqSize units.Bytes, paylo
 	if !ok {
 		panic(fmt.Sprintf("netsim: no service %q on %s", service, peer.node))
 	}
+	nw := e.net
+	tr, reg := nw.Sim.Tracer(), nw.Metrics
+	var issued sim.Time
+	if tr != nil || reg != nil {
+		issued = nw.Sim.Now()
+	}
 	reqConn := e.connTo(peer)
 	respConn := peer.connTo(e)
 	req := &Request{From: e, Service: service, Size: reqSize, Payload: payload}
@@ -119,10 +127,41 @@ func (e *Endpoint) Go(peer *Endpoint, service string, reqSize units.Bytes, paylo
 		peer.net.Sim.Go("rpc:"+service, func(sp *sim.Proc) {
 			resp := h(sp, req)
 			respConn.Send(resp.Size+HeaderBytes, func() {
+				if tr != nil || reg != nil {
+					e.recordRPC(tr, reg, peer, service, issued, reqSize, &resp)
+				}
 				if onDone != nil {
 					onDone(resp)
 				}
 			})
 		})
 	})
+}
+
+// recordRPC emits the request/response span and registry samples for one
+// completed RPC. Kept out of Go's hot closure so the disabled path pays
+// only the nil checks.
+func (e *Endpoint) recordRPC(tr *trace.Tracer, reg *metrics.Registry, peer *Endpoint, service string, issued sim.Time, reqSize units.Bytes, resp *Response) {
+	now := e.net.Sim.Now()
+	if tr != nil {
+		args := []trace.Arg{
+			trace.I("req_bytes", int64(reqSize)),
+			trace.I("resp_bytes", int64(resp.Size)),
+		}
+		if resp.Err != nil {
+			args = append(args, trace.S("err", resp.Err.Error()))
+		}
+		tr.Span("rpc", service, e.node.name+"->"+peer.node.name,
+			int64(issued), int64(now), args...)
+	}
+	if reg != nil {
+		reg.Counter("rpc.calls").Inc()
+		if resp.Err != nil {
+			reg.Counter("rpc.errors").Inc()
+		}
+		reg.Counter("rpc.req_bytes").Add(uint64(reqSize + HeaderBytes))
+		reg.Counter("rpc.resp_bytes").Add(uint64(resp.Size + HeaderBytes))
+		reg.Histogram("rpc.latency_ns").Observe(float64(now - issued))
+		reg.Histogram("rpc.latency_ns." + service).Observe(float64(now - issued))
+	}
 }

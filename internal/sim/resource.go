@@ -21,13 +21,20 @@ type resWaiter struct {
 	wake func()
 }
 
-// NewResource returns a resource with the given capacity (> 0).
+// NewResource returns a resource with the given capacity (> 0). The
+// resource is registered on the simulator so stats snapshots can report
+// its utilization (see Sim.Resources).
 func NewResource(s *Sim, name string, capacity int) *Resource {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("sim: resource %q capacity %d", name, capacity))
 	}
-	return &Resource{sim: s, name: name, capacity: capacity}
+	r := &Resource{sim: s, name: name, capacity: capacity}
+	s.resources = append(s.resources, r)
+	return r
 }
+
+// Name returns the resource's name.
+func (r *Resource) Name() string { return r.name }
 
 // Capacity returns the total capacity.
 func (r *Resource) Capacity() int { return r.capacity }

@@ -13,6 +13,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+
+	"gfs/internal/trace"
 )
 
 // Time is a virtual-time instant or duration in nanoseconds. A single type
@@ -118,6 +120,16 @@ type Sim struct {
 	pq      eventHeap
 	stopped bool
 
+	// tracer receives typed virtual-time events from every layer built on
+	// this kernel; nil (the default) disables recording at the cost of one
+	// branch per instrumentation site.
+	tracer *trace.Tracer
+
+	// resources lists every Resource created on this simulator, so stats
+	// snapshots can report utilization without the experiment threading
+	// each one through by hand.
+	resources []*Resource
+
 	// Stats
 	fired uint64
 }
@@ -129,6 +141,18 @@ func New() *Sim {
 
 // Now returns the current virtual time.
 func (s *Sim) Now() Time { return s.now }
+
+// SetTracer attaches (or, with nil, detaches) a trace recorder. All
+// instrumented layers consult it through Tracer().
+func (s *Sim) SetTracer(t *trace.Tracer) { s.tracer = t }
+
+// Tracer returns the attached tracer; nil means tracing is disabled, and
+// trace.Tracer methods are nil-safe.
+func (s *Sim) Tracer() *trace.Tracer { return s.tracer }
+
+// Resources returns every Resource created on this simulator, in creation
+// order.
+func (s *Sim) Resources() []*Resource { return s.resources }
 
 // EventsFired returns the number of events executed so far.
 func (s *Sim) EventsFired() uint64 { return s.fired }

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteJSONL writes one JSON object per event, in emission order — the
+// format for ad-hoc grepping and for diffing two runs.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i := range t.Events() {
+		e := &t.events[i]
+		if err := writeEventJSON(bw, e, true); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString("\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteChrome writes the buffer as Chrome trace-event JSON (the
+// {"traceEvents": [...]} envelope), loadable in Perfetto or
+// chrome://tracing. Categories become processes and tracks become named
+// threads, so the RPC, flow, NSD, token, cache and auth timelines render
+// as separate swim lanes. Timestamps are virtual-time microseconds.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	// Stable pid per category and tid per (category, track), assigned in
+	// first-appearance order — deterministic because the event order is.
+	pids := map[string]int{}
+	tids := map[string]int{}
+	var meta []string
+	events := t.Events()
+	for i := range events {
+		e := &events[i]
+		pid, ok := pids[e.Cat]
+		if !ok {
+			pid = len(pids) + 1
+			pids[e.Cat] = pid
+			meta = append(meta, fmt.Sprintf(
+				`{"ph":"M","name":"process_name","pid":%d,"tid":0,"args":{"name":%s}}`,
+				pid, jstr(e.Cat)))
+		}
+		tkey := e.Cat + "\x00" + e.Track
+		if _, ok := tids[tkey]; !ok {
+			tid := len(tids) + 1
+			tids[tkey] = tid
+			meta = append(meta, fmt.Sprintf(
+				`{"ph":"M","name":"thread_name","pid":%d,"tid":%d,"args":{"name":%s}}`,
+				pid, tid, jstr(e.Track)))
+		}
+	}
+	first := true
+	emit := func(line string) error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := bw.WriteString(line)
+		return err
+	}
+	for _, m := range meta {
+		if err := emit(m); err != nil {
+			return err
+		}
+	}
+	for i := range events {
+		e := &events[i]
+		pid := pids[e.Cat]
+		tid := tids[e.Cat+"\x00"+e.Track]
+		var line string
+		switch e.Kind {
+		case Span:
+			line = fmt.Sprintf(`{"ph":"X","name":%s,"cat":%s,"pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":%s}`,
+				jstr(e.Name), jstr(e.Cat), pid, tid, usec(e.TS), usec(e.Dur), argsJSON(e.Args))
+		default:
+			line = fmt.Sprintf(`{"ph":"i","s":"t","name":%s,"cat":%s,"pid":%d,"tid":%d,"ts":%s,"args":%s}`,
+				jstr(e.Name), jstr(e.Cat), pid, tid, usec(e.TS), argsJSON(e.Args))
+		}
+		if err := emit(line); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// usec renders nanoseconds as decimal microseconds with fixed three
+// fractional digits ("12.345"): exact, locale-free, and deterministic.
+func usec(ns int64) string {
+	neg := ""
+	if ns < 0 {
+		neg, ns = "-", -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, ns/1000, ns%1000)
+}
+
+// jstr JSON-encodes a string.
+func jstr(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+func argsJSON(args []Arg) string {
+	if len(args) == 0 {
+		return "{}"
+	}
+	out := "{"
+	for i, a := range args {
+		if i > 0 {
+			out += ","
+		}
+		if a.Str {
+			out += jstr(a.Key) + ":" + jstr(a.SVal)
+		} else {
+			out += fmt.Sprintf("%s:%d", jstr(a.Key), a.IVal)
+		}
+	}
+	return out + "}"
+}
+
+func writeEventJSON(w io.Writer, e *Event, withKind bool) error {
+	kind := ""
+	if withKind {
+		kind = fmt.Sprintf(`"kind":%s,`, jstr(e.Kind.String()))
+	}
+	_, err := fmt.Fprintf(w, `{%s"ts":%d,"dur":%d,"cat":%s,"name":%s,"track":%s,"args":%s}`,
+		kind, e.TS, e.Dur, jstr(e.Cat), jstr(e.Name), jstr(e.Track), argsJSON(e.Args))
+	return err
+}
+
+// Summary returns per-category event counts as "cat=n" pairs sorted by
+// category — a one-line health check printed by the CLIs.
+func (t *Tracer) Summary() string {
+	counts := map[string]int{}
+	for i := range t.Events() {
+		counts[t.events[i].Cat]++
+	}
+	cats := make([]string, 0, len(counts))
+	for c := range counts {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	out := ""
+	for i, c := range cats {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%d", c, counts[c])
+	}
+	return out
+}

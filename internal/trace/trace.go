@@ -1,0 +1,138 @@
+// Package trace records typed, virtual-time-stamped events from a
+// simulation run — the analogue of GPFS trace ("mmtrace") for this
+// reproduction. Components emit spans (an RPC, an NSD disk service, a
+// flow's life on a conn) and instants (a token grant, a cache miss) onto
+// a Tracer attached to the simulator; exporters render the buffer as an
+// mmpmon-operator-friendly JSONL dump or as Chrome trace-event JSON that
+// Perfetto and chrome://tracing load directly.
+//
+// The package deliberately depends only on the standard library and keeps
+// timestamps as int64 nanoseconds (sim.Time's underlying type), so the
+// simulation kernel can hold a *Tracer without an import cycle. All Tracer
+// methods are nil-safe: a disabled tracer is a nil pointer and every
+// recording site pays exactly one branch.
+package trace
+
+// Kind discriminates event shapes.
+type Kind uint8
+
+// Event kinds.
+const (
+	// Span is an interval event with a start time and a duration.
+	Span Kind = iota
+	// Instant is a point event.
+	Instant
+)
+
+func (k Kind) String() string {
+	if k == Span {
+		return "span"
+	}
+	return "instant"
+}
+
+// Arg is one key/value annotation on an event. Values are either int64 or
+// string; a two-field union avoids interface boxing on the hot path.
+type Arg struct {
+	Key  string
+	IVal int64
+	SVal string
+	Str  bool
+}
+
+// I builds an integer-valued argument.
+func I(key string, v int64) Arg { return Arg{Key: key, IVal: v} }
+
+// S builds a string-valued argument.
+func S(key, v string) Arg { return Arg{Key: key, SVal: v, Str: true} }
+
+// Event is one recorded trace entry. TS and Dur are virtual-time
+// nanoseconds; Cat groups events onto a Perfetto "process" (rpc, flow,
+// nsd, token, cache, auth) and Track onto a named thread within it (a
+// client, a server, a conn).
+type Event struct {
+	Kind  Kind
+	TS    int64
+	Dur   int64 // spans only
+	Cat   string
+	Name  string
+	Track string
+	Args  []Arg
+}
+
+// Tracer is an append-only event buffer. It is not safe for concurrent
+// use — the simulator is single-threaded, which is also what makes two
+// runs of the same seeded experiment produce byte-identical exports.
+type Tracer struct {
+	events []Event
+}
+
+// New returns an empty tracer.
+func New() *Tracer { return &Tracer{} }
+
+// Enabled reports whether the tracer records (i.e. is non-nil). Callers
+// holding a possibly-nil *Tracer may call it unconditionally.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Span records an interval event covering [start, end] nanoseconds.
+func (t *Tracer) Span(cat, name, track string, start, end int64, args ...Arg) {
+	if t == nil {
+		return
+	}
+	dur := end - start
+	if dur < 0 {
+		dur = 0
+	}
+	t.events = append(t.events, Event{
+		Kind: Span, TS: start, Dur: dur, Cat: cat, Name: name, Track: track, Args: args,
+	})
+}
+
+// Instant records a point event at ts nanoseconds.
+func (t *Tracer) Instant(cat, name, track string, ts int64, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{
+		Kind: Instant, TS: ts, Cat: cat, Name: name, Track: track, Args: args,
+	})
+}
+
+// Len returns the number of recorded events (0 on a nil tracer).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Events returns the recorded events in emission order. The slice is the
+// tracer's own buffer; callers must not mutate it.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Reset discards all recorded events, keeping capacity.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.events = t.events[:0]
+}
+
+// CountByCat returns how many events carry the given category.
+func (t *Tracer) CountByCat(cat string) int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for i := range t.events {
+		if t.events[i].Cat == cat {
+			n++
+		}
+	}
+	return n
+}
