@@ -6,9 +6,15 @@
 //	gfsbench -sweep nodes -nodes 1,4,16,64     # Fig. 11-style scaling
 //	gfsbench -sweep blocksize                  # FS block size ablation
 //	gfsbench -sweep stripe                     # NSD server count ablation
+//	gfsbench -sweep readahead -json BENCH_2.json  # machine-readable results
+//
+// With -json the sweep additionally records a causal trace and the output
+// file carries the sweep rows plus per-op-type rates and critical-path
+// attribution totals.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +23,7 @@ import (
 	"time"
 
 	"gfs/internal/core"
+	"gfs/internal/critpath"
 	"gfs/internal/experiments"
 	"gfs/internal/netsim"
 	"gfs/internal/sim"
@@ -25,10 +32,11 @@ import (
 
 func main() {
 	var (
-		sweep   = flag.String("sweep", "", "readahead | nodes | blocksize | stripe")
-		rttFlag = flag.Duration("rtt", 80*time.Millisecond, "WAN round-trip time")
-		nodesCS = flag.String("nodes", "1,2,4,8,16,32,48,64", "node counts for -sweep nodes")
-		sizeStr = flag.String("size", "512MiB", "bytes moved per client")
+		sweep    = flag.String("sweep", "", "readahead | nodes | blocksize | stripe")
+		rttFlag  = flag.Duration("rtt", 80*time.Millisecond, "WAN round-trip time")
+		nodesCS  = flag.String("nodes", "1,2,4,8,16,32,48,64", "node counts for -sweep nodes")
+		sizeStr  = flag.String("size", "512MiB", "bytes moved per client")
+		jsonPath = flag.String("json", "", "also write machine-readable results (rows + op rates + attribution) to this file")
 	)
 	flag.Parse()
 
@@ -39,14 +47,24 @@ func main() {
 	}
 	rtt := sim.Time(rttFlag.Nanoseconds())
 
+	var obs *experiments.Obs
+	if *jsonPath != "" {
+		obs = experiments.SetObservability(&experiments.ObsConfig{Trace: true})
+		defer experiments.SetObservability(nil)
+	}
+
+	var columns []string
+	var rows [][]float64
+	addRow := func(vs ...float64) { rows = append(rows, vs) }
+
 	switch *sweep {
 	case "readahead":
-		fmt.Println("readahead_blocks,MBps")
+		columns = []string{"readahead_blocks", "MBps"}
 		for _, ra := range []int{0, 1, 2, 4, 8, 16, 32, 64} {
-			fmt.Printf("%d,%.1f\n", ra, wanReadRate(ra, rtt, size))
+			addRow(float64(ra), wanReadRate(ra, rtt, size))
 		}
 	case "nodes":
-		fmt.Println("nodes,read_MBps,write_MBps")
+		columns = []string{"nodes", "read_MBps", "write_MBps"}
 		for _, ns := range strings.Split(*nodesCS, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(ns))
 			if err != nil || n < 1 {
@@ -57,23 +75,127 @@ func main() {
 			cfg.NodeCounts = []int{n}
 			cfg.SizePer = size
 			r := experiments.RunProductionScaling(cfg)
-			fmt.Printf("%d,%.1f,%.1f\n", n, r.Series[0].Points[0].Y, r.Series[1].Points[0].Y)
+			addRow(float64(n), r.Series[0].Points[0].Y, r.Series[1].Points[0].Y)
 		}
 	case "blocksize":
-		fmt.Println("blocksize_KiB,MBps")
+		columns = []string{"blocksize_KiB", "MBps"}
 		for _, bs := range []units.Bytes{256 * units.KiB, 512 * units.KiB, units.MiB, 2 * units.MiB, 4 * units.MiB} {
-			fmt.Printf("%d,%.1f\n", bs/units.KiB, streamRate(8, bs, rtt, size))
+			addRow(float64(bs/units.KiB), streamRate(8, bs, rtt, size))
 		}
 	case "stripe":
-		fmt.Println("nsd_servers,MBps")
+		columns = []string{"nsd_servers", "MBps"}
 		for _, srv := range []int{1, 2, 4, 8, 16, 32} {
-			fmt.Printf("%d,%.1f\n", srv, streamRate(srv, units.MiB, 0, size))
+			addRow(float64(srv), streamRate(srv, units.MiB, 0, size))
 		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	fmt.Println(strings.Join(columns, ","))
+	for _, r := range rows {
+		parts := make([]string, len(r))
+		parts[0] = fmt.Sprintf("%d", int64(r[0]))
+		for i := 1; i < len(r); i++ {
+			parts[i] = fmt.Sprintf("%.1f", r[i])
+		}
+		fmt.Println(strings.Join(parts, ","))
+	}
+
+	if obs != nil {
+		if err := writeJSON(*jsonPath, *sweep, columns, rows, critpath.Analyze(obs.Tracer)); err != nil {
+			fmt.Fprintln(os.Stderr, "gfsbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "gfsbench: wrote %s\n", *jsonPath)
+	}
 }
+
+// benchOp is one op type's aggregate in the JSON output.
+type benchOp struct {
+	Count    int                `json:"count"`
+	PerSec   float64            `json:"per_simsec"`
+	MeanMs   float64            `json:"mean_ms"`
+	P50Ms    float64            `json:"p50_ms"`
+	P95Ms    float64            `json:"p95_ms"`
+	P99Ms    float64            `json:"p99_ms"`
+	PhasesMs map[string]float64 `json:"phases_ms"`
+}
+
+type benchOut struct {
+	Bench   int                `json:"bench"`
+	Sweep   string             `json:"sweep"`
+	Columns []string           `json:"columns"`
+	Rows    [][]float64        `json:"rows"`
+	Ops     map[string]benchOp `json:"ops"`
+}
+
+// writeJSON renders the sweep plus attribution as deterministic JSON
+// (struct field order is fixed; encoding/json sorts map keys).
+func writeJSON(path, sweep string, columns []string, rows [][]float64, rep *critpath.Report) error {
+	out := benchOut{
+		Bench: 2, Sweep: sweep, Columns: columns, Rows: rows,
+		Ops: map[string]benchOp{},
+	}
+	// Observed op rate: count over the simulated span the op type was
+	// active. Sweeps run many sims on one tracer, so this is a rate over
+	// total observed virtual time, not one run's throughput.
+	for _, s := range rep.Ops {
+		var minStart, maxEnd int64
+		first := true
+		for _, in := range rep.Instances() {
+			if in.Name != s.Name {
+				continue
+			}
+			if first || in.Start < minStart {
+				minStart = in.Start
+			}
+			if end := in.Start + in.E2E; first || end > maxEnd {
+				maxEnd = end
+			}
+			first = false
+		}
+		perSec := 0.0
+		if span := maxEnd - minStart; span > 0 {
+			perSec = float64(s.Count) / (float64(span) / 1e9)
+		}
+		mean := int64(0)
+		if s.Count > 0 {
+			mean = s.TotalNs / int64(s.Count)
+		}
+		op := benchOp{
+			Count:  s.Count,
+			PerSec: ms(int64(perSec * 1e6)), // round to 1e-3 ops/s
+			MeanMs: ms(mean),
+			P50Ms:  ms(s.Quantile(0.50)),
+			P95Ms:  ms(s.Quantile(0.95)),
+			P99Ms:  ms(s.Quantile(0.99)),
+
+			PhasesMs: map[string]float64{},
+		}
+		for _, ph := range critpath.Phases {
+			if d := s.Phases[ph]; d != 0 {
+				op.PhasesMs[ph] = ms(d)
+			}
+		}
+		out.Ops[s.Name] = op
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(out)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ms converts nanoseconds to milliseconds rounded to three decimals, so
+// the JSON carries short, stable numbers.
+func ms(ns int64) float64 { return float64(ns/1000) / 1000 }
 
 // wanReadRate measures one client streaming across an RTT-deep WAN with
 // the given read-ahead depth.
@@ -89,6 +211,9 @@ func streamRate(servers int, blockSize units.Bytes, rtt sim.Time, size units.Byt
 
 func streamRateTuned(tune func(*core.ClientConfig), servers int, blockSize units.Bytes, rtt sim.Time, size units.Bytes) float64 {
 	s := sim.New()
+	if o := experiments.Observability(); o != nil && o.Tracer != nil {
+		s.SetTracer(o.Tracer)
+	}
 	nw := netsim.New(s)
 	site := experiments.NewSite(s, nw, "origin")
 	site.BuildFS(experiments.FSOptions{

@@ -1,0 +1,81 @@
+// Command gfsprof analyzes a trace dump offline: it reads the JSONL
+// event stream written by `gfssim -jsonl` (or `gfsbench -jsonl`) and
+// prints the same critical-path latency attribution the live `-attr`
+// flag produces, plus per-operation drill-downs.
+//
+//	gfssim -exp deisa -jsonl trace.jsonl
+//	gfsprof trace.jsonl                # attribution table
+//	gfsprof -top 10 trace.jsonl       # the ten slowest operations
+//	gfsprof -op 1234 trace.jsonl      # one operation's span tree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gfs/internal/critpath"
+	"gfs/internal/trace"
+)
+
+func main() {
+	var (
+		top  = flag.Int("top", 0, "also list the N slowest operations with their phase breakdowns")
+		op   = flag.Int64("op", 0, "print the span tree of one operation ID and exit")
+		lat  = flag.Bool("oplat", false, "print the mmpmon-style op_lat section instead of the table")
+		path = flag.String("in", "", "input JSONL file (or pass it as the positional argument; - reads stdin)")
+	)
+	flag.Parse()
+	if *path == "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: gfsprof [-top n | -op id | -oplat] <trace.jsonl>")
+			os.Exit(2)
+		}
+		*path = flag.Arg(0)
+	}
+
+	in := os.Stdin
+	if *path != "-" {
+		f, err := os.Open(*path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gfsprof: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	tr, err := trace.ReadJSONL(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gfsprof: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *op != 0 {
+		critpath.WriteTree(os.Stdout, tr, *op)
+		return
+	}
+
+	rep := critpath.Analyze(tr)
+	if *lat {
+		rep.WriteOpLat(os.Stdout)
+		return
+	}
+	fmt.Printf("%d events (%s)\n\n", tr.Len(), tr.Summary())
+	rep.WriteTable(os.Stdout)
+
+	if *top > 0 {
+		fmt.Printf("\nslowest %d operations:\n", *top)
+		for _, in := range rep.Slowest(*top) {
+			fmt.Printf("  op %-8d %-8s %-12s e2e %s", in.ID, in.Name, in.Track, fmtMs(in.E2E))
+			for _, ph := range critpath.Phases {
+				if d := in.Phases[ph]; d != 0 {
+					fmt.Printf("  %s %s", ph, fmtMs(d))
+				}
+			}
+			fmt.Println()
+		}
+		fmt.Println("\n(drill into one with: gfsprof -op <id>)")
+	}
+}
+
+func fmtMs(ns int64) string { return fmt.Sprintf("%.3fms", float64(ns)/1e6) }

@@ -6,6 +6,8 @@
 //	gfssim -exp sc02 -csv             # emit the series as CSV instead of a chart
 //	gfssim -exp sc04 -trace out.json  # record a Chrome trace (load in Perfetto)
 //	gfssim -exp sc04 -stats           # mmpmon-style snapshot + metrics registry
+//	gfssim -exp production -attr      # critical-path latency attribution
+//	gfssim -exp sc02 -depth 1 -attr   # single outstanding request: WAN-bound
 package main
 
 import (
@@ -15,9 +17,11 @@ import (
 	"os"
 	"time"
 
+	"gfs/internal/critpath"
 	"gfs/internal/experiments"
 	"gfs/internal/metrics"
 	"gfs/internal/sim"
+	"gfs/internal/units"
 )
 
 func main() {
@@ -29,6 +33,10 @@ func main() {
 		jsonlOut = flag.String("jsonl", "", "write raw trace events as JSON lines")
 		stats    = flag.Bool("stats", false, "print an mmpmon-style snapshot and the metrics registry after each run")
 		interval = flag.Duration("interval", 0, "also print live mmpmon snapshots every so much simulated time (e.g. 5s)")
+		attr     = flag.Bool("attr", false, "print a critical-path latency attribution report per experiment")
+		depth    = flag.Int("depth", 0, "sc02 only: override the SANergy pipeline depth (outstanding block requests)")
+		block    = flag.Int64("block", 0, "sc02 only: override the block size in bytes")
+		fileSize = flag.Int64("filesize", 0, "sc02 only: override the file size in bytes")
 	)
 	flag.Parse()
 
@@ -55,16 +63,40 @@ func main() {
 		runners = []experiments.Runner{r}
 	}
 
+	if *depth > 0 || *block > 0 || *fileSize > 0 {
+		if *exp != "sc02" {
+			fmt.Fprintln(os.Stderr, "gfssim: -depth/-block/-filesize only apply to -exp sc02")
+			os.Exit(2)
+		}
+		cfg := experiments.DefaultSC02Config()
+		if *depth > 0 {
+			cfg.Depth = *depth
+		}
+		if *block > 0 {
+			cfg.BlockSize = units.Bytes(*block)
+		}
+		if *fileSize > 0 {
+			cfg.FileSize = units.Bytes(*fileSize)
+		}
+		runners[0].Run = func() *experiments.Result { return experiments.RunSC02(cfg) }
+	}
+
 	var obs *experiments.Obs
-	if *traceOut != "" || *jsonlOut != "" || *stats || *interval > 0 {
+	if *traceOut != "" || *jsonlOut != "" || *stats || *interval > 0 || *attr {
 		obs = experiments.SetObservability(&experiments.ObsConfig{
-			Trace:    *traceOut != "" || *jsonlOut != "",
+			Trace:    *traceOut != "" || *jsonlOut != "" || *attr,
 			Stats:    *stats || *interval > 0,
 			Interval: sim.Time((*interval) / time.Nanosecond),
 			Out:      os.Stdout,
 		})
 		defer experiments.SetObservability(nil)
 	}
+
+	// With -attr but no trace export, each experiment is analyzed and the
+	// buffer dropped, keeping -exp all bounded. When a trace file is also
+	// requested the buffer must survive, so attribution runs once at the
+	// end over everything.
+	attrPerRun := *attr && *traceOut == "" && *jsonlOut == ""
 
 	for _, r := range runners {
 		fmt.Printf("running %s (%s)...\n", r.Name, r.Paper)
@@ -81,26 +113,36 @@ func main() {
 		} else {
 			fmt.Print(res.String())
 		}
+		if attrPerRun {
+			fmt.Printf("-- %s: critical-path attribution --\n", r.Name)
+			critpath.Analyze(obs.Tracer).WriteTable(os.Stdout)
+			obs.Tracer.Reset()
+		}
 		fmt.Println()
 	}
 
 	if obs == nil {
 		return
 	}
+	if *attr && !attrPerRun {
+		fmt.Println("-- critical-path attribution --")
+		critpath.Analyze(obs.Tracer).WriteTable(os.Stdout)
+		fmt.Println()
+	}
 	if *stats {
 		obs.Snapshot(os.Stdout)
 		fmt.Print(obs.Registry.Render())
 	}
-	if obs.Tracer != nil {
+	if obs.Tracer != nil && !attrPerRun {
 		fmt.Printf("trace: %d events (%s)\n", obs.Tracer.Len(), obs.Tracer.Summary())
 	}
 	if *traceOut != "" {
 		writeFileWith(*traceOut, obs.Tracer.WriteChrome)
-		fmt.Printf("trace: wrote Chrome trace to %s\n", *traceOut)
+		fmt.Fprintf(os.Stderr, "trace: wrote Chrome trace to %s\n", *traceOut)
 	}
 	if *jsonlOut != "" {
 		writeFileWith(*jsonlOut, obs.Tracer.WriteJSONL)
-		fmt.Printf("trace: wrote JSONL events to %s\n", *jsonlOut)
+		fmt.Fprintf(os.Stderr, "trace: wrote JSONL events to %s\n", *jsonlOut)
 	}
 }
 

@@ -42,7 +42,10 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Trace is on so snapshots can include the op_lat section (per-op
+	// latency quantiles with critical-path phase attribution).
 	obs := experiments.SetObservability(&experiments.ObsConfig{
+		Trace:    true,
 		Stats:    true,
 		Interval: sim.Time((*interval) / time.Nanosecond),
 		Out:      os.Stdout,

@@ -119,6 +119,85 @@ func (m *Mount) obs() (*trace.Tracer, *metrics.Registry) {
 	return m.c.sim.Tracer(), m.c.cluster.Net.Metrics
 }
 
+// opRec is one in-progress traced client operation (a ReadAt, a WriteAt,
+// a Sync, or a background fetch/flush). The zero value means "tracing
+// off" and every helper below is then a single branch.
+type opRec struct {
+	tr    *trace.Tracer
+	op    int64 // operation ID
+	sid   int64 // the op's root span ID
+	start int64
+	name  string
+	prev  trace.Ctx // p's context before the op, restored by endOp
+}
+
+// ctx returns the causal context children of this op should carry.
+func (r *opRec) ctx() trace.Ctx { return trace.Ctx{Op: r.op, Parent: r.sid} }
+
+// beginOp opens a traced operation rooted at p: a fresh op ID, a root
+// span, and p's context switched to it so every blocking call p makes
+// (token RPCs, metadata RPCs) parents underneath.
+func (m *Mount) beginOp(p *sim.Proc, name string) opRec {
+	tr, _ := m.obs()
+	if tr == nil {
+		return opRec{}
+	}
+	r := opRec{
+		tr: tr, op: tr.NewOpID(), sid: tr.NewSpanID(),
+		start: int64(m.c.sim.Now()), name: name, prev: p.Ctx(),
+	}
+	p.SetCtx(r.ctx())
+	return r
+}
+
+// endOp records the op's root span and restores p's previous context.
+func (m *Mount) endOp(p *sim.Proc, r opRec, args ...trace.Arg) {
+	if r.tr == nil {
+		return
+	}
+	p.SetCtx(r.prev)
+	r.tr.SpanCtx(trace.Ctx{Op: r.op}, r.sid, "op", r.name, m.c.id,
+		r.start, int64(m.c.sim.Now()), args...)
+}
+
+// beginBgOp opens a traced background operation (an async fetch or
+// flush) that has no owning process; the returned rec's ctx() is passed
+// explicitly to the I/O it issues, and endBgOp closes it from event
+// context when the I/O lands.
+func (m *Mount) beginBgOp(name string) opRec {
+	tr, _ := m.obs()
+	if tr == nil {
+		return opRec{}
+	}
+	return opRec{
+		tr: tr, op: tr.NewOpID(), sid: tr.NewSpanID(),
+		start: int64(m.c.sim.Now()), name: name,
+	}
+}
+
+// endBgOp records a background op's root span.
+func (m *Mount) endBgOp(r opRec, args ...trace.Arg) {
+	if r.tr == nil {
+		return
+	}
+	r.tr.SpanCtx(trace.Ctx{Op: r.op}, r.sid, "op", r.name, m.c.id,
+		r.start, int64(m.c.sim.Now()), args...)
+}
+
+// waitSpan records time an op spent blocked on cache machinery (a fetch
+// in flight, write-behind backpressure, a sync drain). critpath
+// redistributes these over the background ops that did the actual work.
+func (m *Mount) waitSpan(p *sim.Proc, tr *trace.Tracer, name string, start int64) {
+	if tr == nil {
+		return
+	}
+	now := int64(m.c.sim.Now())
+	if now <= start {
+		return
+	}
+	tr.SpanCtx(p.Ctx(), 0, "cache", name, m.c.id, start, now)
+}
+
 // MountLocal mounts a filesystem owned by the client's own cluster.
 func (cl *Client) MountLocal(p *sim.Proc, fs *FileSystem) (*Mount, error) {
 	return cl.mount(p, fs.Name, fs.Name, fs.cluster.Name, fs.mgr)
@@ -245,7 +324,8 @@ func (m *Mount) Remove(p *sim.Proc, path string) error {
 
 // goIO issues one NSD I/O with primary/backup failover: a refused request
 // on the primary marks it down for this mount and retries on the backup.
-func (m *Mount) goIO(nsd int, reqSize units.Bytes, pl ioPayload, onDone func(netsim.Response)) {
+// ctx is the causal context of the operation the I/O belongs to.
+func (m *Mount) goIO(ctx trace.Ctx, nsd int, reqSize units.Bytes, pl ioPayload, onDone func(netsim.Response)) {
 	primary := !m.srvDown[nsd]
 	srv := m.info.Servers[nsd]
 	if !primary {
@@ -253,10 +333,10 @@ func (m *Mount) goIO(nsd int, reqSize units.Bytes, pl ioPayload, onDone func(net
 			srv = b
 		}
 	}
-	m.c.EP.Go(srv.EP, nsdService+"."+m.fsName, reqSize, pl, func(r netsim.Response) {
+	m.c.EP.GoCtx(ctx, srv.EP, nsdService+"."+m.fsName, reqSize, pl, func(r netsim.Response) {
 		if errors.Is(r.Err, ErrServerDown) && primary && m.info.Backups[nsd] != nil {
 			m.srvDown[nsd] = true
-			m.goIO(nsd, reqSize, pl, onDone)
+			m.goIO(ctx, nsd, reqSize, pl, onDone)
 			return
 		}
 		onDone(r)
@@ -318,10 +398,23 @@ func (m *Mount) acquireToken(p *sim.Proc, ino int64, start, end units.Bytes, mod
 	if tr != nil || reg != nil {
 		issued = m.c.sim.Now()
 	}
+	// The token span becomes the parent of the acquire RPC (and of any
+	// revocations the manager fans out on our behalf), so token-wait time
+	// is separable from wire time on the critical path.
+	var tokSID int64
+	var prev trace.Ctx
+	if tr != nil {
+		tokSID = tr.NewSpanID()
+		prev = p.Ctx()
+		p.SetCtx(trace.Ctx{Op: prev.Op, Parent: tokSID})
+	}
 	resp := m.c.EP.Call(p, m.info.Manager, tokenService+"."+m.fsName, 128, tokenOp{
 		Op: "acquire", Cluster: m.c.cluster.Name, Client: m.c.id,
 		Inode: ino, Start: reqStart, End: reqEnd, DStart: desStart, DEnd: desEnd, Mode: mode,
 	})
+	if tr != nil {
+		p.SetCtx(prev)
+	}
 	if resp.Err != nil {
 		return resp.Err
 	}
@@ -333,7 +426,7 @@ func (m *Mount) acquireToken(p *sim.Proc, ino int64, start, end units.Bytes, mod
 	if tr != nil || reg != nil {
 		now := m.c.sim.Now()
 		if tr != nil {
-			tr.Span("token", "acquire", m.c.id, int64(issued), int64(now),
+			tr.SpanCtx(prev, tokSID, "token", "acquire", m.c.id, int64(issued), int64(now),
 				trace.I("ino", ino), trace.I("start", int64(g.Start)),
 				trace.I("end", int64(g.End)), trace.S("mode", mode.String()))
 		}

@@ -119,21 +119,27 @@ func (m *Mount) fetchAsync(f *File, idx int64, ref BlockRef, verify bool) *page 
 	}
 	pg.fetching = true
 	m.cacheMisses++
+	// Each fetch is its own background operation: several foreground
+	// reads may wait on the same in-flight fetch, so the RPC tree hangs
+	// off a "fetch" op of its own and foreground fetch_wait spans are
+	// redistributed over the aggregate fetch profile by critpath.
+	rec := m.beginBgOp("fetch")
 	tr, reg := m.obs()
 	if tr != nil {
-		tr.Instant("cache", "miss", m.c.id, int64(m.c.sim.Now()),
+		tr.InstantCtx(rec.ctx(), "cache", "miss", m.c.id, int64(m.c.sim.Now()),
 			trace.I("ino", f.ino), trace.I("block", idx))
 	}
 	if reg != nil {
 		reg.Counter("cache.misses").Inc()
 	}
 	bs := m.info.BlockSize
-	m.goIO(ref.NSD, 64, ioPayload{
+	m.goIO(rec.ctx(), ref.NSD, 64, ioPayload{
 		Cluster: m.c.cluster.Name, FS: m.fsName,
 		NSD: ref.NSD, Block: ref.Block, Off: 0, Len: bs,
 		Op: disk.Read, Verify: verify,
 	}, func(resp netsim.Response) {
 		pg.fetching = false
+		m.endBgOp(rec, trace.I("ino", f.ino), trace.I("block", idx), trace.I("bytes", int64(bs)))
 		if resp.Err == nil {
 			pg.present = true
 			pg.err = nil
@@ -206,6 +212,12 @@ func (f *File) readAt(p *sim.Proc, off, size units.Bytes, verify bool) ([]byte, 
 	}
 	m := f.m
 	m.readOps++
+	rec := m.beginOp(p, "read")
+	if rec.tr != nil {
+		defer func() {
+			m.endOp(p, rec, trace.I("ino", f.ino), trace.I("off", int64(off)), trace.I("bytes", int64(size)))
+		}()
+	}
 	if err := m.acquireToken(p, f.ino, off, off+size, TokShared); err != nil {
 		return nil, err
 	}
@@ -258,11 +270,16 @@ func (f *File) readAt(p *sim.Proc, off, size units.Bytes, verify bool) ([]byte, 
 			}
 		}
 	}
+	var waitStart int64
+	if rec.tr != nil {
+		waitStart = int64(m.c.sim.Now())
+	}
 	for _, pg := range pages {
 		if err := m.waitPage(p, pg); err != nil {
 			return nil, err
 		}
 	}
+	m.waitSpan(p, rec.tr, "fetch_wait", waitStart)
 	f.pos = off + size
 	if !verify {
 		return nil, nil
@@ -298,6 +315,12 @@ func (f *File) writeAt(p *sim.Proc, off, size units.Bytes, data []byte) error {
 	}
 	m := f.m
 	m.writeOps++
+	rec := m.beginOp(p, "write")
+	if rec.tr != nil {
+		defer func() {
+			m.endOp(p, rec, trace.I("ino", f.ino), trace.I("off", int64(off)), trace.I("bytes", int64(size)))
+		}()
+	}
 	if err := m.acquireToken(p, f.ino, off, off+size, TokExclusive); err != nil {
 		return err
 	}
@@ -352,8 +375,15 @@ func (f *File) writeAt(p *sim.Proc, off, size units.Bytes, data []byte) error {
 		}
 		m.flushAllDirty(f.ino)
 	}
-	for m.pool.dirty >= 2*m.c.cfg.WriteBehind {
-		m.flSig.Wait(p)
+	if m.pool.dirty >= 2*m.c.cfg.WriteBehind {
+		var waitStart int64
+		if rec.tr != nil {
+			waitStart = int64(m.c.sim.Now())
+		}
+		for m.pool.dirty >= 2*m.c.cfg.WriteBehind {
+			m.flSig.Wait(p)
+		}
+		m.waitSpan(p, rec.tr, "wb_wait", waitStart)
 	}
 	return nil
 }
@@ -379,22 +409,23 @@ func (m *Mount) flushAsync(pg *page) {
 		data = make([]byte, snapTo-snapFrom)
 		copy(data, pg.data[snapFrom:snapTo])
 	}
-	tr, reg := m.obs()
+	_, reg := m.obs()
 	var issued sim.Time
-	if tr != nil || reg != nil {
+	if reg != nil {
 		issued = m.c.sim.Now()
 	}
+	// Each write-back is its own background "flush" op: the writer that
+	// dirtied the page has long since returned, and wb_wait/sync_wait
+	// time is redistributed over the aggregate flush profile by critpath.
+	rec := m.beginBgOp("flush")
 	m.wgFl.Add(1)
-	m.goIO(pg.ref.NSD, snapTo-snapFrom, ioPayload{
+	m.goIO(rec.ctx(), pg.ref.NSD, snapTo-snapFrom, ioPayload{
 		Cluster: m.c.cluster.Name, FS: m.fsName,
 		NSD: pg.ref.NSD, Block: pg.ref.Block, Off: snapFrom, Len: snapTo - snapFrom,
 		Op: disk.Write, Data: data,
 	}, func(resp netsim.Response) {
 		pg.flushing = false
-		if tr != nil {
-			tr.Span("cache", "flush", m.c.id, int64(issued), int64(m.c.sim.Now()),
-				trace.I("ino", pg.key.ino), trace.I("bytes", int64(snapTo-snapFrom)))
-		}
+		m.endBgOp(rec, trace.I("ino", pg.key.ino), trace.I("bytes", int64(snapTo-snapFrom)))
 		if reg != nil {
 			reg.Counter("cache.flushes").Inc()
 			reg.Histogram("cache.flush_ns").Observe(float64(m.c.sim.Now() - issued))
@@ -418,6 +449,14 @@ func (m *Mount) flushAsync(pg *page) {
 // Sync flushes all dirty state of the file and publishes its size.
 func (f *File) Sync(p *sim.Proc) error {
 	m := f.m
+	rec := m.beginOp(p, "sync")
+	if rec.tr != nil {
+		defer func() { m.endOp(p, rec, trace.I("ino", f.ino)) }()
+	}
+	var waitStart int64
+	if rec.tr != nil {
+		waitStart = int64(m.c.sim.Now())
+	}
 	for {
 		m.flushAllDirty(f.ino)
 		m.wgFl.Wait(p)
@@ -434,6 +473,7 @@ func (f *File) Sync(p *sim.Proc) error {
 			break
 		}
 	}
+	m.waitSpan(p, rec.tr, "sync_wait", waitStart)
 	return m.meta(p, metaOp{Op: "setsize", Inode: f.ino, Size: f.size}).Err
 }
 

@@ -222,11 +222,25 @@ func (s *NSDServer) serve(p *sim.Proc, req *netsim.Request) netsim.Response {
 	if tr != nil || reg != nil {
 		issued = s.fs.Sim.Now()
 	}
-	if err := n.Store.IO(p, io.Op, n.byteOff(io.Block, io.Off), io.Len); err != nil {
+	// The service span parents everything the store does on our behalf —
+	// for SAN-backed NSDs that includes a nested RPC to the array — so
+	// fabric time separates from disk time on the critical path.
+	var sid int64
+	var prev trace.Ctx
+	if tr != nil {
+		sid = tr.NewSpanID()
+		prev = p.Ctx()
+		p.SetCtx(trace.Ctx{Op: req.Ctx.Op, Parent: sid})
+	}
+	err := n.Store.IO(p, io.Op, n.byteOff(io.Block, io.Off), io.Len)
+	if tr != nil {
+		p.SetCtx(prev)
+	}
+	if err != nil {
 		return netsim.Response{Err: err}
 	}
 	if tr != nil || reg != nil {
-		s.recordIO(tr, reg, n, io.Op, io.Len, issued)
+		s.recordIO(tr, reg, n, io.Op, io.Len, issued, req.Ctx, sid)
 	}
 	if io.Op == disk.Read {
 		s.bytesOut += io.Len
@@ -245,14 +259,14 @@ func (s *NSDServer) serve(p *sim.Proc, req *netsim.Request) netsim.Response {
 
 // recordIO emits the disk-service span and registry samples for one NSD
 // transfer. Kept out of serve so the disabled path pays only nil checks.
-func (s *NSDServer) recordIO(tr *trace.Tracer, reg *metrics.Registry, n *NSD, op disk.Op, ln units.Bytes, issued sim.Time) {
+func (s *NSDServer) recordIO(tr *trace.Tracer, reg *metrics.Registry, n *NSD, op disk.Op, ln units.Bytes, issued sim.Time, ctx trace.Ctx, sid int64) {
 	now := s.fs.Sim.Now()
 	name := "read"
 	if op == disk.Write {
 		name = "write"
 	}
 	if tr != nil {
-		tr.Span("nsd", name, s.Name, int64(issued), int64(now),
+		tr.SpanCtx(ctx, sid, "nsd", name, s.Name, int64(issued), int64(now),
 			trace.S("nsd", n.Name), trace.I("bytes", int64(ln)))
 	}
 	if reg != nil {

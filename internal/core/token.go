@@ -284,7 +284,7 @@ func (fs *FileSystem) serveToken(p *sim.Proc, req *netsim.Request) netsim.Respon
 				t.revokes++
 				fs.obsTokenEvent("revoke", h, op.Inode, s0, e0)
 				h := h
-				fs.mgr.Go(cl.EP, revokeService, 128,
+				fs.mgr.GoCtx(p.Ctx(), cl.EP, revokeService, 128,
 					revokePayload{FS: fs.Name, Inode: op.Inode, Start: s0, End: e0},
 					func(netsim.Response) {
 						t.carve(op.Inode, h, s0, e0)

@@ -1,0 +1,544 @@
+// Package critpath turns a causal trace (see internal/trace) into a
+// latency-attribution report: for every client-level operation it
+// reconstructs the span tree, extracts the critical path — at each
+// level the child that finished last owns the interval back to its
+// start, recursively — and classifies each critical-path segment into a
+// phase: client CPU-side residual, token wait, RPC residual, network
+// queueing, network transmission (serialization), WAN propagation, disk
+// service, and cache machinery.
+//
+// Foreground operations often block not on their own I/O but on shared
+// background work: a ReadAt waits on a prefetch issued earlier, a
+// WriteAt on write-behind backpressure, a Sync on the flush drain.
+// Those waits appear in traces as cache "*_wait" spans; Analyze
+// redistributes their time over the aggregate phase profile of the
+// background op type that did the work ("fetch" or "flush"), so the
+// final table answers "where did the time go" truthfully — e.g. a
+// write-behind stall whose flushes sat in RAID5 read-modify-write is
+// charged to disk, not to an opaque cache bucket.
+//
+// Everything here is deterministic: ties are broken by span end, start
+// and emission order, and rendering uses fixed formats — two runs of
+// the same experiment produce byte-identical reports.
+package critpath
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"gfs/internal/trace"
+)
+
+// Phase names, in display order.
+const (
+	PhaseClient   = "client"
+	PhaseToken    = "token_wait"
+	PhaseRPC      = "rpc"
+	PhaseNetQueue = "net_queue"
+	PhaseNetXmit  = "net_xmit"
+	PhaseProp     = "wan_prop"
+	PhaseDisk     = "disk"
+	PhaseCache    = "cache"
+	PhaseOther    = "other"
+)
+
+// Phases lists every phase in canonical display order.
+var Phases = []string{
+	PhaseClient, PhaseToken, PhaseRPC,
+	PhaseNetQueue, PhaseNetXmit, PhaseProp,
+	PhaseDisk, PhaseCache, PhaseOther,
+}
+
+// waitTarget maps a cache wait-span name to the background op type whose
+// aggregate profile absorbs the waited time.
+var waitTarget = map[string]string{
+	"fetch_wait": "fetch",
+	"wb_wait":    "flush",
+	"sync_wait":  "flush",
+}
+
+// OpInstance is one analyzed operation.
+type OpInstance struct {
+	ID     int64
+	Name   string
+	Track  string
+	Start  int64
+	E2E    int64            // end-to-end nanoseconds (root span duration)
+	Phases map[string]int64 // critical-path nanoseconds per phase
+	waits  map[string]int64 // wait ns pending redistribution, by target op type
+}
+
+// OpStats aggregates all instances of one op type.
+type OpStats struct {
+	Name    string
+	Count   int
+	TotalNs int64
+	lats    []int64 // sorted ascending
+	Phases  map[string]int64
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) of the op type's
+// end-to-end latencies, by the nearest-rank method.
+func (s *OpStats) Quantile(q float64) int64 {
+	if len(s.lats) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(s.lats))+0.9999999) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s.lats) {
+		i = len(s.lats) - 1
+	}
+	return s.lats[i]
+}
+
+// Report is the analysis product for one trace.
+type Report struct {
+	Ops   []*OpStats // sorted by op-type name
+	insts []*OpInstance
+}
+
+// node is one span in an op's tree during analysis.
+type node struct {
+	ev       *trace.Event
+	idx      int // emission index, the final tie-breaker
+	args     []trace.Arg
+	children []*node
+}
+
+func (n *node) end() int64 { return n.ev.TS + n.ev.Dur }
+
+// Analyze reconstructs every op tree in the tracer's buffer and returns
+// the attribution report.
+func Analyze(t *trace.Tracer) *Report {
+	events := t.Events()
+	// Group span events by op, preserving emission order. Op IDs are
+	// collected in first-appearance order and sorted for determinism.
+	byOp := map[int64][]*node{}
+	var opIDs []int64
+	for i := range events {
+		e := &events[i]
+		if e.Kind != trace.Span || e.Op == 0 {
+			continue
+		}
+		if _, ok := byOp[e.Op]; !ok {
+			opIDs = append(opIDs, e.Op)
+		}
+		byOp[e.Op] = append(byOp[e.Op], &node{ev: e, idx: i, args: t.EvArgs(e)})
+	}
+	sort.Slice(opIDs, func(i, j int) bool { return opIDs[i] < opIDs[j] })
+
+	rep := &Report{}
+	for _, op := range opIDs {
+		if inst := analyzeOp(op, byOp[op]); inst != nil {
+			rep.insts = append(rep.insts, inst)
+		}
+	}
+	rep.redistribute()
+	rep.aggregate()
+	return rep
+}
+
+// analyzeOp builds one op's tree and walks its critical path.
+func analyzeOp(op int64, nodes []*node) *OpInstance {
+	bySID := map[int64]*node{}
+	var root *node
+	for _, n := range nodes {
+		if n.ev.SID != 0 {
+			bySID[n.ev.SID] = n
+		}
+	}
+	for _, n := range nodes {
+		if n.ev.Parent == 0 {
+			if n.ev.Cat == "op" && root == nil {
+				root = n
+			}
+			continue
+		}
+		if p, ok := bySID[n.ev.Parent]; ok && p != n {
+			p.children = append(p.children, n)
+		}
+	}
+	if root == nil {
+		return nil
+	}
+	inst := &OpInstance{
+		ID: op, Name: root.ev.Name, Track: root.ev.Track,
+		Start: root.ev.TS, E2E: root.ev.Dur,
+		Phases: map[string]int64{}, waits: map[string]int64{},
+	}
+	attribute(root, root.ev.TS, root.end(), inst, false)
+	return inst
+}
+
+// attribute charges [lo, hi] of n's interval: children own their
+// sub-intervals ("last finisher wins" going backwards), the rest is n's
+// own residual. underToken marks subtrees rooted at a token span — the
+// acquire RPC, its flows, and server-side revoke fan-out are all token
+// machinery, so their time is token wait regardless of transport.
+func attribute(n *node, lo, hi int64, inst *OpInstance, underToken bool) {
+	if hi <= lo {
+		if hi == lo && n.ev.Parent == 0 {
+			// Zero-duration op: nothing to attribute.
+			return
+		}
+		return
+	}
+	kids := n.children
+	if len(kids) > 1 {
+		kids = append([]*node(nil), kids...)
+		sort.Slice(kids, func(i, j int) bool {
+			ei, ej := kids[i].end(), kids[j].end()
+			if ei != ej {
+				return ei > ej
+			}
+			if kids[i].ev.TS != kids[j].ev.TS {
+				return kids[i].ev.TS > kids[j].ev.TS
+			}
+			return kids[i].idx > kids[j].idx
+		})
+	}
+	underToken = underToken || n.ev.Cat == "token"
+	cur := hi
+	for _, k := range kids {
+		if cur <= lo {
+			break
+		}
+		ks, ke := k.ev.TS, k.end()
+		if ke > cur {
+			ke = cur
+		}
+		if ks < lo {
+			ks = lo
+		}
+		if ke <= ks {
+			continue
+		}
+		if ke < cur {
+			charge(n, ke, cur, inst, underToken) // n's own time between children
+		}
+		attribute(k, ks, ke, inst, underToken)
+		cur = ks
+	}
+	if cur > lo {
+		charge(n, lo, cur, inst, underToken)
+	}
+}
+
+// charge classifies [lo, hi] of n's own (residual) time into a phase.
+func charge(n *node, lo, hi int64, inst *OpInstance, underToken bool) {
+	d := hi - lo
+	if d <= 0 {
+		return
+	}
+	e := n.ev
+	if underToken {
+		inst.Phases[PhaseToken] += d
+		return
+	}
+	switch e.Cat {
+	case "op":
+		inst.Phases[PhaseClient] += d
+	case "token":
+		inst.Phases[PhaseToken] += d
+	case "rpc", "auth":
+		inst.Phases[PhaseRPC] += d
+	case "nsd", "disk":
+		inst.Phases[PhaseDisk] += d
+	case "flow":
+		chargeFlow(n, lo, hi, inst)
+	case "cache":
+		if target, ok := waitTarget[e.Name]; ok {
+			inst.waits[target] += d
+		} else {
+			inst.Phases[PhaseCache] += d
+		}
+	default:
+		inst.Phases[PhaseOther] += d
+	}
+}
+
+// chargeFlow splits a flow segment into queue / transmission /
+// propagation using the absolute sub-interval boundaries the flow span
+// carries as args.
+func chargeFlow(n *node, lo, hi int64, inst *OpInstance) {
+	var qNs, xNs, pNs int64
+	seen := 0
+	for _, a := range n.args {
+		switch a.Key {
+		case "queue_ns":
+			qNs, seen = a.IVal, seen+1
+		case "xmit_ns":
+			xNs, seen = a.IVal, seen+1
+		case "prop_ns":
+			pNs, seen = a.IVal, seen+1
+		}
+	}
+	if seen != 3 {
+		inst.Phases[PhaseNetXmit] += hi - lo
+		return
+	}
+	ts := n.ev.TS
+	bounds := [4]int64{ts, ts + qNs, ts + qNs + xNs, ts + qNs + xNs + pNs}
+	phases := [3]string{PhaseNetQueue, PhaseNetXmit, PhaseProp}
+	for i := 0; i < 3; i++ {
+		s, e := bounds[i], bounds[i+1]
+		if s < lo {
+			s = lo
+		}
+		if e > hi {
+			e = hi
+		}
+		if e > s {
+			inst.Phases[phases[i]] += e - s
+		}
+	}
+}
+
+// redistribute converts each instance's pending wait time into concrete
+// phases using the aggregate profile of the target background op type.
+// With no observed background ops of that type, the wait stays in the
+// cache phase.
+func (r *Report) redistribute() {
+	profiles := map[string]map[string]int64{}
+	totals := map[string]int64{}
+	for _, in := range r.insts {
+		if in.Name != "fetch" && in.Name != "flush" {
+			continue
+		}
+		prof := profiles[in.Name]
+		if prof == nil {
+			prof = map[string]int64{}
+			profiles[in.Name] = prof
+		}
+		for ph, d := range in.Phases {
+			prof[ph] += d
+			totals[in.Name] += d
+		}
+	}
+	for _, in := range r.insts {
+		for _, target := range []string{"fetch", "flush"} {
+			w := in.waits[target]
+			if w == 0 {
+				continue
+			}
+			prof, tot := profiles[target], totals[target]
+			if tot == 0 {
+				in.Phases[PhaseCache] += w
+				continue
+			}
+			distributed := int64(0)
+			maxPh, maxV := PhaseCache, int64(-1)
+			for _, ph := range Phases {
+				v := prof[ph]
+				if v == 0 {
+					continue
+				}
+				share := int64(float64(w) * (float64(v) / float64(tot)))
+				in.Phases[ph] += share
+				distributed += share
+				if v > maxV {
+					maxPh, maxV = ph, v
+				}
+			}
+			if rem := w - distributed; rem != 0 {
+				in.Phases[maxPh] += rem // rounding remainder to the largest phase
+			}
+		}
+		in.waits = nil
+	}
+}
+
+// aggregate folds instances into per-op-type stats.
+func (r *Report) aggregate() {
+	byName := map[string]*OpStats{}
+	for _, in := range r.insts {
+		s := byName[in.Name]
+		if s == nil {
+			s = &OpStats{Name: in.Name, Phases: map[string]int64{}}
+			byName[in.Name] = s
+		}
+		s.Count++
+		s.TotalNs += in.E2E
+		s.lats = append(s.lats, in.E2E)
+		for ph, d := range in.Phases {
+			s.Phases[ph] += d
+		}
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	r.Ops = r.Ops[:0]
+	for _, n := range names {
+		s := byName[n]
+		sort.Slice(s.lats, func(i, j int) bool { return s.lats[i] < s.lats[j] })
+		r.Ops = append(r.Ops, s)
+	}
+}
+
+// Slowest returns up to n analyzed instances ordered by descending
+// end-to-end latency (ties: ascending op ID).
+func (r *Report) Slowest(n int) []*OpInstance {
+	out := append([]*OpInstance(nil), r.insts...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].E2E != out[j].E2E {
+			return out[i].E2E > out[j].E2E
+		}
+		return out[i].ID < out[j].ID
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// Instances returns every analyzed op in op-ID order.
+func (r *Report) Instances() []*OpInstance { return r.insts }
+
+// fmtMs renders nanoseconds as fixed-format milliseconds.
+func fmtMs(ns int64) string {
+	return fmt.Sprintf("%.3fms", float64(ns)/1e6)
+}
+
+// pct renders part/whole as a fixed-format percentage.
+func pct(part, whole int64) string {
+	if whole == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(part)/float64(whole))
+}
+
+// activePhases returns the phases that are nonzero anywhere in the
+// report, in canonical order — keeps tables narrow.
+func (r *Report) activePhases() []string {
+	var out []string
+	for _, ph := range Phases {
+		for _, s := range r.Ops {
+			if s.Phases[ph] != 0 {
+				out = append(out, ph)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// WriteTable renders the attribution report: one latency row per op
+// type (count, mean, p50/p95/p99) and one phase row showing where the
+// summed end-to-end time went.
+func (r *Report) WriteTable(w io.Writer) {
+	if len(r.Ops) == 0 {
+		fmt.Fprintln(w, "critpath: no operations in trace")
+		return
+	}
+	cols := r.activePhases()
+	fmt.Fprintf(w, "%-8s %8s %12s %12s %12s %12s %14s\n",
+		"op", "count", "mean", "p50", "p95", "p99", "e2e total")
+	for _, s := range r.Ops {
+		mean := int64(0)
+		if s.Count > 0 {
+			mean = s.TotalNs / int64(s.Count)
+		}
+		fmt.Fprintf(w, "%-8s %8d %12s %12s %12s %12s %14s\n",
+			s.Name, s.Count, fmtMs(mean),
+			fmtMs(s.Quantile(0.50)), fmtMs(s.Quantile(0.95)), fmtMs(s.Quantile(0.99)),
+			fmtMs(s.TotalNs))
+	}
+	fmt.Fprintf(w, "\nphase breakdown (%% of summed e2e):\n")
+	fmt.Fprintf(w, "%-8s", "op")
+	for _, ph := range cols {
+		fmt.Fprintf(w, " %10s", ph)
+	}
+	fmt.Fprintln(w)
+	for _, s := range r.Ops {
+		fmt.Fprintf(w, "%-8s", s.Name)
+		for _, ph := range cols {
+			fmt.Fprintf(w, " %10s", pct(s.Phases[ph], s.TotalNs))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// String renders WriteTable to a string.
+func (r *Report) String() string {
+	var b strings.Builder
+	r.WriteTable(&b)
+	return b.String()
+}
+
+// WriteOpLat renders the mmpmon-style op_lat section: one line per op
+// type with latency quantiles plus its dominant phases.
+func (r *Report) WriteOpLat(w io.Writer) {
+	for _, s := range r.Ops {
+		mean := int64(0)
+		if s.Count > 0 {
+			mean = s.TotalNs / int64(s.Count)
+		}
+		fmt.Fprintf(w, "mmpmon op_lat %s n %d mean %s p50 %s p95 %s p99 %s",
+			s.Name, s.Count, fmtMs(mean),
+			fmtMs(s.Quantile(0.50)), fmtMs(s.Quantile(0.95)), fmtMs(s.Quantile(0.99)))
+		for _, ph := range Phases {
+			if d := s.Phases[ph]; d != 0 {
+				fmt.Fprintf(w, " %s %s", ph, pct(d, s.TotalNs))
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteTree renders the span tree of one operation, indented, for
+// offline drill-down (gfsprof -op).
+func WriteTree(w io.Writer, t *trace.Tracer, op int64) {
+	events := t.Events()
+	var nodes []*node
+	for i := range events {
+		e := &events[i]
+		if e.Kind == trace.Span && e.Op == op {
+			nodes = append(nodes, &node{ev: e, idx: i, args: t.EvArgs(e)})
+		}
+	}
+	if len(nodes) == 0 {
+		fmt.Fprintf(w, "critpath: no spans for op %d\n", op)
+		return
+	}
+	bySID := map[int64]*node{}
+	for _, n := range nodes {
+		if n.ev.SID != 0 {
+			bySID[n.ev.SID] = n
+		}
+	}
+	var roots []*node
+	for _, n := range nodes {
+		if p, ok := bySID[n.ev.Parent]; n.ev.Parent != 0 && ok && p != n {
+			p.children = append(p.children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	var dump func(n *node, depth int, base int64)
+	dump = func(n *node, depth int, base int64) {
+		e := n.ev
+		fmt.Fprintf(w, "%s%s/%s [%s +%s] %s\n",
+			strings.Repeat("  ", depth), e.Cat, e.Name,
+			fmtMs(e.TS-base), fmtMs(e.Dur), e.Track)
+		kids := append([]*node(nil), n.children...)
+		sort.Slice(kids, func(i, j int) bool {
+			if kids[i].ev.TS != kids[j].ev.TS {
+				return kids[i].ev.TS < kids[j].ev.TS
+			}
+			return kids[i].idx < kids[j].idx
+		})
+		for _, k := range kids {
+			dump(k, depth+1, base)
+		}
+	}
+	base := roots[0].ev.TS
+	for _, rt := range roots {
+		dump(rt, 0, base)
+	}
+}

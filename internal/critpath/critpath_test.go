@@ -1,0 +1,321 @@
+package critpath
+
+import (
+	"strings"
+	"testing"
+
+	"gfs/internal/trace"
+)
+
+// buildOp emits a hand-built span tree onto tr and returns the op ID.
+// Spans are given as (sid, parent, cat, name, start, end).
+type spanSpec struct {
+	sid, parent int64
+	cat, name   string
+	start, end  int64
+	args        []trace.Arg
+}
+
+func emitOp(tr *trace.Tracer, op int64, spans []spanSpec) {
+	for _, s := range spans {
+		tr.SpanCtx(trace.Ctx{Op: op, Parent: s.parent}, s.sid, s.cat, s.name, "t",
+			s.start, s.end, s.args...)
+	}
+}
+
+func phasesOf(t *testing.T, r *Report, name string) map[string]int64 {
+	t.Helper()
+	for _, s := range r.Ops {
+		if s.Name == name {
+			return s.Phases
+		}
+	}
+	t.Fatalf("no op type %q in report", name)
+	return nil
+}
+
+// A single op with one rpc child: residuals land on client and rpc.
+func TestLinearChain(t *testing.T) {
+	tr := trace.New()
+	emitOp(tr, 1, []spanSpec{
+		{sid: 1, parent: 0, cat: "op", name: "read", start: 0, end: 100},
+		{sid: 2, parent: 1, cat: "rpc", name: "nsd.io", start: 10, end: 90},
+		{sid: 0, parent: 2, cat: "nsd", name: "read", start: 30, end: 70},
+	})
+	r := Analyze(tr)
+	ph := phasesOf(t, r, "read")
+	if ph[PhaseClient] != 20 { // [0,10) + [90,100)
+		t.Errorf("client = %d, want 20", ph[PhaseClient])
+	}
+	if ph[PhaseRPC] != 40 { // [10,30) + [70,90)
+		t.Errorf("rpc = %d, want 40", ph[PhaseRPC])
+	}
+	if ph[PhaseDisk] != 40 { // [30,70)
+		t.Errorf("disk = %d, want 40", ph[PhaseDisk])
+	}
+	if got := r.Ops[0].Quantile(0.5); got != 100 {
+		t.Errorf("p50 = %d, want 100", got)
+	}
+}
+
+// Fan-out: two overlapping children; the last finisher owns the overlap.
+func TestFanOutLastFinisherWins(t *testing.T) {
+	tr := trace.New()
+	emitOp(tr, 1, []spanSpec{
+		{sid: 1, parent: 0, cat: "op", name: "write", start: 0, end: 100},
+		// Child A: token wait [5, 60]
+		{sid: 0, parent: 1, cat: "token", name: "acquire", start: 5, end: 60},
+		// Child B: rpc [40, 95] — finishes last, owns [40, 95].
+		{sid: 0, parent: 1, cat: "rpc", name: "nsd.io", start: 40, end: 95},
+	})
+	r := Analyze(tr)
+	ph := phasesOf(t, r, "write")
+	// Backward walk: [95,100) client; rpc owns [40,95); token clamped to
+	// [5,40); [0,5) client.
+	if ph[PhaseClient] != 10 {
+		t.Errorf("client = %d, want 10", ph[PhaseClient])
+	}
+	if ph[PhaseRPC] != 55 {
+		t.Errorf("rpc = %d, want 55", ph[PhaseRPC])
+	}
+	if ph[PhaseToken] != 35 {
+		t.Errorf("token = %d, want 35 (clamped, not its full 55)", ph[PhaseToken])
+	}
+	var total int64
+	for _, d := range ph {
+		total += d
+	}
+	if total != 100 {
+		t.Errorf("phases sum to %d, want exactly e2e 100", total)
+	}
+}
+
+// A zero-duration span must neither crash nor consume path time.
+func TestZeroDurationSpans(t *testing.T) {
+	tr := trace.New()
+	emitOp(tr, 1, []spanSpec{
+		{sid: 1, parent: 0, cat: "op", name: "read", start: 0, end: 50},
+		{sid: 2, parent: 1, cat: "rpc", name: "nsd.io", start: 20, end: 20}, // zero-dur
+		{sid: 0, parent: 2, cat: "nsd", name: "read", start: 20, end: 20},   // zero-dur child
+	})
+	r := Analyze(tr)
+	ph := phasesOf(t, r, "read")
+	if ph[PhaseClient] != 50 {
+		t.Errorf("client = %d, want all 50", ph[PhaseClient])
+	}
+	// Whole-op zero duration: counts, contributes nothing.
+	emitOp(tr, 2, []spanSpec{
+		{sid: 3, parent: 0, cat: "op", name: "read", start: 60, end: 60},
+	})
+	r = Analyze(tr)
+	s := phasesOf(t, r, "read")
+	_ = s
+	for _, st := range r.Ops {
+		if st.Name == "read" && st.Count != 2 {
+			t.Errorf("count = %d, want 2", st.Count)
+		}
+	}
+}
+
+// Flow spans split into queue/xmit/prop by their arg-carried boundaries.
+func TestFlowSubPhaseSplit(t *testing.T) {
+	tr := trace.New()
+	emitOp(tr, 1, []spanSpec{
+		{sid: 1, parent: 0, cat: "op", name: "read", start: 0, end: 100},
+		{sid: 0, parent: 1, cat: "flow", name: "xfer", start: 10, end: 90,
+			args: []trace.Arg{
+				trace.I("bytes", 4096),
+				trace.I("queue_ns", 20), // [10,30)
+				trace.I("xmit_ns", 10),  // [30,40)
+				trace.I("prop_ns", 50),  // [40,90)
+			}},
+	})
+	r := Analyze(tr)
+	ph := phasesOf(t, r, "read")
+	if ph[PhaseNetQueue] != 20 || ph[PhaseNetXmit] != 10 || ph[PhaseProp] != 50 {
+		t.Errorf("queue/xmit/prop = %d/%d/%d, want 20/10/50",
+			ph[PhaseNetQueue], ph[PhaseNetXmit], ph[PhaseProp])
+	}
+}
+
+// Wait spans are redistributed over the background op type's profile.
+func TestWaitRedistribution(t *testing.T) {
+	tr := trace.New()
+	// Background fetch op: 75% disk, 25% rpc.
+	emitOp(tr, 1, []spanSpec{
+		{sid: 1, parent: 0, cat: "op", name: "fetch", start: 0, end: 80},
+		{sid: 2, parent: 1, cat: "rpc", name: "nsd.io", start: 0, end: 80},
+		{sid: 0, parent: 2, cat: "nsd", name: "read", start: 20, end: 80},
+	})
+	// Foreground read spends 40 ns in fetch_wait.
+	emitOp(tr, 2, []spanSpec{
+		{sid: 3, parent: 0, cat: "op", name: "read", start: 100, end: 150},
+		{sid: 0, parent: 3, cat: "cache", name: "fetch_wait", start: 105, end: 145},
+	})
+	r := Analyze(tr)
+	ph := phasesOf(t, r, "read")
+	// fetch profile: rpc 20, disk 60 => read's 40 ns wait splits 10/30.
+	if ph[PhaseRPC] != 10 {
+		t.Errorf("rpc = %d, want 10", ph[PhaseRPC])
+	}
+	if ph[PhaseDisk] != 30 {
+		t.Errorf("disk = %d, want 30", ph[PhaseDisk])
+	}
+	if ph[PhaseClient] != 10 { // [100,105) + [145,150)
+		t.Errorf("client = %d, want 10", ph[PhaseClient])
+	}
+	if ph[PhaseCache] != 0 {
+		t.Errorf("cache = %d, want 0 (wait fully redistributed)", ph[PhaseCache])
+	}
+}
+
+// Anything on the critical path beneath a token span — the acquire RPC,
+// its flows, server-side revokes — is token machinery, not transport.
+func TestTokenSubtreeChargesTokenWait(t *testing.T) {
+	tr := trace.New()
+	emitOp(tr, 1, []spanSpec{
+		{sid: 1, parent: 0, cat: "op", name: "write", start: 0, end: 100},
+		{sid: 2, parent: 1, cat: "token", name: "acquire", start: 10, end: 90},
+		{sid: 3, parent: 2, cat: "rpc", name: "token.acquire", start: 15, end: 85},
+		{sid: 0, parent: 3, cat: "flow", name: "xfer", start: 20, end: 40,
+			args: []trace.Arg{trace.I("queue_ns", 5), trace.I("xmit_ns", 5), trace.I("prop_ns", 10)}},
+		{sid: 0, parent: 3, cat: "rpc", name: "token.revoke", start: 45, end: 80},
+	})
+	r := Analyze(tr)
+	ph := phasesOf(t, r, "write")
+	if ph[PhaseToken] != 80 { // the whole [10,90) token subtree
+		t.Errorf("token = %d, want 80", ph[PhaseToken])
+	}
+	if ph[PhaseRPC] != 0 || ph[PhaseProp] != 0 {
+		t.Errorf("rpc/prop = %d/%d, want 0/0", ph[PhaseRPC], ph[PhaseProp])
+	}
+	if ph[PhaseClient] != 20 {
+		t.Errorf("client = %d, want 20", ph[PhaseClient])
+	}
+}
+
+// With no background ops observed, waits stay in the cache phase.
+func TestWaitFallbackToCache(t *testing.T) {
+	tr := trace.New()
+	emitOp(tr, 1, []spanSpec{
+		{sid: 1, parent: 0, cat: "op", name: "write", start: 0, end: 50},
+		{sid: 0, parent: 1, cat: "cache", name: "wb_wait", start: 10, end: 40},
+	})
+	r := Analyze(tr)
+	ph := phasesOf(t, r, "write")
+	if ph[PhaseCache] != 30 {
+		t.Errorf("cache = %d, want 30", ph[PhaseCache])
+	}
+}
+
+// Phase totals always conserve e2e time exactly.
+func TestConservation(t *testing.T) {
+	tr := trace.New()
+	emitOp(tr, 1, []spanSpec{
+		{sid: 1, parent: 0, cat: "op", name: "read", start: 0, end: 1000},
+		{sid: 2, parent: 1, cat: "rpc", name: "a", start: 50, end: 600},
+		{sid: 0, parent: 2, cat: "flow", name: "xfer", start: 60, end: 300,
+			args: []trace.Arg{trace.I("queue_ns", 100), trace.I("xmit_ns", 40), trace.I("prop_ns", 100)}},
+		{sid: 0, parent: 2, cat: "nsd", name: "read", start: 310, end: 580},
+		{sid: 0, parent: 1, cat: "token", name: "acquire", start: 20, end: 400},
+		{sid: 0, parent: 1, cat: "cache", name: "fetch_wait", start: 600, end: 900},
+	})
+	// One fetch op so the wait redistributes.
+	emitOp(tr, 2, []spanSpec{
+		{sid: 3, parent: 0, cat: "op", name: "fetch", start: 0, end: 70},
+		{sid: 0, parent: 3, cat: "nsd", name: "read", start: 30, end: 70},
+	})
+	r := Analyze(tr)
+	for _, s := range r.Ops {
+		var total int64
+		for _, d := range s.Phases {
+			total += d
+		}
+		if total != s.TotalNs {
+			t.Errorf("%s: phases sum %d != e2e total %d", s.Name, total, s.TotalNs)
+		}
+	}
+}
+
+// Quantiles use the nearest-rank method on the exact latency set.
+func TestQuantiles(t *testing.T) {
+	tr := trace.New()
+	for i := int64(1); i <= 100; i++ {
+		emitOp(tr, i, []spanSpec{
+			{sid: i, parent: 0, cat: "op", name: "read", start: 0, end: i * 10},
+		})
+	}
+	r := Analyze(tr)
+	s := r.Ops[0]
+	if got := s.Quantile(0.50); got != 500 {
+		t.Errorf("p50 = %d, want 500", got)
+	}
+	if got := s.Quantile(0.95); got != 950 {
+		t.Errorf("p95 = %d, want 950", got)
+	}
+	if got := s.Quantile(0.99); got != 990 {
+		t.Errorf("p99 = %d, want 990", got)
+	}
+}
+
+// Rendering is byte-deterministic for identical traces.
+func TestRenderDeterminism(t *testing.T) {
+	build := func() string {
+		tr := trace.New()
+		emitOp(tr, 1, []spanSpec{
+			{sid: 1, parent: 0, cat: "op", name: "read", start: 0, end: 100},
+			{sid: 0, parent: 1, cat: "rpc", name: "a", start: 10, end: 90},
+		})
+		emitOp(tr, 2, []spanSpec{
+			{sid: 2, parent: 0, cat: "op", name: "write", start: 0, end: 200},
+			{sid: 0, parent: 2, cat: "token", name: "acquire", start: 0, end: 150},
+		})
+		return Analyze(tr).String()
+	}
+	a, b := build(), build()
+	if a != b {
+		t.Fatalf("renders differ:\n%s\n---\n%s", a, b)
+	}
+	if !strings.Contains(a, "read") || !strings.Contains(a, "write") {
+		t.Fatalf("render missing op rows:\n%s", a)
+	}
+}
+
+// Slowest orders by descending latency with op-ID tiebreak.
+func TestSlowest(t *testing.T) {
+	tr := trace.New()
+	for i := int64(1); i <= 5; i++ {
+		emitOp(tr, i, []spanSpec{
+			{sid: i, parent: 0, cat: "op", name: "read", start: 0, end: i % 3 * 100},
+		})
+	}
+	r := Analyze(tr)
+	top := r.Slowest(3)
+	if len(top) != 3 {
+		t.Fatalf("len = %d", len(top))
+	}
+	if top[0].E2E < top[1].E2E || top[1].E2E < top[2].E2E {
+		t.Errorf("not sorted: %d %d %d", top[0].E2E, top[1].E2E, top[2].E2E)
+	}
+	if top[0].E2E == top[1].E2E && top[0].ID > top[1].ID {
+		t.Errorf("tie not broken by op ID: %d then %d", top[0].ID, top[1].ID)
+	}
+}
+
+// WriteTree renders all spans of an op without crashing on odd shapes.
+func TestWriteTree(t *testing.T) {
+	tr := trace.New()
+	emitOp(tr, 7, []spanSpec{
+		{sid: 1, parent: 0, cat: "op", name: "read", start: 0, end: 100},
+		{sid: 2, parent: 1, cat: "rpc", name: "nsd.io", start: 10, end: 90},
+		{sid: 0, parent: 99, cat: "flow", name: "orphan", start: 5, end: 6}, // unknown parent
+	})
+	var b strings.Builder
+	WriteTree(&b, tr, 7)
+	out := b.String()
+	for _, want := range []string{"op/read", "rpc/nsd.io", "flow/orphan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -3,23 +3,21 @@ package experiments
 import (
 	"bytes"
 	"fmt"
+	"strings"
 	"testing"
 
 	"gfs/internal/auth"
 	"gfs/internal/core"
+	"gfs/internal/critpath"
 	"gfs/internal/sim"
 	"gfs/internal/units"
 )
 
-// traceRun builds a small two-site WAN topology, seeds a file at the
-// owning site, reads it remotely (read-ahead, tokens, a revoke via a
-// second writer) and returns the observability products: the Chrome
-// trace bytes, the JSONL bytes, the mmpmon snapshot and the registry.
-func traceRun(t *testing.T) (chrome, jsonl, snapshot, registry []byte) {
+// traceWorkload builds a small two-site WAN topology, seeds a file at
+// the owning site, reads it remotely (read-ahead, tokens, a revoke via
+// a second writer). Observability must already be installed.
+func traceWorkload(t *testing.T) {
 	t.Helper()
-	o := SetObservability(&ObsConfig{Trace: true, Stats: true})
-	defer SetObservability(nil)
-
 	s := newSim()
 	nw := newEthernetNet(s)
 	owner := NewSite(s, nw, "alpha")
@@ -73,6 +71,16 @@ func traceRun(t *testing.T) (chrome, jsonl, snapshot, registry []byte) {
 		}
 		return f.Close(p)
 	})
+}
+
+// traceRun installs observability, runs traceWorkload, and returns the
+// observability products: the Chrome trace bytes, the JSONL bytes, the
+// mmpmon snapshot and the registry.
+func traceRun(t *testing.T) (chrome, jsonl, snapshot, registry []byte) {
+	t.Helper()
+	o := SetObservability(&ObsConfig{Trace: true, Stats: true})
+	defer SetObservability(nil)
+	traceWorkload(t)
 
 	var cb, jb, sb bytes.Buffer
 	if err := o.Tracer.WriteChrome(&cb); err != nil {
@@ -105,6 +113,51 @@ func TestTraceDeterminism(t *testing.T) {
 	}
 	if len(c1) == 0 || len(j1) == 0 || len(s1) == 0 || len(r1) == 0 {
 		t.Fatal("empty observability output")
+	}
+}
+
+// TestAttributionDeterminism: the rendered critical-path attribution of
+// two identical runs must be byte-identical, and must attribute time to
+// the phases this topology exercises (WAN propagation, disk service,
+// network serialization).
+func TestAttributionDeterminism(t *testing.T) {
+	render := func() string {
+		o := SetObservability(&ObsConfig{Trace: true})
+		defer SetObservability(nil)
+		traceWorkload(t)
+		return critpath.Analyze(o.Tracer).String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("attribution reports differ between identical runs:\n%s\n---\n%s", a, b)
+	}
+	for _, want := range []string{"read", "write", "fetch", "wan_prop", "disk"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("attribution report missing %q:\n%s", want, a)
+		}
+	}
+}
+
+// TestAttributionConservation: on a real end-to-end workload every op's
+// phase breakdown must sum exactly to its end-to-end latency — the
+// causal tree wiring through tokens, RPCs, flows and disks loses no
+// intervals and double-counts none.
+func TestAttributionConservation(t *testing.T) {
+	o := SetObservability(&ObsConfig{Trace: true})
+	defer SetObservability(nil)
+	traceWorkload(t)
+	rep := critpath.Analyze(o.Tracer)
+	if len(rep.Ops) == 0 {
+		t.Fatal("no operations analyzed")
+	}
+	for _, s := range rep.Ops {
+		var total int64
+		for _, d := range s.Phases {
+			total += d
+		}
+		if total != s.TotalNs {
+			t.Errorf("%s: phase sum %d != e2e total %d", s.Name, total, s.TotalNs)
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"gfs/internal/core"
+	"gfs/internal/critpath"
 	"gfs/internal/metrics"
 	"gfs/internal/netsim"
 	"gfs/internal/sim"
@@ -113,6 +114,9 @@ func observeCluster(c *core.Cluster) {
 }
 
 // snapshotSim writes one mmpmon snapshot for the clusters living on s.
+// With tracing on, the counters are followed by an op_lat section —
+// per-op-type latency quantiles with critical-path phase percentages,
+// derived from the events recorded so far.
 func (o *Obs) snapshotSim(w io.Writer, s *sim.Sim) {
 	var cs []*core.Cluster
 	for _, c := range o.clusters {
@@ -121,6 +125,9 @@ func (o *Obs) snapshotSim(w io.Writer, s *sim.Sim) {
 		}
 	}
 	core.WriteMmpmon(w, s, cs)
+	if o.Tracer != nil && o.Tracer.Len() > 0 {
+		critpath.Analyze(o.Tracer).WriteOpLat(w)
+	}
 }
 
 // Snapshot writes a final mmpmon snapshot for every simulator observed.

@@ -82,7 +82,7 @@ func RunStorCloudLocal(cfg StorCloudConfig) *Result {
 					window.Acquire(sp, 1)
 					inner.Add(1)
 					lunOff := (units.Bytes(j) * cfg.IOSize) % (arr.Sets[lun].Capacity() - cfg.IOSize)
-					arr.GoReadLUN(ep, lun, lunOff, cfg.IOSize, func(err error) {
+					arr.GoReadLUN(ep, sp.Ctx(), lun, lunOff, cfg.IOSize, func(err error) {
 						if err != nil && firstErr == nil {
 							firstErr = err
 						}

@@ -15,6 +15,7 @@ import (
 	"gfs/internal/netsim"
 	"gfs/internal/san"
 	"gfs/internal/sim"
+	"gfs/internal/trace"
 	"gfs/internal/units"
 )
 
@@ -182,6 +183,34 @@ func NewClient(f *san.Fabric, node *netsim.Node, meta *FileServer, conns int) *C
 	return &Client{sim: f.Sim, EP: f.Net.NewEndpoint(node, conns), meta: meta}
 }
 
+// opRec is one traced SANergy block operation; the zero value means
+// tracing is off.
+type opRec struct {
+	tr    *trace.Tracer
+	op    int64
+	sid   int64
+	start int64
+	name  string
+}
+
+func (r *opRec) ctx() trace.Ctx { return trace.Ctx{Op: r.op, Parent: r.sid} }
+
+func (c *Client) beginOp(name string) opRec {
+	tr := c.sim.Tracer()
+	if tr == nil {
+		return opRec{}
+	}
+	return opRec{tr: tr, op: tr.NewOpID(), sid: tr.NewSpanID(), start: int64(c.sim.Now()), name: name}
+}
+
+func (c *Client) endOp(r opRec, bytes units.Bytes) {
+	if r.tr == nil {
+		return
+	}
+	r.tr.SpanCtx(trace.Ctx{Op: r.op}, r.sid, "op", r.name, c.EP.Node().Name(),
+		r.start, int64(c.sim.Now()), trace.I("bytes", int64(bytes)))
+}
+
 // Create allocates a file of the given size on the file server.
 func (c *Client) Create(p *sim.Proc, name string, size units.Bytes) error {
 	resp := c.EP.Call(p, c.meta.EP, metaService, 128, metaReq{Op: "create", Name: name, Size: size})
@@ -213,7 +242,11 @@ func (c *Client) ReadFile(p *sim.Proc, name string, blockSize units.Bytes, depth
 			window.Acquire(p, 1)
 			wg.Add(1)
 			e, off, ln := e, off, ln
-			e.Array.GoReadLUN(c.EP, e.LUN, e.Off+off, ln, func(err error) {
+			// Each block read is one traced operation: issue-to-landing
+			// latency is what depth-N pipelining trades against.
+			rec := c.beginOp("read")
+			e.Array.GoReadLUN(c.EP, rec.ctx(), e.LUN, e.Off+off, ln, func(err error) {
+				c.endOp(rec, ln)
 				if err != nil && firstErr == nil {
 					firstErr = err
 				}
@@ -249,7 +282,9 @@ func (c *Client) WriteFile(p *sim.Proc, name string, blockSize units.Bytes, dept
 			window.Acquire(p, 1)
 			wg.Add(1)
 			e, off, ln := e, off, ln
-			e.Array.GoWriteLUN(c.EP, e.LUN, e.Off+off, ln, func(err error) {
+			rec := c.beginOp("write")
+			e.Array.GoWriteLUN(c.EP, rec.ctx(), e.LUN, e.Off+off, ln, func(err error) {
+				c.endOp(rec, ln)
 				if err != nil && firstErr == nil {
 					firstErr = err
 				}

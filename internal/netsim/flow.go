@@ -15,7 +15,9 @@ const rateEps = 0.5 // bytes; slop for float remaining-byte arithmetic
 type message struct {
 	size        float64
 	remaining   float64
+	enq         sim.Time // when Send queued it
 	started     sim.Time // when it reached the head of the queue
+	ctx         trace.Ctx
 	onDelivered func()
 }
 
@@ -121,6 +123,12 @@ func (c *Conn) Queued() int { return len(c.queue) }
 // virtual instant the last byte arrives at the destination. Must be called
 // from event context (inside an event callback or a process).
 func (c *Conn) Send(size units.Bytes, onDelivered func()) {
+	c.SendCtx(trace.Ctx{}, size, onDelivered)
+}
+
+// SendCtx is Send with a causal context: the flow span this message emits
+// on delivery is attributed to ctx.
+func (c *Conn) SendCtx(ctx trace.Ctx, size units.Bytes, onDelivered func()) {
 	if size < 0 {
 		panic(fmt.Sprintf("netsim: negative message size %d", size))
 	}
@@ -134,7 +142,7 @@ func (c *Conn) Send(size units.Bytes, onDelivered func()) {
 		}
 		return
 	}
-	m := &message{size: float64(size), remaining: float64(size), onDelivered: onDelivered}
+	m := &message{size: float64(size), remaining: float64(size), enq: nw.Sim.Now(), ctx: ctx, onDelivered: onDelivered}
 	if size == 0 {
 		m.size, m.remaining = 1, 1 // headers are never free
 	}
@@ -261,10 +269,19 @@ func (c *Conn) deliverHead(now sim.Time) {
 		}
 	}
 	if tr := nw.Sim.Tracer(); tr != nil {
-		tr.Span("flow", "xfer", c.src.name+"->"+c.dst.name,
-			int64(head.started), int64(now),
+		// The span covers the message's whole life on the wire:
+		// [enqueue, last byte at destination] = queue wait (behind
+		// earlier messages on this conn) + transmission at the allocated
+		// rate + one-way propagation. The sub-phase durations ride along
+		// so critical-path attribution can split serialization from
+		// speed-of-light time.
+		tr.SpanCtx(head.ctx, 0, "flow", "xfer", c.src.name+"->"+c.dst.name,
+			int64(head.enq), int64(now+c.oneWay),
 			trace.I("bytes", int64(head.size)),
-			trace.I("queued", int64(len(c.queue))))
+			trace.I("queued", int64(len(c.queue))),
+			trace.I("queue_ns", int64(head.started-head.enq)),
+			trace.I("xmit_ns", int64(now-head.started)),
+			trace.I("prop_ns", int64(c.oneWay)))
 	}
 	if reg := nw.Metrics; reg != nil {
 		reg.Counter("net.msgs").Inc()

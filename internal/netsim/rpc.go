@@ -15,6 +15,7 @@ type Request struct {
 	Service string
 	Size    units.Bytes // wire size of the request
 	Payload any
+	Ctx     trace.Ctx // causal context: the op this RPC serves, parented to the RPC span
 }
 
 // Response is what a handler returns.
@@ -90,12 +91,14 @@ func (e *Endpoint) connTo(peer *Endpoint) *Conn {
 
 // Call performs a blocking RPC from process p: the request's bytes cross
 // the network, the handler runs on the peer (possibly blocking), and the
-// response's bytes cross back. It returns the handler's response.
+// response's bytes cross back. It returns the handler's response. The
+// RPC inherits p's causal context, so its span parents into whatever
+// operation p is executing.
 func (e *Endpoint) Call(p *sim.Proc, peer *Endpoint, service string, reqSize units.Bytes, payload any) Response {
 	var resp Response
 	done := false
 	wake := p.Suspend()
-	e.Go(peer, service, reqSize, payload, func(r Response) {
+	e.GoCtx(p.Ctx(), peer, service, reqSize, payload, func(r Response) {
 		resp = r
 		done = true
 		wake()
@@ -106,10 +109,20 @@ func (e *Endpoint) Call(p *sim.Proc, peer *Endpoint, service string, reqSize uni
 	return resp
 }
 
-// Go performs a non-blocking RPC; onDone fires in event context when the
-// response arrives. Useful for keeping many requests in flight (the
-// read-ahead pipeline at the heart of WAN-GFS performance).
+// Go performs a non-blocking RPC with no causal context; onDone fires in
+// event context when the response arrives. Useful for keeping many
+// requests in flight (the read-ahead pipeline at the heart of WAN-GFS
+// performance).
 func (e *Endpoint) Go(peer *Endpoint, service string, reqSize units.Bytes, payload any, onDone func(Response)) {
+	e.GoCtx(trace.Ctx{}, peer, service, reqSize, payload, onDone)
+}
+
+// GoCtx is Go with an explicit causal context. The RPC's span ID is
+// allocated at issue time; the request flow, the handler process and the
+// response flow all run under {ctx.Op, rpc span}, so everything the RPC
+// causes — nested calls, disk service, wire transfers — hangs off it in
+// the op tree.
+func (e *Endpoint) GoCtx(ctx trace.Ctx, peer *Endpoint, service string, reqSize units.Bytes, payload any, onDone func(Response)) {
 	h, ok := peer.services[service]
 	if !ok {
 		panic(fmt.Sprintf("netsim: no service %q on %s", service, peer.node))
@@ -120,15 +133,22 @@ func (e *Endpoint) Go(peer *Endpoint, service string, reqSize units.Bytes, paylo
 	if tr != nil || reg != nil {
 		issued = nw.Sim.Now()
 	}
+	var sid int64
+	var child trace.Ctx
+	if tr != nil {
+		sid = tr.NewSpanID()
+		child = trace.Ctx{Op: ctx.Op, Parent: sid}
+	}
 	reqConn := e.connTo(peer)
 	respConn := peer.connTo(e)
-	req := &Request{From: e, Service: service, Size: reqSize, Payload: payload}
-	reqConn.Send(reqSize+HeaderBytes, func() {
+	req := &Request{From: e, Service: service, Size: reqSize, Payload: payload, Ctx: child}
+	reqConn.SendCtx(child, reqSize+HeaderBytes, func() {
 		peer.net.Sim.Go("rpc:"+service, func(sp *sim.Proc) {
+			sp.SetCtx(child)
 			resp := h(sp, req)
-			respConn.Send(resp.Size+HeaderBytes, func() {
+			respConn.SendCtx(child, resp.Size+HeaderBytes, func() {
 				if tr != nil || reg != nil {
-					e.recordRPC(tr, reg, peer, service, issued, reqSize, &resp)
+					e.recordRPC(tr, reg, peer, service, issued, reqSize, &resp, ctx, sid)
 				}
 				if onDone != nil {
 					onDone(resp)
@@ -141,7 +161,7 @@ func (e *Endpoint) Go(peer *Endpoint, service string, reqSize units.Bytes, paylo
 // recordRPC emits the request/response span and registry samples for one
 // completed RPC. Kept out of Go's hot closure so the disabled path pays
 // only the nil checks.
-func (e *Endpoint) recordRPC(tr *trace.Tracer, reg *metrics.Registry, peer *Endpoint, service string, issued sim.Time, reqSize units.Bytes, resp *Response) {
+func (e *Endpoint) recordRPC(tr *trace.Tracer, reg *metrics.Registry, peer *Endpoint, service string, issued sim.Time, reqSize units.Bytes, resp *Response, ctx trace.Ctx, sid int64) {
 	now := e.net.Sim.Now()
 	if tr != nil {
 		args := []trace.Arg{
@@ -151,7 +171,7 @@ func (e *Endpoint) recordRPC(tr *trace.Tracer, reg *metrics.Registry, peer *Endp
 		if resp.Err != nil {
 			args = append(args, trace.S("err", resp.Err.Error()))
 		}
-		tr.Span("rpc", service, e.node.name+"->"+peer.node.name,
+		tr.SpanCtx(ctx, sid, "rpc", service, e.node.name+"->"+peer.node.name,
 			int64(issued), int64(now), args...)
 	}
 	if reg != nil {

@@ -126,16 +126,23 @@ func coalesce(ops []diskWork) []diskWork {
 
 // run executes the per-member work lists in parallel and blocks p until
 // all complete (a logical RAID op finishes when its slowest member does).
+// Members launch in index order: map iteration order here would assign
+// event sequence numbers randomly, and two members finishing at the same
+// virtual instant would then complete in a different order on every run —
+// timing nondeterminism that snowballs through the whole simulation.
 func (r *Set) run(p *sim.Proc, work map[int][]diskWork) {
 	wg := sim.NewWaitGroup(r.sim)
-	for i, ops := range work {
+	for i := range r.disks {
+		ops, ok := work[i]
+		if !ok {
+			continue
+		}
 		ops = coalesce(ops)
 		if len(ops) == 0 {
 			continue
 		}
 		wg.Add(1)
 		d := r.disks[i]
-		ops := ops
 		r.sim.Go(r.name+"/member", func(mp *sim.Proc) {
 			defer wg.Done()
 			for _, w := range ops {

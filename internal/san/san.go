@@ -12,6 +12,7 @@ import (
 	"gfs/internal/netsim"
 	"gfs/internal/raid"
 	"gfs/internal/sim"
+	"gfs/internal/trace"
 	"gfs/internal/units"
 )
 
@@ -184,12 +185,31 @@ func (a *Array) serve(p *sim.Proc, req *netsim.Request) netsim.Response {
 		return netsim.Response{Err: fmt.Errorf("san: %s has no LUN %d", a.name, io.LUN)}
 	}
 	set := a.Sets[io.LUN]
+	tr := a.sim.Tracer()
+	var issued sim.Time
+	if tr != nil {
+		issued = a.sim.Now()
+	}
+	var resp netsim.Response
 	if io.Op == disk.Read {
 		set.Read(p, io.Off, io.Size)
-		return netsim.Response{Size: io.Size}
+		resp = netsim.Response{Size: io.Size}
+	} else {
+		set.Write(p, io.Off, io.Size)
+		resp = netsim.Response{Size: 64}
 	}
-	set.Write(p, io.Off, io.Size)
-	return netsim.Response{Size: 64}
+	if tr != nil {
+		// Time inside the RAID set — seeks, media transfer, and on
+		// partial-stripe writes the RAID5 read-modify-write — classified
+		// as disk service by critical-path attribution.
+		name := "read"
+		if io.Op == disk.Write {
+			name = "write"
+		}
+		tr.SpanCtx(p.Ctx(), 0, "disk", name, a.name, int64(issued), int64(a.sim.Now()),
+			trace.I("lun", int64(io.LUN)), trace.I("bytes", int64(io.Size)))
+	}
+	return resp
 }
 
 // ReadLUN issues a blocking read of [off, off+size) on the LUN from the
@@ -208,10 +228,10 @@ func (a *Array) WriteLUN(initiator *netsim.Endpoint, p *sim.Proc, lun int, off, 
 	return resp.Err
 }
 
-// GoWriteLUN issues a pipelined (non-blocking) write; the data crosses the
-// fabric in the request.
-func (a *Array) GoWriteLUN(initiator *netsim.Endpoint, lun int, off, size units.Bytes, onDone func(error)) {
-	initiator.Go(a.LUNController(lun), ioService, size,
+// GoWriteLUN issues a pipelined (non-blocking) write under the causal
+// context ctx; the data crosses the fabric in the request.
+func (a *Array) GoWriteLUN(initiator *netsim.Endpoint, ctx trace.Ctx, lun int, off, size units.Bytes, onDone func(error)) {
+	initiator.GoCtx(ctx, a.LUNController(lun), ioService, size,
 		IORequest{LUN: lun, Op: disk.Write, Off: off, Size: size},
 		func(r netsim.Response) {
 			if onDone != nil {
@@ -220,9 +240,10 @@ func (a *Array) GoWriteLUN(initiator *netsim.Endpoint, lun int, off, size units.
 		})
 }
 
-// GoReadLUN issues a pipelined (non-blocking) read.
-func (a *Array) GoReadLUN(initiator *netsim.Endpoint, lun int, off, size units.Bytes, onDone func(error)) {
-	initiator.Go(a.LUNController(lun), ioService, 64,
+// GoReadLUN issues a pipelined (non-blocking) read under the causal
+// context ctx.
+func (a *Array) GoReadLUN(initiator *netsim.Endpoint, ctx trace.Ctx, lun int, off, size units.Bytes, onDone func(error)) {
+	initiator.GoCtx(ctx, a.LUNController(lun), ioService, 64,
 		IORequest{LUN: lun, Op: disk.Read, Off: off, Size: size},
 		func(r netsim.Response) {
 			if onDone != nil {

@@ -5,6 +5,7 @@ import (
 
 	"gfs/internal/netsim"
 	"gfs/internal/sim"
+	"gfs/internal/trace"
 	"gfs/internal/units"
 )
 
@@ -135,7 +136,7 @@ func TestPipelinedReadsOverlapDiskAndWire(t *testing.T) {
 	s.Schedule(0, func() {
 		for i := 0; i < 16; i++ {
 			lun := i % len(a.Sets)
-			a.GoReadLUN(ep, lun, units.Bytes(i)*units.MiB, units.MiB, func(err error) {
+			a.GoReadLUN(ep, trace.Ctx{}, lun, units.Bytes(i)*units.MiB, units.MiB, func(err error) {
 				if err != nil {
 					t.Errorf("read: %v", err)
 				}

@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"gfs/internal/trace"
+)
 
 // Proc is a simulated process: a goroutine whose execution interleaves with
 // the event loop one-at-a-time, SimPy style. Inside the process function,
@@ -16,6 +20,7 @@ type Proc struct {
 	park   chan struct{} // process -> simulator
 	done   bool
 	killed bool
+	ctx    trace.Ctx // causal context carried into blocking calls (RPC, IO)
 }
 
 // Go spawns a process running fn. The process starts at the current virtual
@@ -90,6 +95,16 @@ func (p *Proc) wake() {
 
 // Name returns the process name given to Go.
 func (p *Proc) Name() string { return p.name }
+
+// Ctx returns the process's causal trace context (zero when tracing is
+// off or no operation is in progress).
+func (p *Proc) Ctx() trace.Ctx { return p.ctx }
+
+// SetCtx installs a causal trace context on the process. Blocking calls
+// made by instrumented components (RPC issue, disk service) read it to
+// parent the events they emit. Callers that scope a context to a region
+// should restore the previous value afterwards.
+func (p *Proc) SetCtx(c trace.Ctx) { p.ctx = c }
 
 // Sim returns the simulator this process belongs to.
 func (p *Proc) Sim() *Sim { return p.sim }

@@ -9,12 +9,14 @@ import (
 )
 
 // WriteJSONL writes one JSON object per event, in emission order — the
-// format for ad-hoc grepping and for diffing two runs.
+// format for ad-hoc grepping, for diffing two runs, and for offline
+// analysis by cmd/gfsprof (see ReadJSONL). Causal fields (op, sid,
+// parent) are included when set.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	for i := range t.Events() {
 		e := &t.events[i]
-		if err := writeEventJSON(bw, e, true); err != nil {
+		if err := t.writeEventJSON(bw, e); err != nil {
 			return err
 		}
 		if _, err := bw.WriteString("\n"); err != nil {
@@ -24,11 +26,79 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 	return bw.Flush()
 }
 
+// jsonlEvent mirrors the JSONL encoding for ReadJSONL.
+type jsonlEvent struct {
+	Kind   string         `json:"kind"`
+	TS     int64          `json:"ts"`
+	Dur    int64          `json:"dur"`
+	Cat    string         `json:"cat"`
+	Name   string         `json:"name"`
+	Track  string         `json:"track"`
+	Op     int64          `json:"op"`
+	SID    int64          `json:"sid"`
+	Parent int64          `json:"parent"`
+	Args   map[string]any `json:"args"`
+}
+
+// ReadJSONL parses a WriteJSONL dump back into a Tracer, so offline
+// tools (cmd/gfsprof) can run the same analyses as the live CLI.
+// Argument order within an event is normalized to sorted-by-key.
+func ReadJSONL(r io.Reader) (*Tracer, error) {
+	t := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var je jsonlEvent
+		if err := json.Unmarshal(raw, &je); err != nil {
+			return nil, fmt.Errorf("jsonl line %d: %w", line, err)
+		}
+		keys := make([]string, 0, len(je.Args))
+		for k := range je.Args {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		args := make([]Arg, 0, len(keys))
+		for _, k := range keys {
+			switch v := je.Args[k].(type) {
+			case string:
+				args = append(args, S(k, v))
+			case float64:
+				args = append(args, I(k, int64(v)))
+			default:
+				return nil, fmt.Errorf("jsonl line %d: arg %q has unsupported type %T", line, k, v)
+			}
+		}
+		kind := Span
+		if je.Kind == "instant" {
+			kind = Instant
+		}
+		t.push(Event{
+			Kind: kind, TS: je.TS, Dur: je.Dur, Cat: je.Cat, Name: je.Name, Track: je.Track,
+			Op: je.Op, SID: je.SID, Parent: je.Parent,
+		}, args)
+		if je.Op > t.ops {
+			t.ops = je.Op
+		}
+		if je.SID > t.sids {
+			t.sids = je.SID
+		}
+	}
+	return t, sc.Err()
+}
+
 // WriteChrome writes the buffer as Chrome trace-event JSON (the
 // {"traceEvents": [...]} envelope), loadable in Perfetto or
 // chrome://tracing. Categories become processes and tracks become named
 // threads, so the RPC, flow, NSD, token, cache and auth timelines render
 // as separate swim lanes. Timestamps are virtual-time microseconds.
+// Parent/child span links are emitted as Perfetto flow events
+// (ph:"s"/"f"), so the causal arrows of each operation render in the UI.
 func (t *Tracer) WriteChrome(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
@@ -59,6 +129,13 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 				pid, tid, jstr(e.Track)))
 		}
 	}
+	// Index span IDs so child spans can draw an arrow from their parent.
+	spanBySID := map[int64]int{}
+	for i := range events {
+		if e := &events[i]; e.Kind == Span && e.SID != 0 {
+			spanBySID[e.SID] = i
+		}
+	}
 	first := true
 	emit := func(line string) error {
 		if !first {
@@ -83,13 +160,41 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 		switch e.Kind {
 		case Span:
 			line = fmt.Sprintf(`{"ph":"X","name":%s,"cat":%s,"pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":%s}`,
-				jstr(e.Name), jstr(e.Cat), pid, tid, usec(e.TS), usec(e.Dur), argsJSON(e.Args))
+				jstr(e.Name), jstr(e.Cat), pid, tid, usec(e.TS), usec(e.Dur), argsJSON(t.EvArgs(e)))
 		default:
 			line = fmt.Sprintf(`{"ph":"i","s":"t","name":%s,"cat":%s,"pid":%d,"tid":%d,"ts":%s,"args":%s}`,
-				jstr(e.Name), jstr(e.Cat), pid, tid, usec(e.TS), argsJSON(e.Args))
+				jstr(e.Name), jstr(e.Cat), pid, tid, usec(e.TS), argsJSON(t.EvArgs(e)))
 		}
 		if err := emit(line); err != nil {
 			return err
+		}
+		// Causal arrow parent -> this span. The flow-start timestamp is
+		// clamped into the parent's interval so renderers anchor it.
+		if e.Kind == Span && e.Parent != 0 {
+			pi, ok := spanBySID[e.Parent]
+			if !ok {
+				continue
+			}
+			pe := &events[pi]
+			sts := e.TS
+			if sts < pe.TS {
+				sts = pe.TS
+			}
+			if max := pe.TS + pe.Dur; sts > max {
+				sts = max
+			}
+			ppid := pids[pe.Cat]
+			ptid := tids[pe.Cat+"\x00"+pe.Track]
+			if err := emit(fmt.Sprintf(
+				`{"ph":"s","id":%d,"name":"causal","cat":"causal","pid":%d,"tid":%d,"ts":%s}`,
+				i+1, ppid, ptid, usec(sts))); err != nil {
+				return err
+			}
+			if err := emit(fmt.Sprintf(
+				`{"ph":"f","bp":"e","id":%d,"name":"causal","cat":"causal","pid":%d,"tid":%d,"ts":%s}`,
+				i+1, pid, tid, usec(e.TS))); err != nil {
+				return err
+			}
 		}
 	}
 	if _, err := bw.WriteString("\n]}\n"); err != nil {
@@ -132,13 +237,13 @@ func argsJSON(args []Arg) string {
 	return out + "}"
 }
 
-func writeEventJSON(w io.Writer, e *Event, withKind bool) error {
-	kind := ""
-	if withKind {
-		kind = fmt.Sprintf(`"kind":%s,`, jstr(e.Kind.String()))
+func (t *Tracer) writeEventJSON(w io.Writer, e *Event) error {
+	causal := ""
+	if e.Op != 0 || e.SID != 0 || e.Parent != 0 {
+		causal = fmt.Sprintf(`"op":%d,"sid":%d,"parent":%d,`, e.Op, e.SID, e.Parent)
 	}
-	_, err := fmt.Fprintf(w, `{%s"ts":%d,"dur":%d,"cat":%s,"name":%s,"track":%s,"args":%s}`,
-		kind, e.TS, e.Dur, jstr(e.Cat), jstr(e.Name), jstr(e.Track), argsJSON(e.Args))
+	_, err := fmt.Fprintf(w, `{"kind":%s,"ts":%d,"dur":%d,%s"cat":%s,"name":%s,"track":%s,"args":%s}`,
+		jstr(e.Kind.String()), e.TS, e.Dur, causal, jstr(e.Cat), jstr(e.Name), jstr(e.Track), argsJSON(t.EvArgs(e)))
 	return err
 }
 

@@ -6,11 +6,19 @@
 // mmpmon-operator-friendly JSONL dump or as Chrome trace-event JSON that
 // Perfetto and chrome://tracing load directly.
 //
+// Events additionally carry a causal context: an operation ID naming the
+// client-level operation (one ReadAt, one background flush, one SANergy
+// block read) that caused the event, and a parent span ID linking the
+// event into that operation's tree. internal/critpath reconstructs the
+// trees and attributes end-to-end latency along the critical path.
+//
 // The package deliberately depends only on the standard library and keeps
 // timestamps as int64 nanoseconds (sim.Time's underlying type), so the
 // simulation kernel can hold a *Tracer without an import cycle. All Tracer
 // methods are nil-safe: a disabled tracer is a nil pointer and every
-// recording site pays exactly one branch.
+// recording site pays exactly one branch. Argument lists are copied into
+// a shared arena, so the variadic slice at a call site never escapes —
+// a disabled site allocates nothing.
 package trace
 
 // Kind discriminates event shapes.
@@ -46,18 +54,34 @@ func I(key string, v int64) Arg { return Arg{Key: key, IVal: v} }
 // S builds a string-valued argument.
 func S(key, v string) Arg { return Arg{Key: key, SVal: v, Str: true} }
 
+// Ctx is the causal context carried through an operation: the operation
+// ID and the span ID of the nearest enclosing span. The zero Ctx means
+// "no causal attribution" and is what every site sees when tracing is
+// disabled.
+type Ctx struct {
+	Op     int64 // operation this work belongs to (0 = none)
+	Parent int64 // span ID of the enclosing span (0 = root)
+}
+
 // Event is one recorded trace entry. TS and Dur are virtual-time
-// nanoseconds; Cat groups events onto a Perfetto "process" (rpc, flow,
-// nsd, token, cache, auth) and Track onto a named thread within it (a
-// client, a server, a conn).
+// nanoseconds; Cat groups events onto a Perfetto "process" (op, rpc,
+// flow, nsd, disk, token, cache, auth) and Track onto a named thread
+// within it (a client, a server, a conn). Op/SID/Parent place the event
+// in its operation's causal tree; argument storage lives in the Tracer's
+// arena (see Tracer.EvArgs).
 type Event struct {
-	Kind  Kind
-	TS    int64
-	Dur   int64 // spans only
-	Cat   string
-	Name  string
-	Track string
-	Args  []Arg
+	Kind   Kind
+	TS     int64
+	Dur    int64 // spans only
+	Cat    string
+	Name   string
+	Track  string
+	Op     int64 // owning operation ID (0 = unattributed)
+	SID    int64 // this span's ID (0 for instants and leaf spans)
+	Parent int64 // parent span ID (0 = root of its op)
+
+	argPos int32 // offset into the tracer's arg arena
+	argN   int32 // number of args
 }
 
 // Tracer is an append-only event buffer. It is not safe for concurrent
@@ -65,6 +89,9 @@ type Event struct {
 // runs of the same seeded experiment produce byte-identical exports.
 type Tracer struct {
 	events []Event
+	args   []Arg // shared arena backing every event's arguments
+	ops    int64 // last allocated operation ID
+	sids   int64 // last allocated span ID
 }
 
 // New returns an empty tracer.
@@ -74,8 +101,49 @@ func New() *Tracer { return &Tracer{} }
 // holding a possibly-nil *Tracer may call it unconditionally.
 func (t *Tracer) Enabled() bool { return t != nil }
 
-// Span records an interval event covering [start, end] nanoseconds.
+// NewOpID allocates a fresh operation ID (monotonic from 1; 0 on a nil
+// tracer, keeping the disabled path branch-only).
+func (t *Tracer) NewOpID() int64 {
+	if t == nil {
+		return 0
+	}
+	t.ops++
+	return t.ops
+}
+
+// NewSpanID allocates a fresh span ID (monotonic from 1; 0 on nil).
+// Span IDs are allocated when work is *issued* so that children created
+// while the span is open can name it as parent before it is recorded.
+func (t *Tracer) NewSpanID() int64 {
+	if t == nil {
+		return 0
+	}
+	t.sids++
+	return t.sids
+}
+
+func (t *Tracer) push(e Event, args []Arg) {
+	if len(args) > 0 {
+		e.argPos = int32(len(t.args))
+		e.argN = int32(len(args))
+		t.args = append(t.args, args...)
+	}
+	t.events = append(t.events, e)
+}
+
+// Span records an interval event covering [start, end] nanoseconds with
+// no causal context.
 func (t *Tracer) Span(cat, name, track string, start, end int64, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.SpanCtx(Ctx{}, 0, cat, name, track, start, end, args...)
+}
+
+// SpanCtx records an interval event attributed to ctx.Op with parent
+// ctx.Parent. sid is the span's own pre-allocated ID (from NewSpanID);
+// pass 0 for leaf spans that never hand their ID to children.
+func (t *Tracer) SpanCtx(ctx Ctx, sid int64, cat, name, track string, start, end int64, args ...Arg) {
 	if t == nil {
 		return
 	}
@@ -83,19 +151,29 @@ func (t *Tracer) Span(cat, name, track string, start, end int64, args ...Arg) {
 	if dur < 0 {
 		dur = 0
 	}
-	t.events = append(t.events, Event{
-		Kind: Span, TS: start, Dur: dur, Cat: cat, Name: name, Track: track, Args: args,
-	})
+	t.push(Event{
+		Kind: Span, TS: start, Dur: dur, Cat: cat, Name: name, Track: track,
+		Op: ctx.Op, SID: sid, Parent: ctx.Parent,
+	}, args)
 }
 
-// Instant records a point event at ts nanoseconds.
+// Instant records a point event at ts nanoseconds with no causal context.
 func (t *Tracer) Instant(cat, name, track string, ts int64, args ...Arg) {
 	if t == nil {
 		return
 	}
-	t.events = append(t.events, Event{
-		Kind: Instant, TS: ts, Cat: cat, Name: name, Track: track, Args: args,
-	})
+	t.InstantCtx(Ctx{}, cat, name, track, ts, args...)
+}
+
+// InstantCtx records a point event attributed to ctx.
+func (t *Tracer) InstantCtx(ctx Ctx, cat, name, track string, ts int64, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.push(Event{
+		Kind: Instant, TS: ts, Cat: cat, Name: name, Track: track,
+		Op: ctx.Op, Parent: ctx.Parent,
+	}, args)
 }
 
 // Len returns the number of recorded events (0 on a nil tracer).
@@ -115,12 +193,25 @@ func (t *Tracer) Events() []Event {
 	return t.events
 }
 
-// Reset discards all recorded events, keeping capacity.
+// EvArgs returns the arguments of an event obtained from this tracer's
+// Events(). The slice aliases the tracer's arena; callers must not
+// mutate or retain it across Reset.
+func (t *Tracer) EvArgs(e *Event) []Arg {
+	if t == nil || e.argN == 0 {
+		return nil
+	}
+	return t.args[e.argPos : e.argPos+e.argN]
+}
+
+// Reset discards all recorded events, keeping capacity. ID allocators
+// keep counting so op/span IDs stay unique across a Reset (analysis of a
+// later window can never confuse its trees with an earlier one's).
 func (t *Tracer) Reset() {
 	if t == nil {
 		return
 	}
 	t.events = t.events[:0]
+	t.args = t.args[:0]
 }
 
 // CountByCat returns how many events carry the given category.
