@@ -7,11 +7,13 @@
 //	gfsprof trace.jsonl                # attribution table
 //	gfsprof -top 10 trace.jsonl       # the ten slowest operations
 //	gfsprof -op 1234 trace.jsonl      # one operation's span tree
+//	gfsprof -faults trace.jsonl       # fault-injection and failover timeline
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"gfs/internal/critpath"
@@ -20,15 +22,16 @@ import (
 
 func main() {
 	var (
-		top  = flag.Int("top", 0, "also list the N slowest operations with their phase breakdowns")
-		op   = flag.Int64("op", 0, "print the span tree of one operation ID and exit")
-		lat  = flag.Bool("oplat", false, "print the mmpmon-style op_lat section instead of the table")
-		path = flag.String("in", "", "input JSONL file (or pass it as the positional argument; - reads stdin)")
+		top    = flag.Int("top", 0, "also list the N slowest operations with their phase breakdowns")
+		op     = flag.Int64("op", 0, "print the span tree of one operation ID and exit")
+		lat    = flag.Bool("oplat", false, "print the mmpmon-style op_lat section instead of the table")
+		faults = flag.Bool("faults", false, "print the fault-injection and failover timeline instead of the table")
+		path   = flag.String("in", "", "input JSONL file (or pass it as the positional argument; - reads stdin)")
 	)
 	flag.Parse()
 	if *path == "" {
 		if flag.NArg() != 1 {
-			fmt.Fprintln(os.Stderr, "usage: gfsprof [-top n | -op id | -oplat] <trace.jsonl>")
+			fmt.Fprintln(os.Stderr, "usage: gfsprof [-top n | -op id | -oplat | -faults] <trace.jsonl>")
 			os.Exit(2)
 		}
 		*path = flag.Arg(0)
@@ -52,6 +55,11 @@ func main() {
 
 	if *op != 0 {
 		critpath.WriteTree(os.Stdout, tr, *op)
+		return
+	}
+
+	if *faults {
+		writeFaultTimeline(os.Stdout, tr)
 		return
 	}
 
@@ -79,3 +87,29 @@ func main() {
 }
 
 func fmtMs(ns int64) string { return fmt.Sprintf("%.3fms", float64(ns)/1e6) }
+
+// writeFaultTimeline prints every injected fault and every failover
+// transition in the trace in time order: what broke, when, on which
+// track, and what the recovery machinery observed about it.
+func writeFaultTimeline(w io.Writer, tr *trace.Tracer) {
+	n := 0
+	for i := range tr.Events() {
+		e := &tr.Events()[i]
+		if e.Kind != trace.Instant || (e.Cat != "fault" && e.Cat != "failover") {
+			continue
+		}
+		fmt.Fprintf(w, "%12.6fs  %-8s %-16s %s", float64(e.TS)/1e9, e.Cat, e.Name, e.Track)
+		for _, a := range tr.EvArgs(e) {
+			if a.Str {
+				fmt.Fprintf(w, "  %s=%s", a.Key, a.SVal)
+			} else {
+				fmt.Fprintf(w, "  %s=%d", a.Key, a.IVal)
+			}
+		}
+		fmt.Fprintln(w)
+		n++
+	}
+	if n == 0 {
+		fmt.Fprintln(w, "no fault or failover events in trace")
+	}
+}

@@ -8,6 +8,7 @@
 //	gfssim -exp sc04 -stats           # mmpmon-style snapshot + metrics registry
 //	gfssim -exp production -attr      # critical-path latency attribution
 //	gfssim -exp sc02 -depth 1 -attr   # single outstanding request: WAN-bound
+//	gfssim -exp failover -outage 12s  # crash drill with a longer NSD outage
 package main
 
 import (
@@ -37,6 +38,9 @@ func main() {
 		depth    = flag.Int("depth", 0, "sc02 only: override the SANergy pipeline depth (outstanding block requests)")
 		block    = flag.Int64("block", 0, "sc02 only: override the block size in bytes")
 		fileSize = flag.Int64("filesize", 0, "sc02 only: override the file size in bytes")
+		crashAt  = flag.Duration("crash", 0, "failover only: override when the NSD server dies (e.g. 6s)")
+		outage   = flag.Duration("outage", 0, "failover only: override how long the server stays dead")
+		duration = flag.Duration("duration", 0, "failover only: override the total reader run time")
 	)
 	flag.Parse()
 
@@ -79,6 +83,24 @@ func main() {
 			cfg.FileSize = units.Bytes(*fileSize)
 		}
 		runners[0].Run = func() *experiments.Result { return experiments.RunSC02(cfg) }
+	}
+
+	if *crashAt > 0 || *outage > 0 || *duration > 0 {
+		if *exp != "failover" {
+			fmt.Fprintln(os.Stderr, "gfssim: -crash/-outage/-duration only apply to -exp failover")
+			os.Exit(2)
+		}
+		cfg := experiments.DefaultFailoverConfig()
+		if *crashAt > 0 {
+			cfg.CrashAt = sim.Time(*crashAt / time.Nanosecond)
+		}
+		if *outage > 0 {
+			cfg.Outage = sim.Time(*outage / time.Nanosecond)
+		}
+		if *duration > 0 {
+			cfg.Duration = sim.Time(*duration / time.Nanosecond)
+		}
+		runners[0].Run = func() *experiments.Result { return experiments.RunFailover(cfg) }
 	}
 
 	var obs *experiments.Obs

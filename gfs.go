@@ -35,6 +35,7 @@ import (
 	"gfs/internal/auth"
 	"gfs/internal/core"
 	"gfs/internal/experiments"
+	"gfs/internal/fault"
 	"gfs/internal/metrics"
 	"gfs/internal/netsim"
 	"gfs/internal/sim"
@@ -69,8 +70,16 @@ const (
 type (
 	// Network is the flow-level WAN/LAN simulator.
 	Network = netsim.Network
+	// NetNode is a host or switch in the network.
+	NetNode = netsim.Node
+	// Link is a directed network pipe; SetDown fails and restores it.
+	Link = netsim.Link
 	// TCPConfig sets per-connection window behaviour.
 	TCPConfig = netsim.TCPConfig
+	// RetryPolicy governs recovery from transient RPC failures: attempt
+	// budget, per-attempt deadline, exponential backoff. Set it on
+	// ClientConfig.Retry to tune how clients ride out server outages.
+	RetryPolicy = netsim.RetryPolicy
 )
 
 // NewNetwork returns an empty network on the simulator.
@@ -142,10 +151,55 @@ func NewCluster(s *Sim, nw *Network, name string, mode CipherMode) (*Cluster, er
 }
 
 // NewClient attaches a client to a cluster on the given network node.
-var NewClient = core.NewClient
+func NewClient(c *Cluster, name string, node *NetNode, cfg ClientConfig, id Identity) *Client {
+	return core.NewClient(c, name, node, cfg, id)
+}
 
 // DefaultClientConfig mirrors a well-tuned 2005 GPFS client.
 func DefaultClientConfig() ClientConfig { return core.DefaultClientConfig() }
+
+// DefaultRetryPolicy is the NSD I/O recovery policy clients get when
+// ClientConfig.Retry is left zero.
+func DefaultRetryPolicy() RetryPolicy { return core.DefaultRetryPolicy() }
+
+// Typed errors. Every failure the file-system core reports wraps one of
+// these sentinels, so callers branch with errors.Is instead of matching
+// message strings:
+//
+//	if _, err := m.Open(p, "/data"); errors.Is(err, gfs.ErrNotExist) { ... }
+var (
+	// ErrNotExist reports a path or inode that does not exist.
+	ErrNotExist = core.ErrNotExist
+	// ErrExist reports a create or rename target that already exists.
+	ErrExist = core.ErrExist
+	// ErrIsDir reports a file operation on a directory.
+	ErrIsDir = core.ErrIsDir
+	// ErrNotDir reports a directory operation on a non-directory.
+	ErrNotDir = core.ErrNotDir
+	// ErrPermission reports a failed permission, grant or auth check.
+	ErrPermission = core.ErrPermission
+	// ErrNotMounted reports I/O through a detached mount.
+	ErrNotMounted = core.ErrNotMounted
+	// ErrDirtyPages reports an unmount that would lose dirty data.
+	ErrDirtyPages = core.ErrDirtyPages
+	// ErrNoSuchDevice reports an unknown NSD or remote device.
+	ErrNoSuchDevice = core.ErrNoSuchDevice
+	// ErrNotEmpty reports removal of a non-empty directory.
+	ErrNotEmpty = core.ErrNotEmpty
+	// ErrNoSpace reports block allocation on a full filesystem.
+	ErrNoSpace = core.ErrNoSpace
+	// ErrStale reports access through an out-of-date handle (beyond EOF,
+	// beyond the known layout); Refresh the handle and retry.
+	ErrStale = core.ErrStale
+	// ErrServerDown is a request refused by a failed NSD server; it is
+	// transient — retry and failover machinery recovers from it.
+	ErrServerDown = core.ErrServerDown
+	// ErrClientDown is a revocation refused by a dead client node; the
+	// manager reclaims its tokens when the lease expires.
+	ErrClientDown = core.ErrClientDown
+	// ErrDeadline is an RPC attempt that exceeded its per-call deadline.
+	ErrDeadline = netsim.ErrDeadline
+)
 
 // Authentication (§6 of the paper).
 type (
@@ -193,9 +247,30 @@ type (
 // NewSite creates a cluster with an Ethernet core switch.
 func NewSite(s *Sim, nw *Network, name string) *Site { return experiments.NewSite(s, nw, name) }
 
+// FaultPlan is a deterministic, virtual-time script of failures and
+// repairs: NSD server crashes and restarts, RAID member failures with
+// rebuilds, WAN link outages and flaps, client node deaths. Build one
+// up-front, Install it on the simulator, and the same plan replays the
+// same trace byte-for-byte. A session that kills a server mid-read and
+// rides it out with a generous retry policy:
+//
+//	cfg := gfs.DefaultClientConfig()
+//	cfg.Retry = gfs.RetryPolicy{MaxAttempts: 60,
+//	    BaseBackoff: 50 * gfs.Millisecond, MaxBackoff: gfs.Second}
+//	clients := site.AddClients(4, gfs.Gbps, cfg)
+//	gfs.NewFaultPlan("drill").
+//	    ServerCrash(10*gfs.Second, 8*gfs.Second, site.FS.Servers()[0]).
+//	    Install(s)
+//	s.Go("reader", func(p *gfs.Proc) { ... reads stall, then recover ... })
+//	s.Run()
+type FaultPlan = fault.Plan
+
+// NewFaultPlan starts an empty fault plan.
+func NewFaultPlan(name string) *FaultPlan { return fault.NewPlan(name) }
+
 // Peer wires site b to import site a's filesystem (keys, grants,
 // mmremotecluster/mmremotefs) and returns the device name.
-var Peer = experiments.Peer
+func Peer(a, b *Site, access Access) string { return experiments.Peer(a, b, access) }
 
 // Experiments returns the registry regenerating the paper's figures.
 func Experiments() []Runner { return experiments.All() }

@@ -6,6 +6,8 @@ package gfs_test
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -119,7 +121,7 @@ func TestFacadeIdentity(t *testing.T) {
 
 func TestExperimentRegistryThroughFacade(t *testing.T) {
 	rs := gfs.Experiments()
-	if len(rs) != 10 {
+	if len(rs) != 11 {
 		t.Fatalf("registry size %d", len(rs))
 	}
 	seen := map[string]bool{}
@@ -137,6 +139,28 @@ func TestExperimentRegistryThroughFacade(t *testing.T) {
 	}
 	if _, ok := gfs.ExperimentByName("deisa"); !ok {
 		t.Error("deisa missing")
+	}
+	if _, ok := gfs.ExperimentByName("failover"); !ok {
+		t.Error("failover missing")
+	}
+}
+
+func TestTypedErrorsThroughFacade(t *testing.T) {
+	sentinels := []error{
+		gfs.ErrNotExist, gfs.ErrExist, gfs.ErrIsDir, gfs.ErrNotDir,
+		gfs.ErrPermission, gfs.ErrNotMounted, gfs.ErrDirtyPages,
+		gfs.ErrNoSuchDevice, gfs.ErrNotEmpty, gfs.ErrNoSpace, gfs.ErrStale,
+		gfs.ErrClientDown, gfs.ErrServerDown, gfs.ErrDeadline,
+	}
+	for i, s := range sentinels {
+		if !errors.Is(fmt.Errorf("op failed: %w", s), s) {
+			t.Errorf("sentinel %v lost through wrapping", s)
+		}
+		for j, other := range sentinels {
+			if i != j && errors.Is(s, other) {
+				t.Errorf("sentinel %v aliases %v", s, other)
+			}
+		}
 	}
 }
 

@@ -74,10 +74,11 @@ func TestNSDFailWithoutBackupErrors(t *testing.T) {
 		if err := f.ReadAt(p, 0, units.MiB); err == nil {
 			return fmt.Errorf("read with all servers down succeeded")
 		}
-		// Recovery restores service (after in-flight refusals drain).
+		// Recovery restores service automatically: with no backup, retries
+		// keep targeting the primary, so the next read finds it back up
+		// with no manual reset.
 		r.fs.servers[0].Recover()
 		r.fs.servers[1].Recover()
-		m.ResetFailover()
 		p.Sleep(sim.Second)
 		return f.ReadAt(p, 0, units.MiB)
 	})

@@ -29,6 +29,29 @@ type ClientConfig struct {
 	TokenChunk int64
 	// Conns is the number of parallel connections to each server.
 	Conns int
+	// Retry governs recovery from transient NSD I/O failures (a refused
+	// request on a down server, a deadline expiry): per-attempt deadline
+	// and exponential backoff between attempts. The zero value takes
+	// DefaultRetryPolicy.
+	Retry netsim.RetryPolicy
+	// ProbeInterval is how often a mount re-probes a primary server it
+	// has observed down, instead of sending to the backup. Zero takes
+	// DefaultProbeInterval.
+	ProbeInterval sim.Time
+}
+
+// DefaultProbeInterval is how often a mount re-checks a down primary.
+const DefaultProbeInterval = 500 * sim.Millisecond
+
+// DefaultRetryPolicy tunes NSD I/O recovery: enough attempts with capped
+// backoff to ride out a short outage, few enough to surface a dead
+// filesystem in bounded time.
+func DefaultRetryPolicy() netsim.RetryPolicy {
+	return netsim.RetryPolicy{
+		MaxAttempts: 8,
+		BaseBackoff: 10 * sim.Millisecond,
+		MaxBackoff:  sim.Second,
+	}
 }
 
 // DefaultClientConfig mirrors a well-tuned 2005 GPFS client.
@@ -51,6 +74,7 @@ type Client struct {
 	EP      *netsim.Endpoint
 	Ident   Identity
 	cfg     ClientConfig
+	down    bool
 
 	mounts map[string]*Mount
 }
@@ -59,6 +83,12 @@ type Client struct {
 func NewClient(c *Cluster, name string, node *netsim.Node, cfg ClientConfig, id Identity) *Client {
 	if cfg.Conns < 1 {
 		cfg.Conns = 1
+	}
+	if cfg.Retry.Attempts() <= 1 && cfg.Retry.BaseBackoff == 0 && cfg.Retry.Deadline == 0 {
+		cfg.Retry = DefaultRetryPolicy()
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
 	}
 	cl := &Client{
 		sim:     c.Sim,
@@ -76,6 +106,19 @@ func NewClient(c *Cluster, name string, node *netsim.Node, cfg ClientConfig, id 
 
 // ID returns the globally unique client identifier.
 func (cl *Client) ID() string { return cl.id }
+
+// Fail kills the client node: it stops answering token revocations (the
+// manager reclaims its tokens after the lease expires). Processes doing
+// I/O through its mounts must be stopped by the caller — a dead node runs
+// nothing.
+func (cl *Client) Fail() { cl.down = true }
+
+// Recover brings a failed client node back. Its token and page caches
+// are gone (the manager expired them); mounts must be re-established.
+func (cl *Client) Recover() { cl.down = false }
+
+// Down reports the failure state.
+func (cl *Client) Down() bool { return cl.down }
 
 // Cluster returns the client's home cluster.
 func (cl *Client) Cluster() *Cluster { return cl.cluster }
@@ -97,11 +140,12 @@ type Mount struct {
 	owner  string // owning cluster
 	info   mountInfo
 
-	pool    *pagePool
-	toks    *tokenTable // local cache; single holder (the client id)
-	wgFl    *sim.WaitGroup
-	flSig   *sim.Signal  // fired on each flush ack, for backpressure
-	srvDown map[int]bool // NSD index -> primary observed down (failover)
+	pool     *pagePool
+	toks     *tokenTable // local cache; single holder (the client id)
+	wgFl     *sim.WaitGroup
+	flSig    *sim.Signal // fired on each flush ack, for backpressure
+	fo       []foState   // per-NSD failover state, indexed like info.Servers
+	detached bool        // set by Unmount; further I/O fails ErrNotMounted
 
 	bytesRead    units.Bytes
 	bytesWritten units.Bytes
@@ -209,7 +253,7 @@ func (cl *Client) MountLocal(p *sim.Proc, fs *FileSystem) (*Mount, error) {
 func (cl *Client) MountRemote(p *sim.Proc, device string) (*Mount, error) {
 	def, ok := cl.cluster.remoteFS[device]
 	if !ok {
-		return nil, fmt.Errorf("core: no remote device %s (mmremotefs add first)", device)
+		return nil, fmt.Errorf("core: remote device %s (mmremotefs add first): %w", device, ErrNoSuchDevice)
 	}
 	rc := cl.cluster.remoteClusters[def.RemoteCluster]
 	if err := cl.cluster.authenticateTo(p, cl.EP, rc); err != nil {
@@ -228,7 +272,7 @@ func (cl *Client) MountRemote(p *sim.Proc, device string) (*Mount, error) {
 
 func (cl *Client) mount(p *sim.Proc, device, fsName, owner string, mgr *netsim.Endpoint) (*Mount, error) {
 	if _, dup := cl.mounts[device]; dup {
-		return nil, fmt.Errorf("core: %s already mounted on %s", device, cl.id)
+		return nil, fmt.Errorf("core: %s already mounted on %s: %w", device, cl.id, ErrExist)
 	}
 	resp := cl.EP.Call(p, mgr, mountService+"."+fsName, 256, mountReq{Cluster: cl.cluster.Name, Client: cl})
 	if resp.Err != nil {
@@ -240,11 +284,11 @@ func (cl *Client) mount(p *sim.Proc, device, fsName, owner string, mgr *netsim.E
 	}
 	m := &Mount{
 		c: cl, Device: device, fsName: fsName, owner: owner, info: info,
-		pool:    newPagePool(int(cl.cfg.PagePool / info.BlockSize)),
-		toks:    newTokenTable(),
-		wgFl:    sim.NewWaitGroup(cl.sim),
-		flSig:   sim.NewSignal(cl.sim),
-		srvDown: make(map[int]bool),
+		pool:  newPagePool(int(cl.cfg.PagePool / info.BlockSize)),
+		toks:  newTokenTable(),
+		wgFl:  sim.NewWaitGroup(cl.sim),
+		flSig: sim.NewSignal(cl.sim),
+		fo:    make([]foState, len(info.Servers)),
 	}
 	cl.mounts[device] = m
 	return m, nil
@@ -261,6 +305,9 @@ func (m *Mount) DropCaches() { m.pool.invalidateAll() }
 // --- metadata operations ---
 
 func (m *Mount) meta(p *sim.Proc, op metaOp) netsim.Response {
+	if m.detached {
+		return netsim.Response{Err: fmt.Errorf("core: %s on %s: %w", m.Device, m.c.id, ErrNotMounted)}
+	}
 	op.Cluster = m.c.cluster.Name
 	op.Caller = m.c.Ident
 	return m.c.EP.Call(p, m.info.Manager, metaService+"."+m.fsName, 192, op)
@@ -283,7 +330,7 @@ func (m *Mount) Open(p *sim.Proc, path string) (*File, error) {
 	}
 	a := resp.Payload.(Attrs)
 	if a.Dir {
-		return nil, fmt.Errorf("core: %s is a directory", path)
+		return nil, fmt.Errorf("core: %s: %w", path, ErrIsDir)
 	}
 	return m.fileFrom(a), nil
 }
@@ -322,33 +369,136 @@ func (m *Mount) Remove(p *sim.Proc, path string) error {
 	return m.meta(p, metaOp{Op: "remove", Path: path}).Err
 }
 
-// goIO issues one NSD I/O with primary/backup failover: a refused request
-// on the primary marks it down for this mount and retries on the backup.
-// ctx is the causal context of the operation the I/O belongs to.
+// foState is the per-NSD failover record a mount keeps about its primary
+// server: whether it was last observed down, and when to look again.
+type foState struct {
+	down      bool
+	nextProbe sim.Time // earliest virtual time to re-probe the primary
+}
+
+// transientIO classifies NSD I/O errors worth retrying: a refusal from a
+// down server, or a per-attempt deadline expiry. Permanent failures (bad
+// payload, permission, no such device) are surfaced immediately.
+func transientIO(err error) bool {
+	return errors.Is(err, ErrServerDown) || errors.Is(err, netsim.ErrDeadline)
+}
+
+// goIO issues one NSD I/O with retry and primary/backup failover. A
+// transient failure on the primary marks it down for this mount: further
+// I/O goes to the backup (if configured) while the primary is re-probed
+// every ProbeInterval, so a restarted server is rediscovered without any
+// manual reset. Without a backup, attempts keep targeting the primary
+// under the retry policy's exponential backoff. ctx is the causal context
+// of the operation the I/O belongs to.
 func (m *Mount) goIO(ctx trace.Ctx, nsd int, reqSize units.Bytes, pl ioPayload, onDone func(netsim.Response)) {
-	primary := !m.srvDown[nsd]
+	m.issueIO(ctx, nsd, reqSize, pl, 1, onDone)
+}
+
+func (m *Mount) issueIO(ctx trace.Ctx, nsd int, reqSize units.Bytes, pl ioPayload, attempt int, onDone func(netsim.Response)) {
+	pol := m.c.cfg.Retry
+	st := &m.fo[nsd]
 	srv := m.info.Servers[nsd]
-	if !primary {
-		if b := m.info.Backups[nsd]; b != nil {
-			srv = b
+	backup := m.info.Backups[nsd]
+	now := m.c.sim.Now()
+	tr, _ := m.obs()
+
+	// Target selection: the primary unless it is down and a backup
+	// exists; a down primary is still probed once per interval so its
+	// recovery is noticed.
+	probing := false
+	callCtx := ctx
+	var probeSID int64
+	var probeStart sim.Time
+	onPrimary := true
+	if st.down && backup != nil {
+		if now >= st.nextProbe {
+			probing = true
+			st.nextProbe = now + m.c.cfg.ProbeInterval
+			if tr != nil {
+				probeSID = tr.NewSpanID()
+				probeStart = now
+				callCtx = trace.Ctx{Op: ctx.Op, Parent: probeSID}
+			}
+		} else {
+			srv = backup
+			onPrimary = false
 		}
 	}
-	m.c.EP.GoCtx(ctx, srv.EP, nsdService+"."+m.fsName, reqSize, pl, func(r netsim.Response) {
-		if errors.Is(r.Err, ErrServerDown) && primary && m.info.Backups[nsd] != nil {
-			m.srvDown[nsd] = true
-			m.goIO(ctx, nsd, reqSize, pl, onDone)
+
+	m.c.EP.GoDeadline(callCtx, srv.EP, nsdService+"."+m.fsName, reqSize, pl, pol.Deadline, func(r netsim.Response) {
+		done := m.c.sim.Now()
+		if probing && tr != nil {
+			result := "up"
+			if transientIO(r.Err) {
+				result = "down"
+			}
+			tr.SpanCtx(ctx, probeSID, "failover", "probe", m.c.id,
+				int64(probeStart), int64(done),
+				trace.S("result", result), trace.I("nsd", int64(nsd)))
+		}
+		if r.Err == nil || !transientIO(r.Err) {
+			if onPrimary && st.down && r.Err == nil {
+				st.down = false
+				m.obsFailover("primary_up", nsd)
+			}
+			onDone(r)
 			return
 		}
-		onDone(r)
+		// Transient failure.
+		if onPrimary {
+			if !st.down {
+				st.down = true
+				st.nextProbe = done + m.c.cfg.ProbeInterval
+				m.obsFailover("primary_down", nsd)
+			}
+			if backup != nil {
+				// Fail over immediately; the backoff budget is for when
+				// there is nowhere else to go.
+				m.issueIO(ctx, nsd, reqSize, pl, attempt, onDone)
+				return
+			}
+		}
+		if attempt >= pol.Attempts() {
+			onDone(r)
+			return
+		}
+		gap := pol.Backoff(attempt)
+		start := done
+		m.c.sim.Schedule(gap, func() {
+			if tr != nil && gap > 0 {
+				tr.SpanCtx(ctx, 0, "retry", "backoff", m.c.id,
+					int64(start), int64(m.c.sim.Now()),
+					trace.I("attempt", int64(attempt)), trace.I("nsd", int64(nsd)))
+			}
+			m.issueIO(ctx, nsd, reqSize, pl, attempt+1, onDone)
+		})
 	})
 }
 
-// ResetFailover forgets observed server failures (after repairs).
-func (m *Mount) ResetFailover() { m.srvDown = make(map[int]bool) }
+// obsFailover emits a failover state-change instant and counter.
+func (m *Mount) obsFailover(what string, nsd int) {
+	tr, reg := m.obs()
+	if tr != nil {
+		tr.Instant("failover", what, m.c.id, int64(m.c.sim.Now()), trace.I("nsd", int64(nsd)))
+	}
+	if reg != nil {
+		reg.Counter("failover." + what).Inc()
+	}
+}
+
+// ResetFailover forgets observed server failures.
+//
+// Deprecated: failover state now recovers automatically — a down primary
+// is re-probed every ClientConfig.ProbeInterval and marked up on the
+// first success. This is a no-op beyond clearing the probe timers early.
+func (m *Mount) ResetFailover() { m.fo = make([]foState, len(m.info.Servers)) }
 
 // Unmount flushes all dirty state, surrenders every token this client
 // holds on the filesystem, and detaches the mount.
 func (m *Mount) Unmount(p *sim.Proc) error {
+	if m.detached {
+		return fmt.Errorf("core: %s on %s: %w", m.Device, m.c.id, ErrNotMounted)
+	}
 	// Flush everything dirty across all inodes.
 	for _, pg := range m.pool.allPages() {
 		if pg.dirty {
@@ -361,7 +511,7 @@ func (m *Mount) Unmount(p *sim.Proc) error {
 			return pg.err
 		}
 		if pg.dirty {
-			return fmt.Errorf("core: unmount: dirty page would be lost")
+			return fmt.Errorf("core: unmount: %w", ErrDirtyPages)
 		}
 	}
 	resp := m.c.EP.Call(p, m.info.Manager, tokenService+"."+m.fsName, 128,
@@ -369,6 +519,7 @@ func (m *Mount) Unmount(p *sim.Proc) error {
 	if resp.Err != nil {
 		return resp.Err
 	}
+	m.detached = true
 	delete(m.c.mounts, m.Device)
 	return nil
 }
@@ -441,6 +592,9 @@ func (m *Mount) acquireToken(p *sim.Proc, ino int64, start, end units.Bytes, mod
 // serveRevoke handles a token revocation from a manager: flush dirty data
 // in the span, drop cached pages, shrink the token cache.
 func (cl *Client) serveRevoke(p *sim.Proc, req *netsim.Request) netsim.Response {
+	if cl.down {
+		return netsim.Response{Err: fmt.Errorf("core: %s: %w", cl.id, ErrClientDown)}
+	}
 	rv, ok := req.Payload.(revokePayload)
 	if !ok {
 		return netsim.Response{Err: fmt.Errorf("core: bad revoke payload %T", req.Payload)}

@@ -1,0 +1,46 @@
+package core
+
+import "errors"
+
+// Typed failure sentinels. Every user-facing failure branch in the core
+// wraps one of these with %w, so callers program against identity
+// (errors.Is) instead of matching message strings. The messages carried
+// alongside keep their context — "core: /data/x: no such file" still
+// reads well in logs — but tests and recovery code branch on the
+// sentinel. Errors travel in-memory through netsim.Response, so identity
+// survives the (simulated) wire.
+var (
+	// ErrNotExist: a path or inode does not resolve.
+	ErrNotExist = errors.New("file does not exist")
+	// ErrExist: create/mkdir/rename target already exists.
+	ErrExist = errors.New("file exists")
+	// ErrIsDir: a file operation hit a directory.
+	ErrIsDir = errors.New("is a directory")
+	// ErrNotDir: a path component is not a directory.
+	ErrNotDir = errors.New("not a directory")
+	// ErrPermission: the caller's identity does not satisfy the mode
+	// bits, the sticky-directory rule, or a cluster grant.
+	ErrPermission = errors.New("permission denied")
+	// ErrNotMounted: the mount was detached (Unmount) or never existed.
+	ErrNotMounted = errors.New("not mounted")
+	// ErrDirtyPages: unmount would lose dirty data that cannot flush.
+	ErrDirtyPages = errors.New("dirty pages would be lost")
+	// ErrNoSuchDevice: no mmremotefs entry, NSD index, or exported store
+	// matches the request.
+	ErrNoSuchDevice = errors.New("no such device")
+	// ErrNotEmpty: removing a directory that still has entries.
+	ErrNotEmpty = errors.New("directory not empty")
+	// ErrNoSpace: block allocation found every NSD full.
+	ErrNoSpace = errors.New("no space left on device")
+	// ErrStale: a handle or range refers past the current file state
+	// (read beyond EOF, layout beyond end).
+	ErrStale = errors.New("stale file range")
+	// ErrClientDown is returned by a dead client's revoke service; the
+	// token manager reclaims the client's tokens after its lease expires.
+	ErrClientDown = errors.New("client down")
+)
+
+// ErrServerDown is returned (promptly, like a connection refusal) by a
+// failed NSD server; clients fail over to the NSD's backup server and
+// periodically re-probe the primary.
+var ErrServerDown = errors.New("NSD server down")

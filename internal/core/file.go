@@ -81,7 +81,7 @@ func (f *File) ensureLayout(p *sim.Proc, upto int64) error {
 	refs, _ := resp.Payload.([]BlockRef)
 	f.layout = append(f.layout, refs...)
 	if int64(len(f.layout)) <= upto {
-		return fmt.Errorf("core: %s: block %d beyond end of file", f.name, upto)
+		return fmt.Errorf("core: %s: block %d beyond end of file: %w", f.name, upto, ErrStale)
 	}
 	return nil
 }
@@ -208,9 +208,12 @@ func (f *File) readAt(p *sim.Proc, off, size units.Bytes, verify bool) ([]byte, 
 		return nil, nil
 	}
 	if off+size > f.size {
-		return nil, fmt.Errorf("core: read [%d,%d) beyond EOF %d of %s", off, off+size, f.size, f.name)
+		return nil, fmt.Errorf("core: read [%d,%d) beyond EOF %d of %s: %w", off, off+size, f.size, f.name, ErrStale)
 	}
 	m := f.m
+	if m.detached {
+		return nil, fmt.Errorf("core: %s on %s: %w", m.Device, m.c.id, ErrNotMounted)
+	}
 	m.readOps++
 	rec := m.beginOp(p, "read")
 	if rec.tr != nil {
@@ -314,6 +317,9 @@ func (f *File) writeAt(p *sim.Proc, off, size units.Bytes, data []byte) error {
 		return nil
 	}
 	m := f.m
+	if m.detached {
+		return fmt.Errorf("core: %s on %s: %w", m.Device, m.c.id, ErrNotMounted)
+	}
 	m.writeOps++
 	rec := m.beginOp(p, "write")
 	if rec.tr != nil {
@@ -449,6 +455,9 @@ func (m *Mount) flushAsync(pg *page) {
 // Sync flushes all dirty state of the file and publishes its size.
 func (f *File) Sync(p *sim.Proc) error {
 	m := f.m
+	if m.detached {
+		return fmt.Errorf("core: %s on %s: %w", m.Device, m.c.id, ErrNotMounted)
+	}
 	rec := m.beginOp(p, "sync")
 	if rec.tr != nil {
 		defer func() { m.endOp(p, rec, trace.I("ino", f.ino)) }()
@@ -486,6 +495,9 @@ func (f *File) Close(p *sim.Proc) error {
 
 // Truncate shrinks or logically extends the file.
 func (f *File) Truncate(p *sim.Proc, size units.Bytes) error {
+	if f.m.detached {
+		return fmt.Errorf("core: %s on %s: %w", f.m.Device, f.m.c.id, ErrNotMounted)
+	}
 	if err := f.m.acquireToken(p, f.ino, 0, 1<<60, TokExclusive); err != nil {
 		return err
 	}

@@ -72,9 +72,22 @@ type FileSystem struct {
 	nextInode int64
 
 	tokens *tokenTable
+	lease  sim.Time // token lease; a dead client's tokens expire after this
 
 	// Stats
 	metaOps uint64
+}
+
+// DefaultTokenLease is how long the manager waits for a revocation ack
+// before declaring the holder dead and reclaiming its tokens.
+const DefaultTokenLease = 5 * sim.Second
+
+// SetTokenLease adjusts the token lease (mmchconfig leaseDuration).
+func (fs *FileSystem) SetTokenLease(d sim.Time) {
+	if d <= 0 {
+		d = DefaultTokenLease
+	}
+	fs.lease = d
 }
 
 // metadata RPC service names.
@@ -123,6 +136,7 @@ func newFileSystem(c *Cluster, name string, blockSize units.Bytes) *FileSystem {
 		inodes:    make(map[int64]*Inode),
 		nextInode: 2,
 		tokens:    newTokenTable(),
+		lease:     DefaultTokenLease,
 	}
 	root := &Inode{Num: 1, Name: "/", Dir: true, Mode: DefaultPerm | WorldWrite, children: map[string]int64{}}
 	fs.inodes[1] = root
@@ -178,10 +192,10 @@ func (fs *FileSystem) checkClusterAccess(cluster string, op disk.Op) error {
 	}
 	a := fs.cluster.Registry.AccessFor(fs.Name, cluster)
 	if op == disk.Read && !a.CanRead() {
-		return fmt.Errorf("core: cluster %s has no read grant on %s", cluster, fs.Name)
+		return fmt.Errorf("core: cluster %s has no read grant on %s: %w", cluster, fs.Name, ErrPermission)
 	}
 	if op == disk.Write && !a.CanWrite() {
-		return fmt.Errorf("core: cluster %s has no write grant on %s", cluster, fs.Name)
+		return fmt.Errorf("core: cluster %s has no write grant on %s: %w", cluster, fs.Name, ErrPermission)
 	}
 	return nil
 }
@@ -195,11 +209,11 @@ func (fs *FileSystem) resolve(p string) (*Inode, error) {
 	}
 	for _, part := range strings.Split(strings.TrimPrefix(p, "/"), "/") {
 		if !cur.Dir {
-			return nil, fmt.Errorf("core: %s: not a directory", cur.Name)
+			return nil, fmt.Errorf("core: %s: %w", cur.Name, ErrNotDir)
 		}
 		num, ok := cur.children[part]
 		if !ok {
-			return nil, fmt.Errorf("core: %s: no such file", p)
+			return nil, fmt.Errorf("core: %s: %w", p, ErrNotExist)
 		}
 		cur = fs.inodes[num]
 	}
@@ -237,7 +251,7 @@ func (fs *FileSystem) resolveParent(p string) (*Inode, string, error) {
 		return nil, "", err
 	}
 	if !parent.Dir {
-		return nil, "", fmt.Errorf("core: %s: not a directory", dir)
+		return nil, "", fmt.Errorf("core: %s: %w", dir, ErrNotDir)
 	}
 	return parent, base, nil
 }
@@ -280,7 +294,7 @@ func (fs *FileSystem) serveMeta(p *sim.Proc, req *netsim.Request) netsim.Respons
 		if op.Path == "" && op.Inode != 0 {
 			ino = fs.inodes[op.Inode]
 			if ino == nil {
-				return netsim.Response{Size: 64, Err: fmt.Errorf("core: no inode %d", op.Inode)}
+				return netsim.Response{Size: 64, Err: fmt.Errorf("core: inode %d: %w", op.Inode, ErrNotExist)}
 			}
 		} else {
 			var err error
@@ -297,10 +311,10 @@ func (fs *FileSystem) serveMeta(p *sim.Proc, req *netsim.Request) netsim.Respons
 			return netsim.Response{Size: 64, Err: err}
 		}
 		if !parent.canWrite(op.Caller) {
-			return netsim.Response{Size: 64, Err: fmt.Errorf("core: %s: permission denied", op.Path)}
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: %s: %w", op.Path, ErrPermission)}
 		}
 		if _, exists := parent.children[base]; exists {
-			return netsim.Response{Size: 64, Err: fmt.Errorf("core: %s: exists", op.Path)}
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: %s: %w", op.Path, ErrExist)}
 		}
 		ino := &Inode{
 			Num: fs.nextInode, Name: base, OwnerDN: op.Caller.DN,
@@ -323,10 +337,10 @@ func (fs *FileSystem) serveMeta(p *sim.Proc, req *netsim.Request) netsim.Respons
 			return netsim.Response{Size: 64, Err: err}
 		}
 		if !ino.Dir {
-			return netsim.Response{Size: 64, Err: fmt.Errorf("core: %s: not a directory", op.Path)}
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: %s: %w", op.Path, ErrNotDir)}
 		}
 		if !ino.canRead(op.Caller) {
-			return netsim.Response{Size: 64, Err: fmt.Errorf("core: %s: permission denied", op.Path)}
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: %s: %w", op.Path, ErrPermission)}
 		}
 		var out []Attrs
 		for _, num := range ino.children {
@@ -342,7 +356,7 @@ func (fs *FileSystem) serveMeta(p *sim.Proc, req *netsim.Request) netsim.Respons
 		}
 		num, ok := parent.children[base]
 		if !ok {
-			return netsim.Response{Size: 64, Err: fmt.Errorf("core: %s: no such file", op.Path)}
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: %s: %w", op.Path, ErrNotExist)}
 		}
 		ino := fs.inodes[num]
 		// Removal needs a writable parent, and — sticky-directory style —
@@ -352,10 +366,10 @@ func (fs *FileSystem) serveMeta(p *sim.Proc, req *netsim.Request) netsim.Respons
 		ownsDir := op.Caller.DN != "" && op.Caller.DN == parent.OwnerDN
 		if !parent.canWrite(op.Caller) ||
 			!(op.Caller.Root || ownsFile || ownsDir || ino.Mode&WorldWrite != 0) {
-			return netsim.Response{Size: 64, Err: fmt.Errorf("core: %s: permission denied", op.Path)}
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: %s: %w", op.Path, ErrPermission)}
 		}
 		if ino.Dir && len(ino.children) > 0 {
-			return netsim.Response{Size: 64, Err: fmt.Errorf("core: %s: directory not empty", op.Path)}
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: %s: %w", op.Path, ErrNotEmpty)}
 		}
 		fs.freeBlocks(ino, 0)
 		delete(parent.children, base)
@@ -366,7 +380,7 @@ func (fs *FileSystem) serveMeta(p *sim.Proc, req *netsim.Request) netsim.Respons
 	case "alloc":
 		ino := fs.inodes[op.Inode]
 		if ino == nil || ino.Dir {
-			return netsim.Response{Size: 64, Err: fmt.Errorf("core: alloc on bad inode %d", op.Inode)}
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: alloc on inode %d: %w", op.Inode, ErrNotExist)}
 		}
 		refs, err := fs.allocBlocks(ino, op.From, op.Count)
 		if err != nil {
@@ -377,7 +391,7 @@ func (fs *FileSystem) serveMeta(p *sim.Proc, req *netsim.Request) netsim.Respons
 	case "layout":
 		ino := fs.inodes[op.Inode]
 		if ino == nil || ino.Dir {
-			return netsim.Response{Size: 64, Err: fmt.Errorf("core: layout on bad inode %d", op.Inode)}
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: layout on inode %d: %w", op.Inode, ErrNotExist)}
 		}
 		from, count := op.From, op.Count
 		if from < 0 {
@@ -396,7 +410,7 @@ func (fs *FileSystem) serveMeta(p *sim.Proc, req *netsim.Request) netsim.Respons
 	case "setsize":
 		ino := fs.inodes[op.Inode]
 		if ino == nil {
-			return netsim.Response{Size: 64, Err: fmt.Errorf("core: setsize on bad inode %d", op.Inode)}
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: setsize on inode %d: %w", op.Inode, ErrNotExist)}
 		}
 		if op.Size > ino.Size {
 			ino.Size = op.Size
@@ -409,7 +423,7 @@ func (fs *FileSystem) serveMeta(p *sim.Proc, req *netsim.Request) netsim.Respons
 			return netsim.Response{Size: 64, Err: err}
 		}
 		if !op.Caller.Root && (op.Caller.DN == "" || op.Caller.DN != ino.OwnerDN) {
-			return netsim.Response{Size: 64, Err: fmt.Errorf("core: chmod %s: not owner", op.Path)}
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: chmod %s: not owner: %w", op.Path, ErrPermission)}
 		}
 		ino.Mode = op.Mode
 		return netsim.Response{Size: 64}
@@ -421,7 +435,7 @@ func (fs *FileSystem) serveMeta(p *sim.Proc, req *netsim.Request) netsim.Respons
 		}
 		// Like POSIX, only root may give a file away.
 		if !op.Caller.Root {
-			return netsim.Response{Size: 64, Err: fmt.Errorf("core: chown %s: permission denied", op.Path)}
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: chown %s: %w", op.Path, ErrPermission)}
 		}
 		ino.OwnerDN = op.Path2 // new owner DN travels in Path2
 		return netsim.Response{Size: 64}
@@ -433,17 +447,17 @@ func (fs *FileSystem) serveMeta(p *sim.Proc, req *netsim.Request) netsim.Respons
 		}
 		num, ok := src.children[srcBase]
 		if !ok {
-			return netsim.Response{Size: 64, Err: fmt.Errorf("core: %s: no such file", op.Path)}
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: %s: %w", op.Path, ErrNotExist)}
 		}
 		dst, dstBase, err := fs.resolveParent(op.Path2)
 		if err != nil {
 			return netsim.Response{Size: 64, Err: err}
 		}
 		if !src.canWrite(op.Caller) || !dst.canWrite(op.Caller) {
-			return netsim.Response{Size: 64, Err: fmt.Errorf("core: rename: permission denied")}
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: rename: %w", ErrPermission)}
 		}
 		if _, exists := dst.children[dstBase]; exists {
-			return netsim.Response{Size: 64, Err: fmt.Errorf("core: %s: exists", op.Path2)}
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: %s: %w", op.Path2, ErrExist)}
 		}
 		// A directory must not move under itself.
 		ino := fs.inodes[num]
@@ -474,10 +488,10 @@ func (fs *FileSystem) serveMeta(p *sim.Proc, req *netsim.Request) netsim.Respons
 	case "truncate":
 		ino := fs.inodes[op.Inode]
 		if ino == nil || ino.Dir {
-			return netsim.Response{Size: 64, Err: fmt.Errorf("core: truncate on bad inode %d", op.Inode)}
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: truncate on inode %d: %w", op.Inode, ErrNotExist)}
 		}
 		if !ino.canWrite(op.Caller) {
-			return netsim.Response{Size: 64, Err: fmt.Errorf("core: truncate: permission denied")}
+			return netsim.Response{Size: 64, Err: fmt.Errorf("core: truncate: %w", ErrPermission)}
 		}
 		keep := int64((op.Size + fs.BlockSize - 1) / fs.BlockSize)
 		fs.freeBlocks(ino, keep)
@@ -504,7 +518,7 @@ func (fs *FileSystem) allocBlocks(ino *Inode, from, count int64) ([]BlockRef, er
 			}
 		}
 		if !ref.Valid() {
-			return nil, fmt.Errorf("core: %s: no space", fs.Name)
+			return nil, fmt.Errorf("core: %s: %w", fs.Name, ErrNoSpace)
 		}
 		ino.Blocks = append(ino.Blocks, ref)
 	}
@@ -546,7 +560,7 @@ func (fs *FileSystem) serveMount(p *sim.Proc, req *netsim.Request) netsim.Respon
 		return netsim.Response{Err: err}
 	}
 	if cluster != fs.cluster.Name && !fs.cluster.Authenticated(cluster) {
-		return netsim.Response{Err: fmt.Errorf("core: cluster %s has not authenticated to %s", cluster, fs.cluster.Name)}
+		return netsim.Response{Err: fmt.Errorf("core: cluster %s has not authenticated to %s: %w", cluster, fs.cluster.Name, ErrPermission)}
 	}
 	if mr.Client != nil {
 		fs.cluster.clients[mr.Client.id] = mr.Client

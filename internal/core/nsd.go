@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 
 	"gfs/internal/disk"
@@ -161,10 +160,6 @@ type NSDServer struct {
 	bytesOut units.Bytes // client reads served from here
 }
 
-// ErrServerDown is returned (promptly, like a connection refusal) by a
-// failed NSD server; clients fail over to the NSD's backup server.
-var ErrServerDown = errors.New("core: NSD server down")
-
 // Fail takes the server down: subsequent requests are refused.
 func (s *NSDServer) Fail() { s.down = true }
 
@@ -198,7 +193,7 @@ func (s *NSDServer) serve(p *sim.Proc, req *netsim.Request) netsim.Response {
 		return netsim.Response{Err: fmt.Errorf("core: bad nsd.io payload %T", req.Payload)}
 	}
 	if s.down {
-		return netsim.Response{Err: ErrServerDown}
+		return netsim.Response{Err: fmt.Errorf("core: %s: %w", s.Name, ErrServerDown)}
 	}
 	if io.FS != s.fs.Name {
 		return netsim.Response{Err: fmt.Errorf("core: server exports %s, not %s", s.fs.Name, io.FS)}
@@ -207,11 +202,11 @@ func (s *NSDServer) serve(p *sim.Proc, req *netsim.Request) netsim.Response {
 		return netsim.Response{Err: err}
 	}
 	if io.NSD < 0 || io.NSD >= len(s.fs.nsds) {
-		return netsim.Response{Err: fmt.Errorf("core: no NSD %d", io.NSD)}
+		return netsim.Response{Err: fmt.Errorf("core: NSD %d: %w", io.NSD, ErrNoSuchDevice)}
 	}
 	n := s.fs.nsds[io.NSD]
 	if n.Primary != s && n.Backup != s {
-		return netsim.Response{Err: fmt.Errorf("core: NSD %s not served by %s", n.Name, s.Name)}
+		return netsim.Response{Err: fmt.Errorf("core: NSD %s not served by %s: %w", n.Name, s.Name, ErrNoSuchDevice)}
 	}
 	if io.Off+io.Len > n.blockSize {
 		return netsim.Response{Err: fmt.Errorf("core: I/O past block end (%d+%d > %d)", io.Off, io.Len, n.blockSize)}

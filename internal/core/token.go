@@ -286,7 +286,23 @@ func (fs *FileSystem) serveToken(p *sim.Proc, req *netsim.Request) netsim.Respon
 				h := h
 				fs.mgr.GoCtx(p.Ctx(), cl.EP, revokeService, 128,
 					revokePayload{FS: fs.Name, Inode: op.Inode, Start: s0, End: e0},
-					func(netsim.Response) {
+					func(r netsim.Response) {
+						if r.Err != nil {
+							// The victim did not ack — a dead node. GPFS does
+							// not block the requester forever: the holder's
+							// lease runs out and the manager reclaims its
+							// tokens (its dirty data is lost, as on a real
+							// node crash). Wait out the lease, then steal.
+							fs.obsTokenEvent("lease_wait", h, op.Inode, s0, e0)
+							fs.Sim.Schedule(fs.lease, func() {
+								t.carve(op.Inode, h, s0, e0)
+								t.dropHolder(h)
+								delete(fs.cluster.clients, h)
+								fs.obsTokenEvent("expire", h, op.Inode, s0, e0)
+								wg.Done()
+							})
+							return
+						}
 						t.carve(op.Inode, h, s0, e0)
 						fs.obsTokenEvent("steal", h, op.Inode, s0, e0)
 						wg.Done()

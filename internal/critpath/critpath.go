@@ -36,6 +36,8 @@ const (
 	PhaseClient   = "client"
 	PhaseToken    = "token_wait"
 	PhaseRPC      = "rpc"
+	PhaseRetry    = "retry"
+	PhaseProbe    = "failover_probe"
 	PhaseNetQueue = "net_queue"
 	PhaseNetXmit  = "net_xmit"
 	PhaseProp     = "wan_prop"
@@ -47,6 +49,7 @@ const (
 // Phases lists every phase in canonical display order.
 var Phases = []string{
 	PhaseClient, PhaseToken, PhaseRPC,
+	PhaseRetry, PhaseProbe,
 	PhaseNetQueue, PhaseNetXmit, PhaseProp,
 	PhaseDisk, PhaseCache, PhaseOther,
 }
@@ -170,16 +173,19 @@ func analyzeOp(op int64, nodes []*node) *OpInstance {
 		Start: root.ev.TS, E2E: root.ev.Dur,
 		Phases: map[string]int64{}, waits: map[string]int64{},
 	}
-	attribute(root, root.ev.TS, root.end(), inst, false)
+	attribute(root, root.ev.TS, root.end(), inst, "")
 	return inst
 }
 
 // attribute charges [lo, hi] of n's interval: children own their
 // sub-intervals ("last finisher wins" going backwards), the rest is n's
-// own residual. underToken marks subtrees rooted at a token span — the
-// acquire RPC, its flows, and server-side revoke fan-out are all token
-// machinery, so their time is token wait regardless of transport.
-func attribute(n *node, lo, hi int64, inst *OpInstance, underToken bool) {
+// own residual. absorb, when non-empty, is a phase that swallows the
+// whole subtree: a token span's subtree (the acquire RPC, its flows, the
+// server-side revoke fan-out) is all token machinery, and a failover
+// probe's subtree (the probe RPC to a possibly-dead server) is all
+// recovery cost — their time charges to one phase regardless of
+// transport.
+func attribute(n *node, lo, hi int64, inst *OpInstance, absorb string) {
 	if hi <= lo {
 		if hi == lo && n.ev.Parent == 0 {
 			// Zero-duration op: nothing to attribute.
@@ -201,7 +207,14 @@ func attribute(n *node, lo, hi int64, inst *OpInstance, underToken bool) {
 			return kids[i].idx > kids[j].idx
 		})
 	}
-	underToken = underToken || n.ev.Cat == "token"
+	if absorb == "" {
+		switch n.ev.Cat {
+		case "token":
+			absorb = PhaseToken
+		case "failover":
+			absorb = PhaseProbe
+		}
+	}
 	cur := hi
 	for _, k := range kids {
 		if cur <= lo {
@@ -218,25 +231,25 @@ func attribute(n *node, lo, hi int64, inst *OpInstance, underToken bool) {
 			continue
 		}
 		if ke < cur {
-			charge(n, ke, cur, inst, underToken) // n's own time between children
+			charge(n, ke, cur, inst, absorb) // n's own time between children
 		}
-		attribute(k, ks, ke, inst, underToken)
+		attribute(k, ks, ke, inst, absorb)
 		cur = ks
 	}
 	if cur > lo {
-		charge(n, lo, cur, inst, underToken)
+		charge(n, lo, cur, inst, absorb)
 	}
 }
 
 // charge classifies [lo, hi] of n's own (residual) time into a phase.
-func charge(n *node, lo, hi int64, inst *OpInstance, underToken bool) {
+func charge(n *node, lo, hi int64, inst *OpInstance, absorb string) {
 	d := hi - lo
 	if d <= 0 {
 		return
 	}
 	e := n.ev
-	if underToken {
-		inst.Phases[PhaseToken] += d
+	if absorb != "" {
+		inst.Phases[absorb] += d
 		return
 	}
 	switch e.Cat {
@@ -246,6 +259,10 @@ func charge(n *node, lo, hi int64, inst *OpInstance, underToken bool) {
 		inst.Phases[PhaseToken] += d
 	case "rpc", "auth":
 		inst.Phases[PhaseRPC] += d
+	case "retry":
+		inst.Phases[PhaseRetry] += d
+	case "failover":
+		inst.Phases[PhaseProbe] += d
 	case "nsd", "disk":
 		inst.Phases[PhaseDisk] += d
 	case "flow":

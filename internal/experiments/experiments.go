@@ -92,6 +92,7 @@ func All() []Runner {
 		{"paradigm", "§1/§8 — direct GFS access vs GridFTP movement", func() *Result { return RunParadigm(DefaultParadigmConfig()) }},
 		{"hsm", "§8 — HSM migration and recall", func() *Result { return RunHSM(DefaultHSMConfig()) }},
 		{"cache", "§8 — automatic edge caching over a copyright library", func() *Result { return RunCache(DefaultCacheConfig()) }},
+		{"failover", "Fig. 5 / §3 — dip-and-recovery under an injected NSD server crash", func() *Result { return RunFailover(DefaultFailoverConfig()) }},
 	}
 }
 

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gfs/internal/core"
+	"gfs/internal/fault"
+	"gfs/internal/metrics"
+	"gfs/internal/netsim"
+	"gfs/internal/sim"
+	"gfs/internal/units"
+)
+
+// FailoverConfig parameterizes the injected-crash dip-and-recovery run.
+type FailoverConfig struct {
+	Servers   int // NSD servers at the serving site
+	Clients   int // remote reader nodes
+	WANRate   units.BitsPerSec
+	WANDelay  sim.Time
+	FileSize  units.Bytes // per reader
+	BlockSize units.Bytes
+	Interval  sim.Time // bandwidth sampling bin
+
+	CrashAt  sim.Time // when (after readers start) one NSD server dies
+	Outage   sim.Time // how long it stays dead
+	Duration sim.Time // total reader run time
+}
+
+// DefaultFailoverConfig scales the SC'03 topology down to a failure
+// drill: 8 servers feeding 8 WAN readers, with one server dead for 8 s
+// mid-run.
+func DefaultFailoverConfig() FailoverConfig {
+	return FailoverConfig{
+		Servers:   8,
+		Clients:   8,
+		WANRate:   10 * units.Gbps,
+		WANDelay:  6 * sim.Millisecond,
+		FileSize:  units.GiB,
+		BlockSize: units.MiB,
+		Interval:  sim.Second,
+		CrashAt:   6 * sim.Second,
+		Outage:    8 * sim.Second,
+		Duration:  30 * sim.Second,
+	}
+}
+
+// RunFailover injects an NSD server crash under a steady WAN read load
+// and measures the dip and recovery: bandwidth collapses while every
+// read stream stalls on the dead server's blocks (striping puts one
+// block in eight on it), retries ride out the outage under exponential
+// backoff, and the restarted server is rediscovered automatically — no
+// operator action — returning bandwidth to its pre-fault level.
+func RunFailover(cfg FailoverConfig) *Result {
+	res := NewResult("E7/failover", "WAN read bandwidth through an NSD server crash and restart")
+	s := newSim()
+	nw := newEthernetNet(s)
+
+	prod := NewSite(s, nw, "prod")
+	prod.BuildFS(FSOptions{
+		Name: "gpfs-ha", BlockSize: cfg.BlockSize,
+		Servers: cfg.Servers, ServerEth: 2 * units.Gbps,
+		StoreRate: 400 * units.MBps, StoreCap: units.TB, StoreStreams: 4,
+	})
+	edgeSW := nw.NewNode("edge-sw")
+	wanFwd, _ := nw.DuplexLink("wan", prod.Switch, edgeSW, cfg.WANRate, cfg.WANDelay)
+	mon := metrics.NewRateMonitor(s, "wan", cfg.Interval)
+	wanFwd.Monitor = mon
+
+	// Readers retry long enough to ride out the whole outage: there are
+	// no backup servers here, so recovery is pure re-probe of the primary.
+	ccfg := core.DefaultClientConfig()
+	ccfg.ReadAhead = 32
+	ccfg.Retry = netsim.RetryPolicy{
+		MaxAttempts: 60,
+		BaseBackoff: 50 * sim.Millisecond,
+		MaxBackoff:  sim.Second,
+	}
+	var readers []*core.Client
+	for i := 0; i < cfg.Clients; i++ {
+		node := nw.NewNode(fmt.Sprintf("edge-c%d", i))
+		nw.DuplexLink(fmt.Sprintf("edge-c%d-eth", i), node, edgeSW, 2*units.Gbps, lanDelay)
+		readers = append(readers, core.NewClient(prod.Cluster, fmt.Sprintf("edge%d", i), node, ccfg,
+			core.Identity{DN: fmt.Sprintf("/O=Edge/CN=reader%d", i)}))
+	}
+	seeder := prod.AddClients(1, 10*units.Gbps, core.DefaultClientConfig())[0]
+
+	var start sim.Time
+	var readErrs int
+	run(s, func(p *sim.Proc) error {
+		sm, err := seeder.MountLocal(p, prod.FS)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < cfg.Clients; i++ {
+			if err := seedFile(p, sm, fmt.Sprintf("/data%02d.dat", i), cfg.FileSize, 8*units.MiB); err != nil {
+				return err
+			}
+		}
+		mounts, err := MountAll(p, readers, prod.FS, "")
+		if err != nil {
+			return err
+		}
+		start = p.Now()
+		end := start + cfg.Duration
+
+		// The fault script: server 0 dies mid-run and restarts after the
+		// outage. Striping places every eighth block on it, so every
+		// sequential reader stalls within a few blocks of the crash.
+		fault.NewPlan("server-crash").
+			ServerCrash(start+cfg.CrashAt, cfg.Outage, prod.FS.Servers()[0]).
+			Install(s)
+
+		wg := sim.NewWaitGroup(s)
+		for i, m := range mounts {
+			m, i := m, i
+			wg.Add(1)
+			s.Go(fmt.Sprintf("reader%d", i), func(rp *sim.Proc) {
+				defer wg.Done()
+				f, err := m.Open(rp, fmt.Sprintf("/data%02d.dat", i))
+				if err != nil {
+					readErrs++
+					return
+				}
+				for rp.Now() < end {
+					for off := units.Bytes(0); off < f.Size() && rp.Now() < end; off += cfg.BlockSize {
+						if err := f.ReadAt(rp, off, cfg.BlockSize); err != nil {
+							readErrs++
+							rp.Sleep(100 * sim.Millisecond)
+						}
+					}
+					m.DropCaches() // next pass re-fetches over the WAN
+				}
+			})
+		}
+		wg.Wait(p)
+		return nil
+	})
+
+	crash := cfg.CrashAt.Seconds()
+	restart := (cfg.CrashAt + cfg.Outage).Seconds()
+	ser := &metrics.Series{Name: "WAN bandwidth", XLabel: "time (s)", YLabel: "Gb/s"}
+	var preSum, postSum float64
+	var preN, postN int
+	dip := -1.0
+	for _, pt := range mon.SeriesGbps().Points {
+		x := pt.X - start.Seconds()
+		if x < 0 {
+			continue
+		}
+		ser.Add(x, pt.Y)
+		binEnd := x + cfg.Interval.Seconds()
+		switch {
+		case x >= 1 && binEnd <= crash:
+			preSum += pt.Y
+			preN++
+		case x >= crash && binEnd <= restart:
+			if dip < 0 || pt.Y < dip {
+				dip = pt.Y
+			}
+		case x >= restart+2 && binEnd <= cfg.Duration.Seconds():
+			postSum += pt.Y
+			postN++
+		}
+	}
+	res.Add(ser)
+	pre, post := 0.0, 0.0
+	if preN > 0 {
+		pre = preSum / float64(preN)
+	}
+	if postN > 0 {
+		post = postSum / float64(postN)
+	}
+	if dip < 0 {
+		dip = 0
+	}
+	ratio := 0.0
+	if pre > 0 {
+		ratio = post / pre
+	}
+	res.Headline["pre-fault Gb/s"] = pre
+	res.Headline["dip Gb/s"] = dip
+	res.Headline["post-recovery Gb/s"] = post
+	res.Headline["recovery ratio"] = ratio
+	res.Headline["read errors"] = float64(readErrs)
+	res.Note(fmt.Sprintf("NSD server crash at t=%vs, restart at t=%vs; recovery is automatic (retry + re-probe)",
+		cfg.CrashAt.Seconds(), restart))
+	return res
+}

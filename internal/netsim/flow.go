@@ -399,6 +399,9 @@ func (nw *Network) recomputeOnce() {
 	links := nw.busyLinks
 	for _, l := range links {
 		l.residual = l.cap
+		if l.down {
+			l.residual = 0 // failed link: crossing conns get rate 0 and stall
+		}
 		l.nActive = len(l.flows)
 	}
 

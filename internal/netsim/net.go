@@ -122,6 +122,8 @@ type Link struct {
 
 	Monitor *metrics.RateMonitor // optional; records delivered bytes
 
+	down bool // failed link: active conns crossing it stall at rate 0
+
 	// allocation scratch, valid during recompute
 	residual float64
 	nActive  int
@@ -141,6 +143,23 @@ func (l *Link) Delay() sim.Time { return l.delay }
 
 // ActiveConns returns the number of active connections crossing the link.
 func (l *Link) ActiveConns() int { return len(l.flows) }
+
+// Down reports whether the link is failed.
+func (l *Link) Down() bool { return l.down }
+
+// SetDown fails (true) or restores (false) the link. While down, the
+// link carries nothing: every conn crossing it is allocated rate zero
+// and its in-flight messages stall, resuming — no loss, as TCP would
+// guarantee — when the link comes back. Queued state and routes are
+// untouched, so a repaired link picks up exactly where it stopped.
+// Must be called from event context.
+func (l *Link) SetDown(down bool) {
+	if l.down == down {
+		return
+	}
+	l.down = down
+	l.net.recompute()
+}
 
 // NewLink adds a directed link.
 func (nw *Network) NewLink(name string, src, dst *Node, rate units.BitsPerSec, delay sim.Time) *Link {

@@ -1,0 +1,150 @@
+package netsim
+
+import (
+	"errors"
+
+	"gfs/internal/sim"
+	"gfs/internal/trace"
+	"gfs/internal/units"
+)
+
+// ErrDeadline is the failure a deadline-bounded call reports when no
+// response arrives in time. The late response, if it ever lands, is
+// discarded — the caller has moved on.
+var ErrDeadline = errors.New("netsim: call deadline exceeded")
+
+// RetryPolicy governs recovery from transient RPC failures: how many
+// times to try, how long each attempt may take, and how long to back off
+// between attempts. The zero value means one attempt, no deadline —
+// exactly the pre-policy behaviour.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first call included).
+	// Values below 1 mean 1: no retries.
+	MaxAttempts int
+	// BaseBackoff is the gap before the first retry; each further retry
+	// doubles it (exponential backoff).
+	BaseBackoff sim.Time
+	// MaxBackoff caps the doubled gap. Zero means no cap.
+	MaxBackoff sim.Time
+	// Deadline bounds each attempt; an attempt with no response after
+	// this long fails with ErrDeadline. Zero waits forever.
+	Deadline sim.Time
+	// Retryable classifies errors worth another attempt. Nil retries
+	// only ErrDeadline; permanent failures (bad payload, permission)
+	// must not be hammered.
+	Retryable func(error) bool
+}
+
+// Attempts returns the effective attempt budget (>= 1).
+func (p RetryPolicy) Attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// Backoff returns the gap to sleep after failed attempt n (1-based):
+// BaseBackoff doubled n-1 times, capped at MaxBackoff.
+func (p RetryPolicy) Backoff(n int) sim.Time {
+	d := p.BaseBackoff
+	for i := 1; i < n; i++ {
+		d *= 2
+		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
+			break
+		}
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
+}
+
+func (p RetryPolicy) retryable(err error) bool {
+	if p.Retryable != nil {
+		return p.Retryable(err)
+	}
+	return errors.Is(err, ErrDeadline)
+}
+
+// GoDeadline is GoCtx bounded by a deadline: if the response has not
+// arrived after deadline, onDone fires once with ErrDeadline and the
+// real response is discarded when (if) it lands. A zero deadline is
+// plain GoCtx.
+func (e *Endpoint) GoDeadline(ctx trace.Ctx, peer *Endpoint, service string, reqSize units.Bytes, payload any, deadline sim.Time, onDone func(Response)) {
+	if deadline <= 0 {
+		e.GoCtx(ctx, peer, service, reqSize, payload, onDone)
+		return
+	}
+	nw := e.net
+	expired := false
+	timer := nw.Sim.Schedule(deadline, func() {
+		expired = true
+		if reg := nw.Metrics; reg != nil {
+			reg.Counter("rpc.deadline_expired").Inc()
+		}
+		if onDone != nil {
+			onDone(Response{Err: ErrDeadline})
+		}
+	})
+	e.GoCtx(ctx, peer, service, reqSize, payload, func(r Response) {
+		if expired {
+			return // late response; the caller already saw ErrDeadline
+		}
+		timer.Cancel()
+		if onDone != nil {
+			onDone(r)
+		}
+	})
+}
+
+// GoRetry is GoDeadline under a retry policy: transient failures (per
+// pol.Retryable) are retried with exponential backoff until the attempt
+// budget runs out; onDone fires once with the first success or the last
+// failure. Each backoff gap is traced as a "retry" span so critical-path
+// attribution can charge recovery time honestly.
+func (e *Endpoint) GoRetry(ctx trace.Ctx, peer *Endpoint, service string, reqSize units.Bytes, payload any, pol RetryPolicy, onDone func(Response)) {
+	nw := e.net
+	var attempt func(n int)
+	attempt = func(n int) {
+		e.GoDeadline(ctx, peer, service, reqSize, payload, pol.Deadline, func(r Response) {
+			if r.Err == nil || n >= pol.Attempts() || !pol.retryable(r.Err) {
+				if onDone != nil {
+					onDone(r)
+				}
+				return
+			}
+			if reg := nw.Metrics; reg != nil {
+				reg.Counter("rpc.retries").Inc()
+			}
+			gap := pol.Backoff(n)
+			start := nw.Sim.Now()
+			nw.Sim.Schedule(gap, func() {
+				if tr := nw.Sim.Tracer(); tr != nil && gap > 0 {
+					tr.SpanCtx(ctx, 0, "retry", "backoff",
+						e.node.name+"->"+peer.node.name,
+						int64(start), int64(nw.Sim.Now()),
+						trace.I("attempt", int64(n)), trace.S("err", r.Err.Error()))
+				}
+				attempt(n + 1)
+			})
+		})
+	}
+	attempt(1)
+}
+
+// CallRetry is the blocking form of GoRetry: it blocks p until the final
+// outcome of the retried call.
+func (e *Endpoint) CallRetry(p *sim.Proc, peer *Endpoint, service string, reqSize units.Bytes, payload any, pol RetryPolicy) Response {
+	var resp Response
+	done := false
+	wake := p.Suspend()
+	e.GoRetry(p.Ctx(), peer, service, reqSize, payload, pol, func(r Response) {
+		resp = r
+		done = true
+		wake()
+	})
+	if !done {
+		p.Block()
+	}
+	return resp
+}
