@@ -6,6 +6,7 @@
 //	gfsbench -sweep nodes -nodes 1,4,16,64     # Fig. 11-style scaling
 //	gfsbench -sweep blocksize                  # FS block size ablation
 //	gfsbench -sweep stripe                     # NSD server count ablation
+//	gfsbench -sweep sc03depth                  # sc03 single-client pipeline depth
 //	gfsbench -sweep readahead -json BENCH_2.json  # machine-readable results
 //
 // With -json the sweep additionally records a causal trace and the output
@@ -32,7 +33,7 @@ import (
 
 func main() {
 	var (
-		sweep    = flag.String("sweep", "", "readahead | nodes | blocksize | stripe")
+		sweep    = flag.String("sweep", "", "readahead | nodes | blocksize | stripe | sc03depth")
 		rttFlag  = flag.Duration("rtt", 80*time.Millisecond, "WAN round-trip time")
 		nodesCS  = flag.String("nodes", "1,2,4,8,16,32,48,64", "node counts for -sweep nodes")
 		sizeStr  = flag.String("size", "512MiB", "bytes moved per client")
@@ -87,6 +88,22 @@ func main() {
 		for _, srv := range []int{1, 2, 4, 8, 16, 32} {
 			addRow(float64(srv), streamRate(srv, units.MiB, 0, size))
 		}
+	case "sc03depth":
+		// Single viz client on the sc03 show-floor topology, sweeping the
+		// readahead depth: how much WAN pipeline does one reader need? The
+		// client NIC is raised to 10 GbE so the answer is about pipelining,
+		// not about the SC'03-era GbE NIC.
+		columns = []string{"ra_depth", "client_MBps", "peak_Gbps"}
+		for _, d := range []int{1, 2, 4, 8, 16, 32} {
+			cfg := experiments.DefaultSC03Config()
+			cfg.VizNodes = 1
+			cfg.Files = 2
+			cfg.FileSize = 256 * units.MiB
+			cfg.VizEth = 10 * units.Gbps
+			cfg.ReadAhead = d
+			r := experiments.RunSC03(cfg)
+			addRow(float64(d), r.Headline["client MB/s"], r.Headline["peak Gb/s"])
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -131,10 +148,16 @@ type benchOut struct {
 }
 
 // writeJSON renders the sweep plus attribution as deterministic JSON
-// (struct field order is fixed; encoding/json sorts map keys).
+// (struct field order is fixed; encoding/json sorts map keys). The bench
+// number tags the artifact series: 2 for the original sweeps, 4 for the
+// sc03 pipeline-depth sweep added with client prefetch/write-behind.
 func writeJSON(path, sweep string, columns []string, rows [][]float64, rep *critpath.Report) error {
+	bench := 2
+	if sweep == "sc03depth" {
+		bench = 4
+	}
 	out := benchOut{
-		Bench: 2, Sweep: sweep, Columns: columns, Rows: rows,
+		Bench: bench, Sweep: sweep, Columns: columns, Rows: rows,
 		Ops: map[string]benchOp{},
 	}
 	// Observed op rate: count over the simulated span the op type was

@@ -9,6 +9,7 @@
 //	gfssim -exp production -attr      # critical-path latency attribution
 //	gfssim -exp sc02 -depth 1 -attr   # single outstanding request: WAN-bound
 //	gfssim -exp failover -outage 12s  # crash drill with a longer NSD outage
+//	gfssim -exp sc03 -ra-depth 8      # WAN read pipeline depth 8 per client
 package main
 
 import (
@@ -41,6 +42,8 @@ func main() {
 		crashAt  = flag.Duration("crash", 0, "failover only: override when the NSD server dies (e.g. 6s)")
 		outage   = flag.Duration("outage", 0, "failover only: override how long the server stays dead")
 		duration = flag.Duration("duration", 0, "failover only: override the total reader run time")
+		raDepth  = flag.Int("ra-depth", 0, "sc03/failover: override the client readahead depth in blocks")
+		wbDirty  = flag.Int("wb-max-dirty", 0, "sc03/failover: override the client write-behind dirty-page limit")
 	)
 	flag.Parse()
 
@@ -85,7 +88,21 @@ func main() {
 		runners[0].Run = func() *experiments.Result { return experiments.RunSC02(cfg) }
 	}
 
-	if *crashAt > 0 || *outage > 0 || *duration > 0 {
+	if *raDepth > 0 || *wbDirty > 0 {
+		if *exp != "sc03" && *exp != "failover" {
+			fmt.Fprintln(os.Stderr, "gfssim: -ra-depth/-wb-max-dirty only apply to -exp sc03 or -exp failover")
+			os.Exit(2)
+		}
+		if *exp == "sc03" {
+			cfg := experiments.DefaultSC03Config()
+			cfg.ReadAhead = *raDepth
+			cfg.WriteBehind = *wbDirty
+			runners[0].Run = func() *experiments.Result { return experiments.RunSC03(cfg) }
+		}
+	}
+
+	if *crashAt > 0 || *outage > 0 || *duration > 0 ||
+		(*exp == "failover" && (*raDepth > 0 || *wbDirty > 0)) {
 		if *exp != "failover" {
 			fmt.Fprintln(os.Stderr, "gfssim: -crash/-outage/-duration only apply to -exp failover")
 			os.Exit(2)
@@ -100,6 +117,8 @@ func main() {
 		if *duration > 0 {
 			cfg.Duration = sim.Time(*duration / time.Nanosecond)
 		}
+		cfg.ReadAhead = *raDepth
+		cfg.WriteBehind = *wbDirty
 		runners[0].Run = func() *experiments.Result { return experiments.RunFailover(cfg) }
 	}
 

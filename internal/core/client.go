@@ -147,14 +147,18 @@ type Mount struct {
 	fo       []foState   // per-NSD failover state, indexed like info.Servers
 	detached bool        // set by Unmount; further I/O fails ErrNotMounted
 
-	bytesRead    units.Bytes
-	bytesWritten units.Bytes
-	cacheHits    uint64
-	cacheMisses  uint64
-	opens        uint64
-	closes       uint64
-	readOps      uint64
-	writeOps     uint64
+	bytesRead      units.Bytes
+	bytesWritten   units.Bytes
+	cacheHits      uint64
+	cacheMisses    uint64
+	prefetchIssued uint64
+	prefetchHits   uint64
+	writebacks     uint64
+	writeStalls    uint64
+	opens          uint64
+	closes         uint64
+	readOps        uint64
+	writeOps       uint64
 }
 
 // obs returns the tracer and metrics registry visible to this mount.
@@ -364,8 +368,19 @@ func (m *Mount) List(p *sim.Proc, path string) ([]Attrs, error) {
 	return out, nil
 }
 
-// Remove deletes a file or empty directory.
+// Remove deletes a file or empty directory. Any cached pages for the
+// victim are discarded first: a write-behind flush that landed after the
+// blocks were freed would scribble on storage another file may since
+// have been allocated.
 func (m *Mount) Remove(p *sim.Proc, path string) error {
+	resp := m.meta(p, metaOp{Op: "stat", Path: path})
+	if resp.Err == nil {
+		a := resp.Payload.(Attrs)
+		if !a.Dir {
+			m.flushRange(p, a.Inode, 0, 1<<60)
+			m.pool.discard(a.Inode, 0)
+		}
+	}
 	return m.meta(p, metaOp{Op: "remove", Path: path}).Err
 }
 
@@ -642,9 +657,12 @@ type page struct {
 	dTo      units.Bytes
 	err      error // sticky I/O error, surfaced on wait/sync
 
-	fetching bool
-	flushing bool
-	waiters  []func()
+	fetching   bool
+	inPrefetch bool // the in-flight fetch was issued by the prefetcher
+	prefetched bool // filled by prefetch, not yet claimed by a demand read
+	stale      bool // discarded (truncate/remove) while I/O was in flight
+	flushing   bool
+	waiters    []func()
 
 	elem *list.Element
 }
@@ -654,6 +672,10 @@ type pagePool struct {
 	pages    map[pageKey]*page
 	lru      *list.List // front = most recently used
 	dirty    int
+	// unusedPrefetch counts prefetched pages dropped before any demand
+	// read claimed them — the honest cost of speculation (see
+	// MountStats.PrefetchUnused).
+	unusedPrefetch uint64
 }
 
 func newPagePool(capacity int) *pagePool {
@@ -665,9 +687,12 @@ func newPagePool(capacity int) *pagePool {
 
 func (pp *pagePool) get(k pageKey) *page {
 	pg, ok := pp.pages[k]
-	if ok {
-		pp.lru.MoveToFront(pg.elem)
+	if !ok || pg.stale {
+		// A stale page is doomed: its in-flight I/O completion will drop
+		// it. Callers must not resurrect it — they get a fresh page.
+		return nil
 	}
+	pp.lru.MoveToFront(pg.elem)
 	return pg
 }
 
@@ -678,6 +703,20 @@ func (pp *pagePool) add(k pageKey, ref BlockRef) *page {
 	return pg
 }
 
+// remove unlinks a page, charging a never-used prefetch if applicable.
+// The map check guards against a stale page whose key has since been
+// re-added: only the current occupant may be deleted by key.
+func (pp *pagePool) remove(pg *page) {
+	if pg.prefetched {
+		pp.unusedPrefetch++
+		pg.prefetched = false
+	}
+	pp.lru.Remove(pg.elem)
+	if pp.pages[pg.key] == pg {
+		delete(pp.pages, pg.key)
+	}
+}
+
 // evict drops clean cold pages until within capacity.
 func (pp *pagePool) evict() {
 	e := pp.lru.Back()
@@ -685,10 +724,31 @@ func (pp *pagePool) evict() {
 		prev := e.Prev()
 		pg := e.Value.(*page)
 		if !pg.dirty && !pg.fetching && !pg.flushing {
-			pp.lru.Remove(e)
-			delete(pp.pages, pg.key)
+			pp.remove(pg)
 		}
 		e = prev
+	}
+}
+
+// discard drops every page of the inode with block index >= fromIdx,
+// regardless of dirtiness: the data is semantically gone (truncate,
+// remove), so dirty intervals are abandoned rather than flushed. Pages
+// with I/O in flight are marked stale and dropped when it lands, so a
+// late-landing fetch can never fill a page whose block was freed.
+func (pp *pagePool) discard(ino, fromIdx int64) {
+	for _, pg := range pp.pagesOf(ino) {
+		if pg.key.idx < fromIdx {
+			continue
+		}
+		if pg.dirty && !pg.flushing {
+			pg.dirty = false
+			pp.dirty--
+		}
+		if pg.fetching || pg.flushing {
+			pg.stale = true
+			continue
+		}
+		pp.remove(pg)
 	}
 }
 
@@ -726,8 +786,7 @@ func (pp *pagePool) invalidate(ino int64, start, end, bs units.Bytes) {
 	for _, pg := range pp.pagesOf(ino) {
 		pgStart := units.Bytes(pg.key.idx) * bs
 		if overlaps(pgStart, pgStart+bs, start, end) && !pg.dirty && !pg.fetching && !pg.flushing {
-			pp.lru.Remove(pg.elem)
-			delete(pp.pages, pg.key)
+			pp.remove(pg)
 		}
 	}
 }
@@ -737,8 +796,7 @@ func (pp *pagePool) invalidate(ino int64, start, end, bs units.Bytes) {
 func (pp *pagePool) invalidateAll() {
 	for _, pg := range pp.pages {
 		if !pg.dirty && !pg.fetching && !pg.flushing {
-			pp.lru.Remove(pg.elem)
-			delete(pp.pages, pg.key)
+			pp.remove(pg)
 		}
 	}
 }

@@ -24,6 +24,13 @@ type File struct {
 	size   units.Bytes
 	layout []BlockRef
 	pos    units.Bytes
+
+	// Sequential stream detector state. raDepth ramps up (2, 4, 8, ...)
+	// as a stream proves itself, capped at ClientConfig.ReadAhead;
+	// raEdge is the highest block index already handed to the
+	// prefetcher, so each block is issued exactly once per stream.
+	raDepth int
+	raEdge  int64
 }
 
 // Name returns the file's base name.
@@ -107,30 +114,62 @@ func (f *File) ensureAlloc(p *sim.Proc, upto int64) error {
 	return nil
 }
 
-// fetchAsync starts (or joins) a block fetch into the page pool.
-func (m *Mount) fetchAsync(f *File, idx int64, ref BlockRef, verify bool) *page {
+// fetchAsync starts (or joins) a block fetch into the page pool. A
+// prefetch fetch is speculative: it is issued by the sequential stream
+// detector, accounted separately from demand misses, and the page stays
+// marked prefetched until a demand read claims it (a prefetch hit) or
+// the page is dropped unused. The pool's fetching flag doubles as the
+// in-flight dedupe map: a demand read landing on an in-flight prefetch
+// joins it instead of issuing a second RPC.
+func (m *Mount) fetchAsync(f *File, idx int64, ref BlockRef, verify, prefetch bool) *page {
 	k := pageKey{ino: f.ino, idx: idx}
 	pg := m.pool.get(k)
 	if pg == nil {
 		pg = m.pool.add(k, ref)
 	}
 	if pg.fetching || (pg.present && (!verify || pg.hasBytes || pg.dirty)) {
+		if !prefetch && pg.prefetched {
+			// Demand read claims a prefetched (or in-flight prefetch)
+			// page: the speculation paid off.
+			pg.prefetched = false
+			m.prefetchHits++
+			if _, reg := m.obs(); reg != nil {
+				reg.Counter("cache.prefetch_hits").Inc()
+			}
+		}
 		return pg
 	}
 	pg.fetching = true
-	m.cacheMisses++
+	pg.inPrefetch = prefetch
+	opName := "fetch"
+	tr, reg := m.obs()
+	if prefetch {
+		pg.prefetched = true
+		m.prefetchIssued++
+		opName = "prefetch"
+		if reg != nil {
+			reg.Counter("cache.prefetch_issued").Inc()
+		}
+	} else {
+		pg.prefetched = false
+		m.cacheMisses++
+		if reg != nil {
+			reg.Counter("cache.misses").Inc()
+		}
+	}
 	// Each fetch is its own background operation: several foreground
 	// reads may wait on the same in-flight fetch, so the RPC tree hangs
-	// off a "fetch" op of its own and foreground fetch_wait spans are
-	// redistributed over the aggregate fetch profile by critpath.
-	rec := m.beginBgOp("fetch")
-	tr, reg := m.obs()
+	// off a "fetch"/"prefetch" op of its own and foreground fetch_wait
+	// spans are redistributed over the aggregate fetch profile by
+	// critpath.
+	rec := m.beginBgOp(opName)
 	if tr != nil {
-		tr.InstantCtx(rec.ctx(), "cache", "miss", m.c.id, int64(m.c.sim.Now()),
+		what := "miss"
+		if prefetch {
+			what = "prefetch"
+		}
+		tr.InstantCtx(rec.ctx(), "cache", what, m.c.id, int64(m.c.sim.Now()),
 			trace.I("ino", f.ino), trace.I("block", idx))
-	}
-	if reg != nil {
-		reg.Counter("cache.misses").Inc()
 	}
 	bs := m.info.BlockSize
 	m.goIO(rec.ctx(), ref.NSD, 64, ioPayload{
@@ -139,7 +178,19 @@ func (m *Mount) fetchAsync(f *File, idx int64, ref BlockRef, verify bool) *page 
 		Op: disk.Read, Verify: verify,
 	}, func(resp netsim.Response) {
 		pg.fetching = false
+		pg.inPrefetch = false
 		m.endBgOp(rec, trace.I("ino", f.ino), trace.I("block", idx), trace.I("bytes", int64(bs)))
+		if pg.stale {
+			// The block was freed (truncate/remove) while the fetch was
+			// in flight; the page must not be resurrected.
+			ws := pg.waiters
+			pg.waiters = nil
+			for _, w := range ws {
+				w()
+			}
+			m.pool.remove(pg)
+			return
+		}
 		if resp.Err == nil {
 			pg.present = true
 			pg.err = nil
@@ -235,7 +286,7 @@ func (f *File) readAt(p *sim.Proc, off, size units.Bytes, verify bool) ([]byte, 
 	tr, reg := m.obs()
 	var hits uint64
 	for i, sp := range sps {
-		pg := m.fetchAsync(f, sp.Index, f.layout[sp.Index], verify)
+		pg := m.fetchAsync(f, sp.Index, f.layout[sp.Index], verify, false)
 		if !pg.fetching && pg.present {
 			m.cacheHits++
 			hits++
@@ -251,38 +302,82 @@ func (f *File) readAt(p *sim.Proc, off, size units.Bytes, verify bool) ([]byte, 
 			reg.Counter("cache.hits").Add(hits)
 		}
 	}
-	// Read-ahead: keep the pipeline full beyond the request on sequential
-	// access. This is the mechanism that makes a WAN RTT survivable.
+	// Read-ahead: the stream detector keeps a pipeline of speculative
+	// block fetches in flight beyond the request on sequential access —
+	// the mechanism that makes a WAN RTT survivable. The depth ramps up
+	// as the stream proves itself; raEdge dedupes issue across reads.
 	if sequential && m.c.cfg.ReadAhead > 0 {
-		raLast := lastIdx + int64(m.c.cfg.ReadAhead)
+		if f.raDepth < m.c.cfg.ReadAhead {
+			if f.raDepth == 0 {
+				f.raDepth = m.c.cfg.ReadAhead / 4
+				if f.raDepth < 2 {
+					f.raDepth = 2
+				}
+			} else {
+				f.raDepth *= 2
+			}
+			if f.raDepth > m.c.cfg.ReadAhead {
+				f.raDepth = m.c.cfg.ReadAhead
+			}
+		}
+		raLast := lastIdx + int64(f.raDepth)
 		if maxIdx := int64((f.size - 1) / bs); raLast > maxIdx {
 			raLast = maxIdx
 		}
-		if err := f.ensureLayout(p, raLast); err == nil {
-			for idx := lastIdx + 1; idx <= raLast; idx++ {
-				m.fetchAsync(f, idx, f.layout[idx], verify)
-			}
-			if n := raLast - lastIdx; n > 0 {
+		// A stale edge from an earlier stream (behind us, or implausibly
+		// far ahead after a backwards seek) is reset to the current head.
+		if f.raEdge < lastIdx || f.raEdge > lastIdx+int64(m.c.cfg.ReadAhead) {
+			f.raEdge = lastIdx
+		}
+		raFrom := f.raEdge + 1
+		if raFrom <= raLast {
+			if err := f.ensureLayout(p, raLast); err == nil {
+				for idx := raFrom; idx <= raLast; idx++ {
+					m.fetchAsync(f, idx, f.layout[idx], verify, true)
+				}
+				f.raEdge = raLast
 				if tr != nil {
 					tr.Instant("cache", "readahead", m.c.id, int64(m.c.sim.Now()),
-						trace.I("ino", f.ino), trace.I("blocks", n))
+						trace.I("ino", f.ino), trace.I("blocks", raLast-raFrom+1))
 				}
 				if reg != nil {
-					reg.Counter("cache.readahead_blocks").Add(uint64(n))
+					reg.Counter("cache.readahead_blocks").Add(uint64(raLast - raFrom + 1))
 				}
 			}
 		}
+	} else if !sequential {
+		// Stream broken: restart the ramp and the prefetch edge here.
+		f.raDepth = 0
+		f.raEdge = lastIdx
 	}
+	// Classify the stall before blocking: waiting only on in-flight
+	// prefetches is residual (partially hidden) prefetch latency, traced
+	// as prefetch_hit; waiting on any demand fetch is a plain fetch_wait.
 	var waitStart int64
+	waitName := "fetch_wait"
 	if rec.tr != nil {
 		waitStart = int64(m.c.sim.Now())
+		demandWait := false
+		prefetchWait := false
+		for _, pg := range pages {
+			if pg.fetching {
+				if pg.inPrefetch {
+					prefetchWait = true
+				} else {
+					demandWait = true
+				}
+			}
+		}
+		if prefetchWait && !demandWait {
+			waitName = "prefetch_hit"
+		}
 	}
 	for _, pg := range pages {
 		if err := m.waitPage(p, pg); err != nil {
 			return nil, err
 		}
 	}
-	m.waitSpan(p, rec.tr, "fetch_wait", waitStart)
+	m.waitSpan(p, rec.tr, waitName, waitStart)
 	f.pos = off + size
 	if !verify {
 		return nil, nil
@@ -368,20 +463,15 @@ func (f *File) writeAt(p *sim.Proc, off, size units.Bytes, data []byte) error {
 		f.size = off + size
 	}
 	f.pos = off + size
-	// Write-behind: once enough dirty pages accumulate, flush them all
-	// asynchronously; block the writer only when far over the limit.
+	// Write-behind: once enough dirty pages accumulate the scheduler
+	// flushes them asynchronously; the writer is blocked (backpressure)
+	// only when far over the limit, and that stall is traced as its own
+	// writeback phase — the visible cost of the -wb-max-dirty knob.
 	if m.pool.dirty >= m.c.cfg.WriteBehind {
-		tr, reg := m.obs()
-		if tr != nil {
-			tr.Instant("cache", "writebehind", m.c.id, int64(m.c.sim.Now()),
-				trace.I("ino", f.ino), trace.I("dirty", int64(m.pool.dirty)))
-		}
-		if reg != nil {
-			reg.Counter("cache.writebehind_triggers").Inc()
-		}
-		m.flushAllDirty(f.ino)
+		m.writeBehind(f.ino)
 	}
 	if m.pool.dirty >= 2*m.c.cfg.WriteBehind {
+		m.writeStalls++
 		var waitStart int64
 		if rec.tr != nil {
 			waitStart = int64(m.c.sim.Now())
@@ -389,9 +479,31 @@ func (f *File) writeAt(p *sim.Proc, off, size units.Bytes, data []byte) error {
 		for m.pool.dirty >= 2*m.c.cfg.WriteBehind {
 			m.flSig.Wait(p)
 		}
-		m.waitSpan(p, rec.tr, "wb_wait", waitStart)
+		m.waitSpan(p, rec.tr, "writeback", waitStart)
 	}
 	return nil
+}
+
+// writeBehind is the background flush scheduler, run when the pool's
+// dirty-page count crosses the configured bound. The inode that tripped
+// the bound flushes first (in block order), then any other inode with
+// dirty pages — a multi-file writer is bounded too, not just the file
+// being written.
+func (m *Mount) writeBehind(ino int64) {
+	tr, reg := m.obs()
+	if tr != nil {
+		tr.Instant("cache", "writebehind", m.c.id, int64(m.c.sim.Now()),
+			trace.I("ino", ino), trace.I("dirty", int64(m.pool.dirty)))
+	}
+	if reg != nil {
+		reg.Counter("cache.writebehind_triggers").Inc()
+	}
+	m.flushAllDirty(ino)
+	for _, pg := range m.pool.allPages() {
+		if pg.key.ino != ino && pg.dirty && !pg.flushing {
+			m.flushAsync(pg)
+		}
+	}
 }
 
 // flushAllDirty starts async flushes for every dirty page of an inode.
@@ -409,6 +521,7 @@ func (m *Mount) flushAsync(pg *page) {
 		return
 	}
 	pg.flushing = true
+	m.writebacks++
 	snapFrom, snapTo := pg.dFrom, pg.dTo
 	var data []byte
 	if pg.hasBytes {
@@ -436,10 +549,22 @@ func (m *Mount) flushAsync(pg *page) {
 			reg.Counter("cache.flushes").Inc()
 			reg.Histogram("cache.flush_ns").Observe(float64(m.c.sim.Now() - issued))
 		}
+		if pg.stale {
+			// The block was freed (truncate/remove) mid-flush; drop the
+			// page rather than reinstating any state.
+			if pg.dirty {
+				pg.dirty = false
+				m.pool.dirty--
+			}
+			m.wgFl.Done()
+			m.flSig.Fire()
+			m.pool.remove(pg)
+			return
+		}
 		if resp.Err == nil {
 			pg.err = nil
 			m.bytesWritten += snapTo - snapFrom
-			if pg.dFrom == snapFrom && pg.dTo == snapTo {
+			if pg.dirty && pg.dFrom == snapFrom && pg.dTo == snapTo {
 				pg.dirty = false
 				m.pool.dirty--
 			}
@@ -493,7 +618,11 @@ func (f *File) Close(p *sim.Proc) error {
 	return f.Sync(p)
 }
 
-// Truncate shrinks or logically extends the file.
+// Truncate shrinks or logically extends the file. It is a write-behind
+// barrier: dirty pages below the new size flush first, and pages at or
+// beyond it are discarded (their dirty data is semantically gone) — a
+// flush landing after the blocks were freed would corrupt whatever file
+// the allocator hands those blocks next.
 func (f *File) Truncate(p *sim.Proc, size units.Bytes) error {
 	if f.m.detached {
 		return fmt.Errorf("core: %s on %s: %w", f.m.Device, f.m.c.id, ErrNotMounted)
@@ -501,17 +630,25 @@ func (f *File) Truncate(p *sim.Proc, size units.Bytes) error {
 	if err := f.m.acquireToken(p, f.ino, 0, 1<<60, TokExclusive); err != nil {
 		return err
 	}
+	bs := f.m.info.BlockSize
+	keep := int64((size + bs - 1) / bs)
+	f.m.pool.discard(f.ino, keep)
+	f.m.flushRange(p, f.ino, 0, units.Bytes(keep)*bs)
 	resp := f.m.meta(p, metaOp{Op: "truncate", Inode: f.ino, Size: size})
 	if resp.Err != nil {
 		return resp.Err
 	}
 	f.size = size
-	keep := int64((size + f.m.info.BlockSize - 1) / f.m.info.BlockSize)
+	if f.pos > size {
+		f.pos = size
+	}
 	if int64(len(f.layout)) > keep {
 		f.layout = f.layout[:keep]
 	}
-	bs := f.m.info.BlockSize
-	f.m.pool.invalidate(f.ino, units.Bytes(keep)*bs, 1<<60, bs)
+	if f.raEdge >= keep {
+		f.raEdge = 0
+		f.raDepth = 0
+	}
 	return nil
 }
 

@@ -200,9 +200,16 @@ func (fs *FileSystem) checkClusterAccess(cluster string, op disk.Op) error {
 	return nil
 }
 
+// cleanPath normalizes any user-supplied path to the canonical absolute
+// form every metadata operation works in: rooted, no ".", "..", empty, or
+// duplicate segments. Relative paths are interpreted from the root, and
+// ".." never escapes it. The normalization is idempotent (fuzzed in
+// FuzzPath).
+func cleanPath(p string) string { return path.Clean("/" + p) }
+
 // resolve walks a path to an inode.
 func (fs *FileSystem) resolve(p string) (*Inode, error) {
-	p = path.Clean("/" + p)
+	p = cleanPath(p)
 	cur := fs.inodes[1]
 	if p == "/" {
 		return cur, nil
@@ -241,7 +248,7 @@ func (fs *FileSystem) parentOf(num int64) *Inode {
 
 // resolveParent returns the directory containing p and the final element.
 func (fs *FileSystem) resolveParent(p string) (*Inode, string, error) {
-	p = path.Clean("/" + p)
+	p = cleanPath(p)
 	dir, base := path.Split(p)
 	if base == "" {
 		return nil, "", fmt.Errorf("core: cannot operate on root")

@@ -442,6 +442,12 @@ func TestReadAheadHidesWANLatency(t *testing.T) {
 			if err := f.Sync(p); err != nil {
 				panic(err)
 			}
+			// The write left every page cached; drop them so the timed
+			// loop actually measures WAN fetches (without this both
+			// variants read from the pool in zero time and the test is
+			// vacuous).
+			m.DropCaches()
+			f.Seek(0)
 			t0 = p.Now()
 			for off := units.Bytes(0); off < 64*units.MiB; off += units.MiB {
 				if err := f.ReadAt(p, off, units.MiB); err != nil {

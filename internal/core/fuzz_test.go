@@ -1,0 +1,227 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gfs/internal/sim"
+	"gfs/internal/units"
+)
+
+// FuzzPath fuzzes the path normalization every metadata operation runs
+// through, plus resolve on a live filesystem: normalization must be
+// total (no panics), idempotent, and always yield a rooted path with no
+// ".."/"."/empty segments; ".." must never escape the root.
+func FuzzPath(f *testing.F) {
+	for _, s := range []string{
+		"", "/", ".", "..", "a", "/a/b/c", "a//b", "../../x", "/a/../b",
+		"./", "a/./b", "/a/b/../../../c", "a/", "//", "/..", "...",
+		"a\x00b", `a\b`, strings.Repeat("/x", 64), "/dir/../dir/./f",
+	} {
+		f.Add(s)
+	}
+	r := newRig(f, 2, 1, 256*units.KiB)
+	r.run(f, func(p *sim.Proc) error { return nil })
+	fs := r.fs
+
+	f.Fuzz(func(t *testing.T, p string) {
+		c := cleanPath(p)
+		if !strings.HasPrefix(c, "/") {
+			t.Fatalf("cleanPath(%q) = %q: not rooted", p, c)
+		}
+		if again := cleanPath(c); again != c {
+			t.Fatalf("cleanPath not idempotent: %q -> %q -> %q", p, c, again)
+		}
+		if strings.Contains(c, "//") {
+			t.Fatalf("cleanPath(%q) = %q: empty segment", p, c)
+		}
+		for _, seg := range strings.Split(strings.TrimPrefix(c, "/"), "/") {
+			if seg == "." || seg == ".." {
+				t.Fatalf("cleanPath(%q) = %q: segment %q survived", p, c, seg)
+			}
+		}
+		// resolve must be total too: an inode or an error, never a panic,
+		// and the root always resolves to the root directory.
+		ino, err := fs.resolve(p)
+		if err == nil && ino == nil {
+			t.Fatalf("resolve(%q): nil inode without error", p)
+		}
+		if c == "/" {
+			if err != nil || !ino.Dir {
+				t.Fatalf("resolve(%q) (root): ino=%v err=%v", p, ino, err)
+			}
+		}
+	})
+}
+
+// FuzzMmpmonParse fuzzes the mmpmon scraper: arbitrary input must parse
+// or error, never panic, and a successful parse must account for every
+// section header in the input and be deterministic.
+func FuzzMmpmonParse(f *testing.F) {
+	// The prime seed is a real rendering from a live run, so the fuzzer
+	// starts from the grammar it is meant to cover.
+	f.Add(renderedSnapshot(f))
+	f.Add("=== mmpmon snapshot t=1.000000s ===\n")
+	f.Add("mmpmon node c0 fs_io_s OK\ncluster: x\nbytes read: 12\n")
+	f.Add("mmpmon fs gpfs0 io_s OK\ncluster: x\nmmpmon nsd nsd0 up read 1 written 2\n")
+	f.Add("mmpmon resource store0 cap 8 inuse 0 queued 0 peak 8 acquired 31 peak_util 1.00\n")
+	f.Add("mmpmon sim events_fired 10 pending 0\n")
+	f.Add("mmpmon node c0 fs_io_s OK\nbytes read: 9999999999999999999999\n")
+	f.Add("garbage\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		snap, err := ParseMmpmon(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if got := len(snap.FSIO); got != countLinesWithPrefix(data, "mmpmon node ") {
+			t.Fatalf("parsed %d fs_io_s sections, input has %d headers", got,
+				countLinesWithPrefix(data, "mmpmon node "))
+		}
+		if got := len(snap.IO); got != countLinesWithPrefix(data, "mmpmon fs ") {
+			t.Fatalf("parsed %d io_s sections, input has %d headers", got,
+				countLinesWithPrefix(data, "mmpmon fs "))
+		}
+		snap2, err2 := ParseMmpmon(strings.NewReader(data))
+		if err2 != nil || !reflect.DeepEqual(snap, snap2) {
+			t.Fatalf("parse is not deterministic (err2=%v)", err2)
+		}
+	})
+}
+
+func countLinesWithPrefix(data, prefix string) int {
+	n := 0
+	for _, line := range strings.Split(data, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			n++
+		}
+	}
+	return n
+}
+
+// renderedSnapshot produces a WriteMmpmon rendering from a real small
+// run, used as the fuzz grammar seed and by the round-trip test.
+func renderedSnapshot(t testing.TB) string {
+	r := newRig(t, 2, 2, 256*units.KiB)
+	r.run(t, func(p *sim.Proc) error {
+		m, err := r.clients[0].MountLocal(p, r.fs)
+		if err != nil {
+			return err
+		}
+		f, err := m.Create(p, "/a.dat", DefaultPerm)
+		if err != nil {
+			return err
+		}
+		if err := f.WriteBytesAt(p, 0, pattern(int(units.MiB), 3)); err != nil {
+			return err
+		}
+		if err := f.Close(p); err != nil {
+			return err
+		}
+		g, err := m.Open(p, "/a.dat")
+		if err != nil {
+			return err
+		}
+		if _, err := g.ReadBytesAt(p, 0, g.Size()); err != nil {
+			return err
+		}
+		return g.Close(p)
+	})
+	var buf bytes.Buffer
+	WriteMmpmon(&buf, r.s, []*Cluster{r.cl})
+	return buf.String()
+}
+
+// TestMmpmonRoundTrip checks ParseMmpmon against the live structures
+// its input was rendered from: every mount counter, NSD line, and the
+// sim footer must come back exactly.
+func TestMmpmonRoundTrip(t *testing.T) {
+	r := newRig(t, 2, 1, 256*units.KiB)
+	var want MountStats
+	r.run(t, func(p *sim.Proc) error {
+		m, err := r.clients[0].MountLocal(p, r.fs)
+		if err != nil {
+			return err
+		}
+		f, err := m.Create(p, "/rt.dat", DefaultPerm)
+		if err != nil {
+			return err
+		}
+		if err := f.WriteBytesAt(p, 0, pattern(int(2*units.MiB), 11)); err != nil {
+			return err
+		}
+		if err := f.Sync(p); err != nil {
+			return err
+		}
+		m.DropCaches()
+		f.Seek(0)
+		// Chunked sequential re-read: leaves blocks ahead of each request
+		// for the prefetcher, so the prefetch counters come out non-zero.
+		for off := units.Bytes(0); off < f.Size(); off += 256 * units.KiB {
+			if _, err := f.ReadBytesAt(p, off, 256*units.KiB); err != nil {
+				return err
+			}
+		}
+		if err := f.Close(p); err != nil {
+			return err
+		}
+		want = m.Stats()
+		return nil
+	})
+
+	var buf bytes.Buffer
+	WriteMmpmon(&buf, r.s, []*Cluster{r.cl})
+	snap, err := ParseMmpmon(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parse of our own rendering failed: %v", err)
+	}
+	if len(snap.FSIO) != 1 {
+		t.Fatalf("got %d fs_io_s sections, want 1", len(snap.FSIO))
+	}
+	fsio := snap.FSIO[0]
+	if fsio.Node != "sdsc/c0" || fsio.Filesystem != "gpfs0" {
+		t.Fatalf("section identity = %q/%q", fsio.Node, fsio.Filesystem)
+	}
+	for key, want := range map[string]int64{
+		"bytes read":      int64(want.BytesRead),
+		"bytes written":   int64(want.BytesWritten),
+		"cache hits":      int64(want.CacheHits),
+		"cache misses":    int64(want.CacheMisses),
+		"prefetch issued": int64(want.PrefetchIssued),
+		"prefetch hits":   int64(want.PrefetchHits),
+		"prefetch unused": int64(want.PrefetchUnused),
+		"writebacks":      int64(want.Writebacks),
+		"write stalls":    int64(want.WriteStalls),
+		"opens":           int64(want.Opens),
+		"closes":          int64(want.Closes),
+	} {
+		if got := fsio.Counters[key]; got != want {
+			t.Errorf("counter %q = %d, want %d", key, got, want)
+		}
+	}
+	if len(snap.IO) != 1 || len(snap.IO[0].NSDs) != 2 {
+		t.Fatalf("io_s sections = %d (nsds %v), want 1 section with 2 nsds",
+			len(snap.IO), snap.IO)
+	}
+	for _, nsd := range snap.IO[0].NSDs {
+		if nsd.State != "up" {
+			t.Errorf("nsd %s state %q, want up", nsd.Name, nsd.State)
+		}
+	}
+	if snap.EventsFired <= 0 {
+		t.Errorf("events_fired = %d, want > 0", snap.EventsFired)
+	}
+	if snap.Time <= 0 {
+		t.Errorf("snapshot time = %v, want > 0", snap.Time)
+	}
+	// The prefetch counters must be live in the rendering — this test
+	// rides shotgun on the Stats() honesty split.
+	if fsio.Counters["prefetch issued"] == 0 || fsio.Counters["cache misses"] == 0 {
+		t.Errorf("expected non-zero prefetch issued (%d) and cache misses (%d) after cold re-read",
+			fsio.Counters["prefetch issued"], fsio.Counters["cache misses"])
+	}
+	_ = fmt.Sprintf("%v", snap) // the types must all be printable
+}

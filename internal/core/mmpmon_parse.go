@@ -1,0 +1,213 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// MmpmonSnapshot is the parsed form of a WriteMmpmon rendering — the
+// consumer side of the mmpmon text protocol, for tools that scrape
+// snapshots out of logs instead of holding the live simulator.
+// ParseMmpmon(WriteMmpmon(x)) recovers every counter.
+type MmpmonSnapshot struct {
+	Time                 float64 // snapshot virtual time, seconds
+	FSIO                 []MmpmonFSIO
+	IO                   []MmpmonIO
+	Resources            []MmpmonResource
+	EventsFired, Pending int64
+}
+
+// MmpmonFSIO is one per-client-mount fs_io_s section.
+type MmpmonFSIO struct {
+	Node       string
+	Cluster    string
+	Filesystem string
+	Disks      int64
+	Timestamp  float64
+	// Counters holds the numeric "key: value" rows (bytes read, cache
+	// misses, prefetch hits, ...) keyed by their exact rendered name, so
+	// the parser keeps working as counters are added.
+	Counters map[string]int64
+}
+
+// MmpmonIO is one per-filesystem io_s section (server-side aggregate).
+type MmpmonIO struct {
+	Filesystem string
+	Cluster    string
+	Disks      int64
+	Timestamp  float64
+	Counters   map[string]int64
+	NSDs       []MmpmonNSD
+}
+
+// MmpmonNSD is one "mmpmon nsd" server line inside an io_s section.
+type MmpmonNSD struct {
+	Name          string
+	State         string // up | down
+	Read, Written int64
+}
+
+// MmpmonResource is one "mmpmon resource" utilization line.
+type MmpmonResource struct {
+	Name                               string
+	Cap, InUse, Queued, Peak, Acquired int64
+	PeakUtil                           float64
+}
+
+// ParseMmpmon parses a WriteMmpmon rendering. It is strict: any line it
+// does not recognize, and any malformed number, is an error — a scrape
+// that silently drops counters is worse than one that fails loudly.
+func ParseMmpmon(r io.Reader) (*MmpmonSnapshot, error) {
+	snap := &MmpmonSnapshot{}
+	var curFS *MmpmonFSIO
+	var curIO *MmpmonIO
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		fail := func(why string) (*MmpmonSnapshot, error) {
+			return nil, fmt.Errorf("core: mmpmon parse: line %d: %s: %q", lineNo, why, line)
+		}
+		switch {
+		case strings.HasPrefix(line, "=== mmpmon snapshot t="):
+			rest := strings.TrimPrefix(line, "=== mmpmon snapshot t=")
+			rest = strings.TrimSuffix(rest, "s ===")
+			t, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				return fail("bad header time")
+			}
+			snap.Time = t
+		case strings.HasPrefix(line, "mmpmon node "):
+			fields := strings.Fields(line)
+			if len(fields) != 5 || fields[3] != "fs_io_s" || fields[4] != "OK" {
+				return fail("bad fs_io_s header")
+			}
+			snap.FSIO = append(snap.FSIO, MmpmonFSIO{Node: fields[2], Counters: map[string]int64{}})
+			curFS, curIO = &snap.FSIO[len(snap.FSIO)-1], nil
+		case strings.HasPrefix(line, "mmpmon fs "):
+			fields := strings.Fields(line)
+			if len(fields) != 5 || fields[3] != "io_s" || fields[4] != "OK" {
+				return fail("bad io_s header")
+			}
+			snap.IO = append(snap.IO, MmpmonIO{Filesystem: fields[2], Counters: map[string]int64{}})
+			curIO, curFS = &snap.IO[len(snap.IO)-1], nil
+		case strings.HasPrefix(line, "mmpmon nsd "):
+			if curIO == nil {
+				return fail("nsd line outside io_s section")
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 8 || fields[4] != "read" || fields[6] != "written" {
+				return fail("bad nsd line")
+			}
+			rd, err1 := strconv.ParseInt(fields[5], 10, 64)
+			wr, err2 := strconv.ParseInt(fields[7], 10, 64)
+			if err1 != nil || err2 != nil {
+				return fail("bad nsd counters")
+			}
+			curIO.NSDs = append(curIO.NSDs, MmpmonNSD{
+				Name: fields[2], State: fields[3], Read: rd, Written: wr})
+		case strings.HasPrefix(line, "mmpmon resource "):
+			fields := strings.Fields(line)
+			if len(fields) != 15 {
+				return fail("bad resource line")
+			}
+			res := MmpmonResource{Name: fields[2]}
+			for i, dst := range map[int]*int64{
+				4: &res.Cap, 6: &res.InUse, 8: &res.Queued, 10: &res.Peak, 12: &res.Acquired,
+			} {
+				v, err := strconv.ParseInt(fields[i], 10, 64)
+				if err != nil {
+					return fail("bad resource counter " + fields[i-1])
+				}
+				*dst = v
+			}
+			util, err := strconv.ParseFloat(fields[14], 64)
+			if err != nil {
+				return fail("bad peak_util")
+			}
+			res.PeakUtil = util
+			snap.Resources = append(snap.Resources, res)
+		case strings.HasPrefix(line, "mmpmon sim "):
+			fields := strings.Fields(line)
+			if len(fields) != 6 || fields[2] != "events_fired" || fields[4] != "pending" {
+				return fail("bad sim line")
+			}
+			ev, err1 := strconv.ParseInt(fields[3], 10, 64)
+			pd, err2 := strconv.ParseInt(fields[5], 10, 64)
+			if err1 != nil || err2 != nil {
+				return fail("bad sim counters")
+			}
+			snap.EventsFired, snap.Pending = ev, pd
+		default:
+			key, val, ok := strings.Cut(line, ": ")
+			if !ok {
+				return fail("unrecognized line")
+			}
+			switch {
+			case curFS != nil:
+				if err := applyKV(key, val, &curFS.Cluster, &curFS.Filesystem,
+					&curFS.Disks, &curFS.Timestamp, curFS.Counters); err != nil {
+					return fail(err.Error())
+				}
+			case curIO != nil:
+				var fsName string // io_s sections name the fs in the header
+				if err := applyKV(key, val, &curIO.Cluster, &fsName,
+					&curIO.Disks, &curIO.Timestamp, curIO.Counters); err != nil {
+					return fail(err.Error())
+				}
+				if fsName != "" {
+					return fail("filesystem key inside io_s section")
+				}
+			default:
+				return fail("key/value line outside any section")
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("core: mmpmon parse: %w", err)
+	}
+	return snap, nil
+}
+
+// applyKV routes one "key: value" row into a section: the few string and
+// float keys go to dedicated fields, everything else must be an integer
+// counter.
+func applyKV(key, val string, cluster, fsName *string, disks *int64, ts *float64, counters map[string]int64) error {
+	switch key {
+	case "cluster":
+		*cluster = val
+		return nil
+	case "filesystem":
+		*fsName = val
+		return nil
+	case "disks":
+		v, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad disks value")
+		}
+		*disks = v
+		return nil
+	case "timestamp":
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("bad timestamp")
+		}
+		*ts = v
+		return nil
+	default:
+		v, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad counter %q", key)
+		}
+		counters[key] = v
+		return nil
+	}
+}

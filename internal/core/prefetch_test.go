@@ -1,0 +1,283 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"gfs/internal/sim"
+	"gfs/internal/units"
+)
+
+// Prefetch accounting must stay honest: speculative fetches are not
+// demand misses, claimed prefetches count as hits of their own kind, and
+// speculation dropped unused is reported as such.
+func TestPrefetchAccounting(t *testing.T) {
+	r := newRig(t, 4, 0, 256*units.KiB)
+	cfg := DefaultClientConfig()
+	cfg.ReadAhead = 8
+	cl := r.addClient("pf", cfg, Identity{DN: "/CN=pf"})
+	r.run(t, func(p *sim.Proc) error {
+		m, err := cl.MountLocal(p, r.fs)
+		if err != nil {
+			return err
+		}
+		f, err := m.Create(p, "/seq", DefaultPerm)
+		if err != nil {
+			return err
+		}
+		const blocks = 64
+		bs := m.BlockSize()
+		if err := f.WriteAt(p, 0, blocks*bs); err != nil {
+			return err
+		}
+		if err := f.Sync(p); err != nil {
+			return err
+		}
+		m.DropCaches()
+		f.Seek(0)
+		// Sequential sweep: everything past the ramp-up should arrive
+		// via prefetch, not demand misses.
+		for i := int64(0); i < blocks; i++ {
+			if err := f.ReadAt(p, units.Bytes(i)*bs, bs); err != nil {
+				return err
+			}
+		}
+		st := m.Stats()
+		if st.PrefetchIssued == 0 {
+			t.Error("sequential sweep issued no prefetches")
+		}
+		if st.PrefetchHits == 0 {
+			t.Error("no prefetch hits on a pure sequential stream")
+		}
+		if st.PrefetchHits > st.PrefetchIssued {
+			t.Errorf("hits %d > issued %d", st.PrefetchHits, st.PrefetchIssued)
+		}
+		// Demand misses must be few: only the stream head before the
+		// prefetcher got going.
+		if st.CacheMisses > 4 {
+			t.Errorf("demand misses = %d, want <= 4 of %d blocks (prefetch should cover the rest)",
+				st.CacheMisses, blocks)
+		}
+		// The classic dishonest accounting would report every prefetched
+		// block as a miss at issue and a hit at access.
+		if st.CacheMisses+st.PrefetchIssued < uint64(blocks) {
+			t.Errorf("misses %d + prefetches %d < %d blocks fetched", st.CacheMisses, st.PrefetchIssued, blocks)
+		}
+
+		// Unused speculation: read the head of a second file, abandon the
+		// stream, and drop caches — the tail prefetches die unclaimed.
+		g, err := m.Create(p, "/aband", DefaultPerm)
+		if err != nil {
+			return err
+		}
+		if err := g.WriteAt(p, 0, 32*bs); err != nil {
+			return err
+		}
+		if err := g.Sync(p); err != nil {
+			return err
+		}
+		m.DropCaches()
+		g.Seek(0)
+		for i := int64(0); i < 4; i++ {
+			if err := g.ReadAt(p, units.Bytes(i)*bs, bs); err != nil {
+				return err
+			}
+		}
+		p.Sleep(sim.Second) // let in-flight prefetches land
+		m.DropCaches()
+		if st := m.Stats(); st.PrefetchUnused == 0 {
+			t.Error("abandoned stream + drop caches reported no unused prefetches")
+		}
+		return nil
+	})
+}
+
+// The stream detector ramps depth up only while reads stay sequential,
+// and restarts after a seek.
+func TestPrefetchStreamDetector(t *testing.T) {
+	r := newRig(t, 4, 0, 256*units.KiB)
+	cfg := DefaultClientConfig()
+	cfg.ReadAhead = 16
+	cl := r.addClient("sd", cfg, Identity{DN: "/CN=sd"})
+	r.run(t, func(p *sim.Proc) error {
+		m, err := cl.MountLocal(p, r.fs)
+		if err != nil {
+			return err
+		}
+		f, err := m.Create(p, "/f", DefaultPerm)
+		if err != nil {
+			return err
+		}
+		bs := m.BlockSize()
+		if err := f.WriteAt(p, 0, 128*bs); err != nil {
+			return err
+		}
+		if err := f.Sync(p); err != nil {
+			return err
+		}
+		m.DropCaches()
+
+		// Random-ish (non-sequential) accesses: no prefetch at all.
+		for _, idx := range []int64{40, 7, 99, 23} {
+			if err := f.ReadAt(p, units.Bytes(idx)*bs, bs); err != nil {
+				return err
+			}
+		}
+		if st := m.Stats(); st.PrefetchIssued != 0 {
+			t.Errorf("non-sequential reads issued %d prefetches", st.PrefetchIssued)
+		}
+
+		// A sequential run ramps: first sequential read prefetches 2,
+		// never the full 16 straight away.
+		f.Seek(0)
+		if err := f.ReadAt(p, 0, bs); err != nil {
+			return err
+		}
+		st := m.Stats()
+		if st.PrefetchIssued == 0 || st.PrefetchIssued > 4 {
+			t.Errorf("first sequential read prefetched %d blocks; want a small ramp start", st.PrefetchIssued)
+		}
+		for i := int64(1); i < 32; i++ {
+			if err := f.ReadAt(p, units.Bytes(i)*bs, bs); err != nil {
+				return err
+			}
+		}
+		if f.raDepth != 16 {
+			t.Errorf("ramp stopped at depth %d, want cap 16", f.raDepth)
+		}
+		// Break the stream: the ramp restarts.
+		if err := f.ReadAt(p, 100*bs, bs); err != nil {
+			return err
+		}
+		if f.raDepth != 0 {
+			t.Errorf("depth after stream break = %d, want 0", f.raDepth)
+		}
+		return nil
+	})
+}
+
+// Truncating a file with dirty and in-flight pages must not let a stale
+// write-back land on freed (and possibly reallocated) blocks, and a
+// subsequent extension must read back exactly.
+func TestTruncateDiscardsDirtyTail(t *testing.T) {
+	r := newRig(t, 2, 1, 64*units.KiB)
+	r.run(t, func(p *sim.Proc) error {
+		m, _ := r.clients[0].MountLocal(p, r.fs)
+		bs := m.BlockSize()
+		f, err := m.Create(p, "/t", DefaultPerm)
+		if err != nil {
+			return err
+		}
+		// Dirty 8 blocks, then truncate to 2.5 blocks before any sync:
+		// the tail dirty pages must be discarded, not flushed to freed
+		// blocks.
+		data := seqBytes(8 * int(bs))
+		if err := f.WriteBytesAt(p, 0, data); err != nil {
+			return err
+		}
+		keep := bs*2 + bs/2
+		if err := f.Truncate(p, keep); err != nil {
+			return err
+		}
+		if err := f.Sync(p); err != nil {
+			return err
+		}
+		// Another file immediately reuses the freed blocks; its content
+		// must survive anything the first file does afterwards.
+		g, err := m.Create(p, "/u", DefaultPerm)
+		if err != nil {
+			return err
+		}
+		other := seqBytes(6 * int(bs))
+		for i := range other {
+			other[i] ^= 0xA5
+		}
+		if err := g.WriteBytesAt(p, 0, other); err != nil {
+			return err
+		}
+		if err := g.Sync(p); err != nil {
+			return err
+		}
+		// Extend the truncated file again and verify both files.
+		ext := bytes.Repeat([]byte{0x3C}, 2*int(bs))
+		if err := f.WriteBytesAt(p, keep, ext); err != nil {
+			return err
+		}
+		if err := f.Sync(p); err != nil {
+			return err
+		}
+		m.DropCaches()
+		got, err := f.ReadBytesAt(p, 0, keep+units.Bytes(len(ext)))
+		if err != nil {
+			return err
+		}
+		want := append(append([]byte{}, data[:keep]...), ext...)
+		if !bytes.Equal(got, want) {
+			t.Error("truncated+extended file corrupt")
+		}
+		gotO, err := g.ReadBytesAt(p, 0, units.Bytes(len(other)))
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(gotO, other) {
+			t.Error("bystander file corrupted by stale write-back after truncate")
+		}
+		if st := m.Stats(); st.DirtyPages != 0 {
+			t.Errorf("dirty pages = %d after syncs, want 0 (leaked dirty accounting)", st.DirtyPages)
+		}
+		return nil
+	})
+}
+
+// Removing a file with cached state discards its pages; blocks freed by
+// the remove can be reused by another file without corruption.
+func TestRemoveDiscardsPages(t *testing.T) {
+	r := newRig(t, 2, 1, 64*units.KiB)
+	r.run(t, func(p *sim.Proc) error {
+		m, _ := r.clients[0].MountLocal(p, r.fs)
+		bs := m.BlockSize()
+		f, err := m.Create(p, "/victim", DefaultPerm)
+		if err != nil {
+			return err
+		}
+		if err := f.WriteBytesAt(p, 0, seqBytes(4*int(bs))); err != nil {
+			return err
+		}
+		// Remove with dirty pages outstanding (no sync).
+		if err := m.Remove(p, "/victim"); err != nil {
+			return err
+		}
+		g, err := m.Create(p, "/heir", DefaultPerm)
+		if err != nil {
+			return err
+		}
+		data := seqBytes(4 * int(bs))
+		if err := g.WriteBytesAt(p, 0, data); err != nil {
+			return err
+		}
+		if err := g.Sync(p); err != nil {
+			return err
+		}
+		m.DropCaches()
+		got, err := g.ReadBytesAt(p, 0, units.Bytes(len(data)))
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("heir file corrupt after removing dirty predecessor")
+		}
+		if st := m.Stats(); st.DirtyPages != 0 {
+			t.Errorf("dirty pages = %d, want 0", st.DirtyPages)
+		}
+		return nil
+	})
+}
+
+// seqBytes returns n bytes with a position-dependent pattern.
+func seqBytes(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*7 + i/251)
+	}
+	return b
+}

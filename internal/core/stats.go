@@ -11,28 +11,46 @@ import (
 
 // MountStats is the per-mount I/O statistics record — the analogue of one
 // mmpmon fs_io_s response row.
+//
+// The cache counters keep speculation honest: CacheMisses counts only
+// demand fetches, while prefetched blocks are tracked from issue
+// (PrefetchIssued) to either a demand read claiming them (PrefetchHits)
+// or being dropped untouched (PrefetchUnused). A hit rate computed from
+// CacheHits/CacheMisses is therefore not inflated by readahead traffic.
 type MountStats struct {
-	BytesRead    units.Bytes
-	BytesWritten units.Bytes
-	CacheHits    uint64
-	CacheMisses  uint64
-	Opens        uint64
-	Closes       uint64
-	Reads        uint64 // read calls (ReadAt/Read), not blocks
-	Writes       uint64 // write calls (WriteAt/Write)
+	BytesRead      units.Bytes
+	BytesWritten   units.Bytes
+	CacheHits      uint64
+	CacheMisses    uint64 // demand fetches only; prefetches are separate
+	PrefetchIssued uint64 // speculative block fetches started
+	PrefetchHits   uint64 // prefetched blocks later claimed by demand reads
+	PrefetchUnused uint64 // prefetched blocks dropped without a demand read
+	Writebacks     uint64 // background dirty-page flushes issued
+	WriteStalls    uint64 // writes blocked on write-behind backpressure
+	DirtyPages     int    // dirty pages currently in the pool
+	Opens          uint64
+	Closes         uint64
+	Reads          uint64 // read calls (ReadAt/Read), not blocks
+	Writes         uint64 // write calls (WriteAt/Write)
 }
 
 // Stats returns a snapshot of the mount's I/O statistics.
 func (m *Mount) Stats() MountStats {
 	return MountStats{
-		BytesRead:    m.bytesRead,
-		BytesWritten: m.bytesWritten,
-		CacheHits:    m.cacheHits,
-		CacheMisses:  m.cacheMisses,
-		Opens:        m.opens,
-		Closes:       m.closes,
-		Reads:        m.readOps,
-		Writes:       m.writeOps,
+		BytesRead:      m.bytesRead,
+		BytesWritten:   m.bytesWritten,
+		CacheHits:      m.cacheHits,
+		CacheMisses:    m.cacheMisses,
+		PrefetchIssued: m.prefetchIssued,
+		PrefetchHits:   m.prefetchHits,
+		PrefetchUnused: m.pool.unusedPrefetch,
+		Writebacks:     m.writebacks,
+		WriteStalls:    m.writeStalls,
+		DirtyPages:     m.pool.dirty,
+		Opens:          m.opens,
+		Closes:         m.closes,
+		Reads:          m.readOps,
+		Writes:         m.writeOps,
 	}
 }
 
@@ -111,6 +129,11 @@ func WriteMmpmon(w io.Writer, s *sim.Sim, clusters []*Cluster) {
 			fmt.Fprintf(w, "writes: %d\n", st.Writes)
 			fmt.Fprintf(w, "cache hits: %d\n", st.CacheHits)
 			fmt.Fprintf(w, "cache misses: %d\n", st.CacheMisses)
+			fmt.Fprintf(w, "prefetch issued: %d\n", st.PrefetchIssued)
+			fmt.Fprintf(w, "prefetch hits: %d\n", st.PrefetchHits)
+			fmt.Fprintf(w, "prefetch unused: %d\n", st.PrefetchUnused)
+			fmt.Fprintf(w, "writebacks: %d\n", st.Writebacks)
+			fmt.Fprintf(w, "write stalls: %d\n", st.WriteStalls)
 		}
 	}
 

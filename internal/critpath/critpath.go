@@ -8,14 +8,20 @@
 // service, and cache machinery.
 //
 // Foreground operations often block not on their own I/O but on shared
-// background work: a ReadAt waits on a prefetch issued earlier, a
-// WriteAt on write-behind backpressure, a Sync on the flush drain.
-// Those waits appear in traces as cache "*_wait" spans; Analyze
-// redistributes their time over the aggregate phase profile of the
-// background op type that did the work ("fetch" or "flush"), so the
-// final table answers "where did the time go" truthfully — e.g. a
-// write-behind stall whose flushes sat in RAID5 read-modify-write is
-// charged to disk, not to an opaque cache bucket.
+// background work: a ReadAt waits on a demand fetch another read
+// started, a Sync on the flush drain. Those waits appear in traces as
+// cache "*_wait" spans; Analyze redistributes their time over the
+// aggregate phase profile of the background op type that did the work
+// ("fetch" or "flush"), so the final table answers "where did the time
+// go" truthfully — e.g. a sync whose flushes sat in RAID5
+// read-modify-write is charged to disk, not to an opaque cache bucket.
+//
+// Two pipelining stalls are charged directly instead of redistributed,
+// because each is the externally visible cost of a tuning knob: a
+// prefetch_hit span is the residual latency of a readahead that was
+// only partially hidden (deepen -ra-depth to shrink it), and a
+// writeback span is write-behind backpressure — the writer ran into the
+// dirty-page bound (raise -wb-max-dirty or add NSD bandwidth).
 //
 // Everything here is deterministic: ties are broken by span end, start
 // and emission order, and rendering uses fixed formats — two runs of
@@ -33,17 +39,19 @@ import (
 
 // Phase names, in display order.
 const (
-	PhaseClient   = "client"
-	PhaseToken    = "token_wait"
-	PhaseRPC      = "rpc"
-	PhaseRetry    = "retry"
-	PhaseProbe    = "failover_probe"
-	PhaseNetQueue = "net_queue"
-	PhaseNetXmit  = "net_xmit"
-	PhaseProp     = "wan_prop"
-	PhaseDisk     = "disk"
-	PhaseCache    = "cache"
-	PhaseOther    = "other"
+	PhaseClient    = "client"
+	PhaseToken     = "token_wait"
+	PhaseRPC       = "rpc"
+	PhaseRetry     = "retry"
+	PhaseProbe     = "failover_probe"
+	PhaseNetQueue  = "net_queue"
+	PhaseNetXmit   = "net_xmit"
+	PhaseProp      = "wan_prop"
+	PhaseDisk      = "disk"
+	PhaseCache     = "cache"
+	PhasePrefetch  = "prefetch_hit"
+	PhaseWriteback = "writeback"
+	PhaseOther     = "other"
 )
 
 // Phases lists every phase in canonical display order.
@@ -51,14 +59,14 @@ var Phases = []string{
 	PhaseClient, PhaseToken, PhaseRPC,
 	PhaseRetry, PhaseProbe,
 	PhaseNetQueue, PhaseNetXmit, PhaseProp,
-	PhaseDisk, PhaseCache, PhaseOther,
+	PhaseDisk, PhaseCache, PhasePrefetch, PhaseWriteback, PhaseOther,
 }
 
 // waitTarget maps a cache wait-span name to the background op type whose
-// aggregate profile absorbs the waited time.
+// aggregate profile absorbs the waited time. prefetch_hit and writeback
+// spans are deliberately absent: they charge to their own phases.
 var waitTarget = map[string]string{
 	"fetch_wait": "fetch",
-	"wb_wait":    "flush",
 	"sync_wait":  "flush",
 }
 
@@ -268,10 +276,17 @@ func charge(n *node, lo, hi int64, inst *OpInstance, absorb string) {
 	case "flow":
 		chargeFlow(n, lo, hi, inst)
 	case "cache":
-		if target, ok := waitTarget[e.Name]; ok {
-			inst.waits[target] += d
-		} else {
-			inst.Phases[PhaseCache] += d
+		switch e.Name {
+		case "prefetch_hit":
+			inst.Phases[PhasePrefetch] += d
+		case "writeback":
+			inst.Phases[PhaseWriteback] += d
+		default:
+			if target, ok := waitTarget[e.Name]; ok {
+				inst.waits[target] += d
+			} else {
+				inst.Phases[PhaseCache] += d
+			}
 		}
 	default:
 		inst.Phases[PhaseOther] += d

@@ -199,12 +199,45 @@ func TestWaitFallbackToCache(t *testing.T) {
 	tr := trace.New()
 	emitOp(tr, 1, []spanSpec{
 		{sid: 1, parent: 0, cat: "op", name: "write", start: 0, end: 50},
-		{sid: 0, parent: 1, cat: "cache", name: "wb_wait", start: 10, end: 40},
+		{sid: 0, parent: 1, cat: "cache", name: "sync_wait", start: 10, end: 40},
 	})
 	r := Analyze(tr)
 	ph := phasesOf(t, r, "write")
 	if ph[PhaseCache] != 30 {
 		t.Errorf("cache = %d, want 30", ph[PhaseCache])
+	}
+}
+
+// prefetch_hit and writeback stalls charge directly to their own phases
+// — they are the visible costs of the -ra-depth and -wb-max-dirty
+// knobs, never redistributed over background profiles.
+func TestPipelineStallPhases(t *testing.T) {
+	tr := trace.New()
+	// A background fetch op exists; the stalls must NOT redistribute
+	// over its profile.
+	emitOp(tr, 1, []spanSpec{
+		{sid: 1, parent: 0, cat: "op", name: "fetch", start: 0, end: 80},
+		{sid: 0, parent: 1, cat: "nsd", name: "read", start: 0, end: 80},
+	})
+	emitOp(tr, 2, []spanSpec{
+		{sid: 2, parent: 0, cat: "op", name: "read", start: 100, end: 160},
+		{sid: 0, parent: 2, cat: "cache", name: "prefetch_hit", start: 110, end: 150},
+	})
+	emitOp(tr, 3, []spanSpec{
+		{sid: 3, parent: 0, cat: "op", name: "write", start: 200, end: 260},
+		{sid: 0, parent: 3, cat: "cache", name: "writeback", start: 210, end: 240},
+	})
+	r := Analyze(tr)
+	rd := phasesOf(t, r, "read")
+	if rd[PhasePrefetch] != 40 {
+		t.Errorf("prefetch_hit = %d, want 40", rd[PhasePrefetch])
+	}
+	if rd[PhaseDisk] != 0 {
+		t.Errorf("disk = %d, want 0 (stall must not redistribute)", rd[PhaseDisk])
+	}
+	wr := phasesOf(t, r, "write")
+	if wr[PhaseWriteback] != 30 {
+		t.Errorf("writeback = %d, want 30", wr[PhaseWriteback])
 	}
 }
 

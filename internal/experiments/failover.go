@@ -24,6 +24,12 @@ type FailoverConfig struct {
 	CrashAt  sim.Time // when (after readers start) one NSD server dies
 	Outage   sim.Time // how long it stays dead
 	Duration sim.Time // total reader run time
+
+	// ReadAhead / WriteBehind override the readers' pipelining depth and
+	// dirty-page limit (gfssim -ra-depth / -wb-max-dirty). Zero keeps the
+	// experiment defaults (32 blocks readahead, client-default dirty cap).
+	ReadAhead   int
+	WriteBehind int
 }
 
 // DefaultFailoverConfig scales the SC'03 topology down to a failure
@@ -70,6 +76,12 @@ func RunFailover(cfg FailoverConfig) *Result {
 	// no backup servers here, so recovery is pure re-probe of the primary.
 	ccfg := core.DefaultClientConfig()
 	ccfg.ReadAhead = 32
+	if cfg.ReadAhead > 0 {
+		ccfg.ReadAhead = cfg.ReadAhead
+	}
+	if cfg.WriteBehind > 0 {
+		ccfg.WriteBehind = cfg.WriteBehind
+	}
 	ccfg.Retry = netsim.RetryPolicy{
 		MaxAttempts: 60,
 		BaseBackoff: 50 * sim.Millisecond,

@@ -1,0 +1,190 @@
+package modeltest
+
+import (
+	"fmt"
+
+	"gfs/internal/core"
+	"gfs/internal/fault"
+	"gfs/internal/sim"
+	"gfs/internal/units"
+)
+
+// DurabilityConfig parameterizes the client-crash durability check.
+type DurabilityConfig struct {
+	Seed    int64
+	Clients int      // bystander workload clients running alongside the victim
+	Ops     int      // ops per bystander
+	CrashAt sim.Time // when the victim node dies (workload-relative)
+	Lease   sim.Time // token lease: how long until the dead victim's tokens are stolen
+}
+
+// recByte is the victim's deterministic record pattern: the oracle must
+// not depend on remembering what was written, only on the offset.
+func recByte(off int64) byte { return byte(off*131 + off>>9 + 7) }
+
+// RunCrashDurability kills a writing client mid-run and checks the
+// durability contract: every byte the victim had *acked via Sync* before
+// the crash must be intact when a fresh client reads the file after the
+// victim's lease expires and its tokens are stolen. Data written but not
+// yet synced may be lost — that loss is not a divergence. Bystander
+// clients run the usual random workload throughout, so the lease steal
+// happens under live token traffic.
+func RunCrashDurability(cfg DurabilityConfig) []Divergence {
+	wcfg := Config{Seed: cfg.Seed, Clients: cfg.Clients, Ops: cfg.Ops}
+	wcfg.defaults()
+	wcfg.Clients++ // clients[0] is the victim; the rest run the workload
+	if cfg.CrashAt == 0 {
+		cfg.CrashAt = 200 * sim.Millisecond
+	}
+	if cfg.Lease == 0 {
+		cfg.Lease = 500 * sim.Millisecond
+	}
+	r := buildRig(&wcfg)
+	r.fs.SetTokenLease(cfg.Lease)
+	// The victim gets its own client node, beyond the bystanders.
+	victim := r.clients[0]
+	bystanders := r.clients[1:]
+	model := NewModel()
+	var divs []Divergence
+
+	const rec = 48 * units.KiB // record size: crosses block boundaries
+	var acked units.Bytes      // bytes the victim has successfully synced
+
+	done := false
+	r.s.Go("durability", func(p *sim.Proc) {
+		defer func() { done = true }()
+
+		vm, err := victim.MountLocal(p, r.fs)
+		if err != nil {
+			divs = append(divs, Divergence{Client: "victim", Op: "mount", Detail: err.Error()})
+			return
+		}
+		if err := vm.Mkdir(p, "/victim"); err != nil {
+			divs = append(divs, Divergence{Client: "victim", Op: "mkdir", Detail: err.Error()})
+			return
+		}
+
+		workers := make([]*worker, len(bystanders))
+		for i, cl := range bystanders {
+			m, err := cl.MountLocal(p, r.fs)
+			if err != nil {
+				divs = append(divs, Divergence{Client: cl.ID(), Op: "mount", Detail: err.Error()})
+				return
+			}
+			dir := fmt.Sprintf("/b%d", i)
+			if err := m.Mkdir(p, dir); err != nil {
+				divs = append(divs, Divergence{Client: cl.ID(), Op: "mkdir", Path: dir, Detail: err.Error()})
+				return
+			}
+			workers[i] = &worker{
+				name: cl.ID(), m: m, model: model, dir: dir,
+				max: units.Bytes(maxFileBlocks) * wcfg.BlockSize,
+				rng: newWorkerRNG(wcfg.Seed, i),
+				div: &divs,
+			}
+		}
+
+		crashAt := p.Now() + cfg.CrashAt
+		deadline := crashAt + 2*sim.Second // safety stop if the kill misfires
+
+		// The victim appends fixed-pattern records, syncing each one. Only
+		// after Sync returns is the record counted as acked. The crash plan
+		// kills this process wherever it happens to be — possibly with a
+		// record written but unsynced, possibly mid-sync.
+		vproc := r.s.Go("victim", func(vp *sim.Proc) {
+			f, err := vm.Create(vp, "/victim/data", core.DefaultPerm)
+			if err != nil {
+				divs = append(divs, Divergence{Client: "victim", Op: "create", Detail: err.Error()})
+				return
+			}
+			for off := units.Bytes(0); vp.Now() < deadline; off += rec {
+				data := make([]byte, rec)
+				for i := range data {
+					data[i] = recByte(int64(off) + int64(i))
+				}
+				if err := f.WriteBytesAt(vp, off, data); err != nil {
+					divs = append(divs, Divergence{Client: "victim", Op: "write", Detail: err.Error()})
+					return
+				}
+				if err := f.Sync(vp); err != nil {
+					divs = append(divs, Divergence{Client: "victim", Op: "sync", Detail: err.Error()})
+					return
+				}
+				acked = off + rec
+			}
+		})
+		fault.NewPlan("client-crash").
+			ClientCrash(crashAt, victim, vproc).
+			Install(r.s)
+
+		wg := sim.NewWaitGroup(r.s)
+		for _, w := range workers {
+			w := w
+			wg.Add(1)
+			r.s.Go(w.name, func(wp *sim.Proc) {
+				defer wg.Done()
+				for op := 0; op < wcfg.Ops; op++ {
+					wp.Sleep(sim.Time(w.rng.Intn(5_000_000)))
+					if !w.step(wp) {
+						return
+					}
+				}
+				for _, of := range w.files {
+					if err := of.f.Close(wp); err != nil {
+						w.fail("close", of.path, err)
+						return
+					}
+				}
+			})
+		}
+		wg.Wait(p)
+		// Let the crash and lease expiry pass before verifying, in case the
+		// bystanders finished early.
+		if until := crashAt + cfg.Lease + 100*sim.Millisecond; p.Now() < until {
+			p.Sleep(until - p.Now())
+		}
+		if acked == 0 {
+			divs = append(divs, Divergence{Client: "victim", Op: "sync",
+				Detail: "no records acked before the crash — oracle is vacuous"})
+			return
+		}
+
+		// The durability oracle, read through a cold mount. Opening the
+		// victim's file forces the manager to steal the dead client's
+		// tokens (the revoke goes unanswered until the lease runs out).
+		m, err := r.ver.MountLocal(p, r.fs)
+		if err != nil {
+			divs = append(divs, Divergence{Client: "verify", Op: "mount", Detail: err.Error()})
+			return
+		}
+		f, err := m.Open(p, "/victim/data")
+		if err != nil {
+			divs = append(divs, Divergence{Client: "verify", Op: "open", Path: "/victim/data", Detail: err.Error()})
+			return
+		}
+		if f.Size() < acked {
+			divs = append(divs, Divergence{Client: "verify", Op: "stat", Path: "/victim/data",
+				Detail: fmt.Sprintf("size %d < %d acked bytes", f.Size(), acked)})
+			return
+		}
+		got, err := f.ReadBytesAt(p, 0, acked)
+		if err != nil {
+			divs = append(divs, Divergence{Client: "verify", Op: "read", Path: "/victim/data", Detail: err.Error()})
+			return
+		}
+		for i, b := range got {
+			if b != recByte(int64(i)) {
+				divs = append(divs, Divergence{Client: "verify", Op: "read", Path: "/victim/data",
+					Detail: fmt.Sprintf("acked byte %d is 0x%02x, want 0x%02x", i, b, recByte(int64(i)))})
+				return
+			}
+		}
+		// The bystanders' files must still be exact despite the steal.
+		verify(p, m, model, &divs)
+	})
+	r.s.Run()
+	if !done {
+		panic("modeltest: durability simulation deadlocked")
+	}
+	return divs
+}

@@ -1,0 +1,124 @@
+// Package modeltest checks the full simulated GPFS stack — page pool,
+// prefetch, write-behind, byte-range tokens, NSD striping, recovery —
+// against a trivially correct reference: a flat in-memory map from path
+// to contents. A deterministic seeded workload of create/read/write/
+// truncate/rename/remove/sync operations runs against both at once;
+// every read is compared byte-for-byte on the spot, and a final verifier
+// client re-reads every file through a *different* mount (stealing the
+// writers' tokens back) and diffs it against the model. Any mismatch is
+// reported as a Divergence with enough context to replay.
+//
+// The workload keeps itself inside the stack's documented semantics so
+// that the model stays exact: each client works in its own /cN/
+// namespace (so per-path op order is the client's own program order),
+// only the byte-exact Read/WriteBytesAt family is used, writes land at
+// offsets within [0, size] (no holes), and truncate only shrinks.
+// Concurrency across clients still shakes the shared machinery — token
+// stealing, the flat allocator, write-behind against revokes — which is
+// where the historical bugs lived.
+package modeltest
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// Model is the flat reference filesystem: path → contents. It is only
+// ever mutated from sim coroutines (which are cooperatively scheduled),
+// so it needs no locking.
+type Model struct {
+	files map[string][]byte
+}
+
+// NewModel returns an empty reference filesystem.
+func NewModel() *Model {
+	return &Model{files: map[string][]byte{}}
+}
+
+// Create registers an empty file. Creating an existing path is a
+// harness bug, not a divergence, so it panics.
+func (m *Model) Create(path string) {
+	if _, ok := m.files[path]; ok {
+		panic("modeltest: model create of existing path " + path)
+	}
+	m.files[path] = nil
+}
+
+// Write copies data into the file at off, extending it if needed. The
+// harness only writes at off ≤ len (no holes).
+func (m *Model) Write(path string, off int64, data []byte) {
+	c := m.files[path]
+	if need := off + int64(len(data)); need > int64(len(c)) {
+		grown := make([]byte, need)
+		copy(grown, c)
+		c = grown
+	}
+	copy(c[off:], data)
+	m.files[path] = c
+}
+
+// Read returns the file's bytes in [off, off+n).
+func (m *Model) Read(path string, off, n int64) []byte {
+	return m.files[path][off : off+n]
+}
+
+// Truncate shrinks the file to size bytes.
+func (m *Model) Truncate(path string, size int64) {
+	m.files[path] = m.files[path][:size]
+}
+
+// Rename moves a file to a fresh path.
+func (m *Model) Rename(oldPath, newPath string) {
+	if _, ok := m.files[newPath]; ok {
+		panic("modeltest: model rename onto existing path " + newPath)
+	}
+	m.files[newPath] = m.files[oldPath]
+	delete(m.files, oldPath)
+}
+
+// Remove deletes a file.
+func (m *Model) Remove(path string) { delete(m.files, path) }
+
+// Size returns the file's length in bytes.
+func (m *Model) Size(path string) int64 { return int64(len(m.files[path])) }
+
+// Paths returns every live path in sorted order — the verifier's walk.
+func (m *Model) Paths() []string {
+	out := make([]string, 0, len(m.files))
+	for p := range m.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Divergence is one observed disagreement between the real stack and
+// the reference model.
+type Divergence struct {
+	Client string // which client (or "verify") observed it
+	Op     string // the operation in flight
+	Path   string
+	Detail string
+}
+
+func (d Divergence) String() string {
+	return fmt.Sprintf("%s: %s %s: %s", d.Client, d.Op, d.Path, d.Detail)
+}
+
+// diffBytes describes the first disagreement between got and want, or
+// returns "" if they match.
+func diffBytes(got, want []byte) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("length %d, want %d", len(got), len(want))
+	}
+	if bytes.Equal(got, want) {
+		return ""
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Sprintf("byte %d is 0x%02x, want 0x%02x (of %d)", i, got[i], want[i], len(got))
+		}
+	}
+	return ""
+}

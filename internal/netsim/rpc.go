@@ -41,6 +41,9 @@ type Endpoint struct {
 	connsPerPeer int
 	out          map[*Endpoint][]*Conn // request conns, this -> peer
 	rr           map[*Endpoint]int     // round-robin index
+
+	inFlight     int // outbound RPCs issued but not yet answered
+	peakInFlight int // high-water mark of inFlight
 }
 
 // HeaderBytes is the fixed protocol overhead added to every request and
@@ -66,6 +69,16 @@ func (nw *Network) NewEndpoint(node *Node, connsPerPeer int) *Endpoint {
 
 // Node returns the underlying network node.
 func (e *Endpoint) Node() *Node { return e.node }
+
+// InFlight returns the number of outbound RPCs issued from this endpoint
+// whose responses have not yet arrived — the depth of the request
+// pipeline this endpoint is keeping on the wire.
+func (e *Endpoint) InFlight() int { return e.inFlight }
+
+// PeakInFlight returns the high-water mark of InFlight over the
+// endpoint's lifetime: how deep the prefetch/write-behind pipeline
+// actually got, which is what hides the bandwidth-delay product.
+func (e *Endpoint) PeakInFlight() int { return e.peakInFlight }
 
 // Handle registers a service handler by name.
 func (e *Endpoint) Handle(service string, h Handler) {
@@ -139,6 +152,13 @@ func (e *Endpoint) GoCtx(ctx trace.Ctx, peer *Endpoint, service string, reqSize 
 		sid = tr.NewSpanID()
 		child = trace.Ctx{Op: ctx.Op, Parent: sid}
 	}
+	e.inFlight++
+	if e.inFlight > e.peakInFlight {
+		e.peakInFlight = e.inFlight
+	}
+	if reg != nil {
+		reg.Gauge("rpc.in_flight").Set(float64(e.inFlight))
+	}
 	reqConn := e.connTo(peer)
 	respConn := peer.connTo(e)
 	req := &Request{From: e, Service: service, Size: reqSize, Payload: payload, Ctx: child}
@@ -147,6 +167,10 @@ func (e *Endpoint) GoCtx(ctx trace.Ctx, peer *Endpoint, service string, reqSize 
 			sp.SetCtx(child)
 			resp := h(sp, req)
 			respConn.SendCtx(child, resp.Size+HeaderBytes, func() {
+				e.inFlight--
+				if reg != nil {
+					reg.Gauge("rpc.in_flight").Set(float64(e.inFlight))
+				}
 				if tr != nil || reg != nil {
 					e.recordRPC(tr, reg, peer, service, issued, reqSize, &resp, ctx, sid)
 				}

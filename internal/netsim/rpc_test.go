@@ -154,3 +154,33 @@ func TestRPCMultipleConnsRaiseWindow(t *testing.T) {
 		t.Errorf("4 conns took %v vs 1 conn %v; want big speedup", t4, t1)
 	}
 }
+
+func TestInFlightAccounting(t *testing.T) {
+	s, client, server := rpcPair(10 * sim.Millisecond)
+	server.Handle("read", func(p *sim.Proc, req *Request) Response {
+		return Response{Size: units.KiB}
+	})
+	if client.InFlight() != 0 || client.PeakInFlight() != 0 {
+		t.Fatalf("fresh endpoint: in_flight=%d peak=%d", client.InFlight(), client.PeakInFlight())
+	}
+	const n = 8
+	done := 0
+	s.Schedule(0, func() {
+		for i := 0; i < n; i++ {
+			client.Go(server, "read", 64, nil, func(Response) { done++ })
+		}
+		if client.InFlight() != n {
+			t.Errorf("after issue: in_flight = %d, want %d", client.InFlight(), n)
+		}
+	})
+	s.Run()
+	if done != n {
+		t.Fatalf("done = %d", done)
+	}
+	if client.InFlight() != 0 {
+		t.Errorf("after drain: in_flight = %d, want 0", client.InFlight())
+	}
+	if client.PeakInFlight() != n {
+		t.Errorf("peak = %d, want %d", client.PeakInFlight(), n)
+	}
+}
