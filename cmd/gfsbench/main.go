@@ -7,6 +7,7 @@
 //	gfsbench -sweep blocksize                  # FS block size ablation
 //	gfsbench -sweep stripe                     # NSD server count ablation
 //	gfsbench -sweep sc03depth                  # sc03 single-client pipeline depth
+//	gfsbench -sweep writegather                # stripe-aligned write gathering off/on
 //	gfsbench -sweep readahead -json BENCH_2.json  # machine-readable results
 //
 // With -json the sweep additionally records a causal trace and the output
@@ -27,13 +28,14 @@ import (
 	"gfs/internal/critpath"
 	"gfs/internal/experiments"
 	"gfs/internal/netsim"
+	"gfs/internal/san"
 	"gfs/internal/sim"
 	"gfs/internal/units"
 )
 
 func main() {
 	var (
-		sweep    = flag.String("sweep", "", "readahead | nodes | blocksize | stripe | sc03depth")
+		sweep    = flag.String("sweep", "", "readahead | nodes | blocksize | stripe | sc03depth | writegather")
 		rttFlag  = flag.Duration("rtt", 80*time.Millisecond, "WAN round-trip time")
 		nodesCS  = flag.String("nodes", "1,2,4,8,16,32,48,64", "node counts for -sweep nodes")
 		sizeStr  = flag.String("size", "512MiB", "bytes moved per client")
@@ -104,6 +106,16 @@ func main() {
 			r := experiments.RunSC03(cfg)
 			addRow(float64(d), r.Headline["client MB/s"], r.Headline["peak Gb/s"])
 		}
+	case "writegather":
+		// One sequential writer against DS4100-backed RAID, with the
+		// stripe-aligned gathering fast path off then on. The RAID-set
+		// counters come straight from the arrays: read-modify-write
+		// updates should collapse toward zero once write-behind flushes
+		// whole stripes.
+		columns = []string{"gather", "write_MBps", "read_MBps", "rmw_writes", "full_stripe_writes", "gathered_flushes"}
+		for _, g := range []bool{false, true} {
+			addRow(writeGatherRow(g, size)...)
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -150,11 +162,15 @@ type benchOut struct {
 // writeJSON renders the sweep plus attribution as deterministic JSON
 // (struct field order is fixed; encoding/json sorts map keys). The bench
 // number tags the artifact series: 2 for the original sweeps, 4 for the
-// sc03 pipeline-depth sweep added with client prefetch/write-behind.
+// sc03 pipeline-depth sweep added with client prefetch/write-behind, 5
+// for the write-gathering ablation.
 func writeJSON(path, sweep string, columns []string, rows [][]float64, rep *critpath.Report) error {
 	bench := 2
-	if sweep == "sc03depth" {
+	switch sweep {
+	case "sc03depth":
 		bench = 4
+	case "writegather":
+		bench = 5
 	}
 	out := benchOut{
 		Bench: bench, Sweep: sweep, Columns: columns, Rows: rows,
@@ -219,6 +235,104 @@ func writeJSON(path, sweep string, columns []string, rows [][]float64, rep *crit
 // ms converts nanoseconds to milliseconds rounded to three decimals, so
 // the JSON carries short, stable numbers.
 func ms(ns int64) float64 { return float64(ns/1000) / 1000 }
+
+// writeGatherRow runs one sequential writer (then a cold reader) against
+// a small DS4100-backed filesystem and reports rates plus the RAID and
+// client gathering counters. BlockSize 1 MiB against a 2 MiB stripe
+// width means every ungathered writeback is a sub-stripe update.
+func writeGatherRow(gather bool, size units.Bytes) []float64 {
+	s := sim.New()
+	if o := experiments.Observability(); o != nil && o.Tracer != nil {
+		s.SetTracer(o.Tracer)
+	}
+	nw := netsim.New(s)
+	site := experiments.NewSite(s, nw, "wg")
+	// DS4100 enclosures trimmed to four LUNs behind 4 Gb/s loops: the
+	// SATA spindles, not the fabric, set the ceiling, so the ablation
+	// measures the RAID write path rather than FC serialization.
+	acfg := san.DS4100Config()
+	acfg.Sets = 4
+	acfg.CtrlRate = san.FC4
+	site.BuildFS(experiments.FSOptions{
+		Name: "fs", BlockSize: units.MiB,
+		Servers: 4, ServerEth: 10 * units.Gbps,
+		Arrays: 2, ArrayCfg: acfg,
+		ServerHBA: san.FC4, HBAsPer: 1,
+	})
+	ccfg := core.DefaultClientConfig()
+	ccfg.ReadAhead = 16
+	ccfg.WriteBehind = 16
+	if gather {
+		ccfg.Gather = true
+		ccfg.WideTokens = true
+		site.FS.SetStripeAlign(true)
+		site.FS.SetElevator(true)
+	}
+	writer := site.AddClients(1, 10*units.Gbps, ccfg)[0]
+	reader := site.AddClients(1, 10*units.Gbps, ccfg)[0]
+
+	var wr, rd float64
+	var st core.MountStats
+	done := false
+	s.Go("writegather", func(p *sim.Proc) {
+		defer func() { done = true }()
+		m, err := writer.MountLocal(p, site.FS)
+		if err != nil {
+			panic(err)
+		}
+		f, err := m.Create(p, "/seq.dat", core.DefaultPerm)
+		if err != nil {
+			panic(err)
+		}
+		t0 := p.Now()
+		for off := units.Bytes(0); off < size; off += units.MiB {
+			if err := f.WriteAt(p, off, units.MiB); err != nil {
+				panic(err)
+			}
+		}
+		if err := f.Sync(p); err != nil {
+			panic(err)
+		}
+		wr = float64(size) / (p.Now() - t0).Seconds() / 1e6
+		st = m.Stats()
+		if err := f.Close(p); err != nil {
+			panic(err)
+		}
+		// Cold read from a second client: demand fetches plus batched
+		// prefetch go to the NSD servers, not the writer's pagepool.
+		rm, err := reader.MountLocal(p, site.FS)
+		if err != nil {
+			panic(err)
+		}
+		g, err := rm.Open(p, "/seq.dat")
+		if err != nil {
+			panic(err)
+		}
+		t1 := p.Now()
+		for off := units.Bytes(0); off < size; off += units.MiB {
+			if err := g.ReadAt(p, off, units.MiB); err != nil {
+				panic(err)
+			}
+		}
+		rd = float64(size) / (p.Now() - t1).Seconds() / 1e6
+	})
+	s.Run()
+	if !done {
+		panic("gfsbench: writegather deadlock")
+	}
+	var rmw, fsw uint64
+	for _, arr := range site.Fabric.Arrays {
+		for _, set := range arr.Sets {
+			rmw += set.RMWWrites()
+			fsw += set.FullStripeWrites()
+		}
+	}
+	on := 0.0
+	if gather {
+		on = 1
+	}
+	return []float64{on, wr, rd, float64(rmw), float64(fsw), float64(st.GatheredFlushes)}
+}
 
 // wanReadRate measures one client streaming across an RTT-deep WAN with
 // the given read-ahead depth.

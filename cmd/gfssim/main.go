@@ -10,6 +10,7 @@
 //	gfssim -exp sc02 -depth 1 -attr   # single outstanding request: WAN-bound
 //	gfssim -exp failover -outage 12s  # crash drill with a longer NSD outage
 //	gfssim -exp sc03 -ra-depth 8      # WAN read pipeline depth 8 per client
+//	gfssim -exp production -gather -wide-tokens  # write-gathering fast path on
 package main
 
 import (
@@ -44,6 +45,9 @@ func main() {
 		duration = flag.Duration("duration", 0, "failover only: override the total reader run time")
 		raDepth  = flag.Int("ra-depth", 0, "sc03/failover: override the client readahead depth in blocks")
 		wbDirty  = flag.Int("wb-max-dirty", 0, "sc03/failover: override the client write-behind dirty-page limit")
+		gather   = flag.Bool("gather", false, "production only: stripe-aligned flush gathering, NSD batching and elevator")
+		wideTok  = flag.Bool("wide-tokens", false, "production only: opportunistic wide token grants")
+		nodes    = flag.Int("nodes", 0, "production only: run a single node count instead of the full sweep")
 	)
 	flag.Parse()
 
@@ -120,6 +124,20 @@ func main() {
 		cfg.ReadAhead = *raDepth
 		cfg.WriteBehind = *wbDirty
 		runners[0].Run = func() *experiments.Result { return experiments.RunFailover(cfg) }
+	}
+
+	if *gather || *wideTok || *nodes > 0 {
+		if *exp != "production" {
+			fmt.Fprintln(os.Stderr, "gfssim: -gather/-wide-tokens/-nodes only apply to -exp production")
+			os.Exit(2)
+		}
+		cfg := experiments.DefaultProductionConfig()
+		cfg.Gather = *gather
+		cfg.WideTokens = *wideTok
+		if *nodes > 0 {
+			cfg.NodeCounts = []int{*nodes}
+		}
+		runners[0].Run = func() *experiments.Result { return experiments.RunProductionScaling(cfg) }
 	}
 
 	var obs *experiments.Obs

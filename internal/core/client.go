@@ -38,6 +38,15 @@ type ClientConfig struct {
 	// has observed down, instead of sending to the backup. Zero takes
 	// DefaultProbeInterval.
 	ProbeInterval sim.Time
+	// Gather turns on stripe-aligned flush gathering and batched
+	// prefetch: contiguous dirty pages on one NSD are flushed as a single
+	// multi-block RPC, held back until a full RAID stripe accumulates so
+	// the array skips its parity read (Fig. 11's write-path fix).
+	Gather bool
+	// WideTokens asks the manager for opportunistic grants: the widest
+	// conflict-free range containing the request, carved back down when a
+	// competitor shows up.
+	WideTokens bool
 }
 
 // DefaultProbeInterval is how often a mount re-checks a down primary.
@@ -140,25 +149,39 @@ type Mount struct {
 	owner  string // owning cluster
 	info   mountInfo
 
-	pool     *pagePool
-	toks     *tokenTable // local cache; single holder (the client id)
-	wgFl     *sim.WaitGroup
-	flSig    *sim.Signal // fired on each flush ack, for backpressure
-	fo       []foState   // per-NSD failover state, indexed like info.Servers
-	detached bool        // set by Unmount; further I/O fails ErrNotMounted
+	pool       *pagePool
+	toks       *tokenTable // local cache; single holder (the client id)
+	wgFl       *sim.WaitGroup
+	flSig      *sim.Signal // fired on each flush ack, for backpressure
+	flInFlight int         // flush RPCs issued but not yet acked
+	fo         []foState   // per-NSD failover state, indexed like info.Servers
+	detached   bool        // set by Unmount; further I/O fails ErrNotMounted
 
-	bytesRead      units.Bytes
-	bytesWritten   units.Bytes
-	cacheHits      uint64
-	cacheMisses    uint64
-	prefetchIssued uint64
-	prefetchHits   uint64
-	writebacks     uint64
-	writeStalls    uint64
-	opens          uint64
-	closes         uint64
-	readOps        uint64
-	writeOps       uint64
+	bytesRead        units.Bytes
+	bytesWritten     units.Bytes
+	cacheHits        uint64
+	cacheMisses      uint64
+	prefetchIssued   uint64
+	prefetchHits     uint64
+	writebacks       uint64
+	writeStalls      uint64
+	opens            uint64
+	closes           uint64
+	readOps          uint64
+	writeOps         uint64
+	gatheredFlushes  uint64 // multi-page flush RPCs issued
+	fullStripeWrites uint64 // gathered flushes covering whole RAID stripes
+	wideTokenGrants  uint64 // grants wider than the desired range
+	batchedNSDOps    uint64 // multi-block NSD RPCs (flush + prefetch)
+}
+
+// stripeWOf returns the RAID stripe width behind an NSD, or 0 when the
+// store is not striped (plain disk) or the NSD index is out of range.
+func (m *Mount) stripeWOf(nsd int) units.Bytes {
+	if nsd < 0 || nsd >= len(m.info.StripeW) {
+		return 0
+	}
+	return m.info.StripeW[nsd]
 }
 
 // obs returns the tracer and metrics registry visible to this mount.
@@ -515,11 +538,7 @@ func (m *Mount) Unmount(p *sim.Proc) error {
 		return fmt.Errorf("core: %s on %s: %w", m.Device, m.c.id, ErrNotMounted)
 	}
 	// Flush everything dirty across all inodes.
-	for _, pg := range m.pool.allPages() {
-		if pg.dirty {
-			m.flushAsync(pg)
-		}
-	}
+	m.flushDirty(m.pool.allPages(), true)
 	m.wgFl.Wait(p)
 	for _, pg := range m.pool.pages {
 		if pg.err != nil {
@@ -577,6 +596,7 @@ func (m *Mount) acquireToken(p *sim.Proc, ino int64, start, end units.Bytes, mod
 	resp := m.c.EP.Call(p, m.info.Manager, tokenService+"."+m.fsName, 128, tokenOp{
 		Op: "acquire", Cluster: m.c.cluster.Name, Client: m.c.id,
 		Inode: ino, Start: reqStart, End: reqEnd, DStart: desStart, DEnd: desEnd, Mode: mode,
+		Wide: m.c.cfg.WideTokens,
 	})
 	if tr != nil {
 		p.SetCtx(prev)
@@ -587,6 +607,12 @@ func (m *Mount) acquireToken(p *sim.Proc, ino int64, start, end units.Bytes, mod
 	g, ok := resp.Payload.(grantRange)
 	if !ok {
 		g = grantRange{reqStart, reqEnd}
+	}
+	if m.c.cfg.WideTokens && (g.Start < desStart || g.End > desEnd) {
+		m.wideTokenGrants++
+		if reg != nil {
+			reg.Counter("token.wide_grants").Inc()
+		}
 	}
 	m.toks.insert(ino, m.c.id, g.Start, g.End, mode)
 	if tr != nil || reg != nil {
@@ -626,16 +652,40 @@ func (cl *Client) serveRevoke(p *sim.Proc, req *netsim.Request) netsim.Response 
 }
 
 // flushRange flushes every dirty page of the inode overlapping the span
-// and waits for all outstanding flushes to land.
+// and waits until none of those pages is dirty or in flight. It must NOT
+// wait on the mount's whole flush pipeline: a revoke victim that is
+// writing elsewhere in the file keeps its pipeline full continuously, and
+// a revoke ack stalled behind unrelated flushes stalls the requester's
+// token acquire for as long as the victim keeps writing. Pages whose
+// flush failed (sticky err) are left dirty and not retried here — the
+// same semantics the old drain-everything wait had.
 func (m *Mount) flushRange(p *sim.Proc, ino int64, start, end units.Bytes) {
 	bs := m.info.BlockSize
-	for _, pg := range m.pool.pagesOf(ino) {
-		pgStart := units.Bytes(pg.key.idx) * bs
-		if pg.dirty && overlaps(pgStart, pgStart+bs, start, end) {
-			m.flushAsync(pg)
+	for {
+		var sel []*page
+		busy := false
+		for _, pg := range m.pool.pagesOf(ino) {
+			pgStart := units.Bytes(pg.key.idx) * bs
+			if !overlaps(pgStart, pgStart+bs, start, end) {
+				continue
+			}
+			if pg.flushing {
+				busy = true
+				continue
+			}
+			if pg.dirty && pg.err == nil {
+				sel = append(sel, pg)
+			}
 		}
+		if len(sel) > 0 {
+			m.flushDirty(sel, true)
+			continue
+		}
+		if !busy {
+			return
+		}
+		m.flSig.Wait(p)
 	}
-	m.wgFl.Wait(p)
 }
 
 // --- page pool ---

@@ -213,6 +213,108 @@ func (m *Mount) fetchAsync(f *File, idx int64, ref BlockRef, verify, prefetch bo
 	return pg
 }
 
+// prefetchBatch issues the readahead window [from,last] as the fewest
+// possible NSD RPCs: runs of absent blocks that sit consecutively on one
+// NSD (stripe-group allocation makes these the common case) go out as
+// single multi-block fetches; everything else falls back to the per-block
+// prefetch path.
+func (m *Mount) prefetchBatch(f *File, from, last int64, verify bool) {
+	var run []int64
+	flush := func() {
+		switch {
+		case len(run) == 0:
+		case len(run) == 1:
+			m.fetchAsync(f, run[0], f.layout[run[0]], verify, true)
+		default:
+			m.fetchRunAsync(f, run, verify)
+		}
+		run = nil
+	}
+	for idx := from; idx <= last; idx++ {
+		if m.pool.get(pageKey{ino: f.ino, idx: idx}) != nil {
+			// Cached or already in flight: fetchAsync dedupes. Breaks the run.
+			flush()
+			m.fetchAsync(f, idx, f.layout[idx], verify, true)
+			continue
+		}
+		if n := len(run); n > 0 {
+			prev, cur := f.layout[run[n-1]], f.layout[idx]
+			if cur.NSD != prev.NSD || cur.Block != prev.Block+1 {
+				flush()
+			}
+		}
+		run = append(run, idx)
+	}
+	flush()
+}
+
+// fetchRunAsync issues one multi-block prefetch covering consecutive
+// blocks of one NSD. Pages are created up front and marked fetching, so a
+// demand read arriving mid-flight joins the batch like any other fetch.
+func (m *Mount) fetchRunAsync(f *File, idxs []int64, verify bool) {
+	bs := m.info.BlockSize
+	k := len(idxs)
+	first := f.layout[idxs[0]]
+	pages := make([]*page, k)
+	for i, idx := range idxs {
+		pg := m.pool.add(pageKey{ino: f.ino, idx: idx}, f.layout[idx])
+		pg.fetching = true
+		pg.inPrefetch = true
+		pg.prefetched = true
+		pages[i] = pg
+	}
+	m.prefetchIssued += uint64(k)
+	m.batchedNSDOps++
+	tr, reg := m.obs()
+	if reg != nil {
+		reg.Counter("cache.prefetch_issued").Add(uint64(k))
+		reg.Counter("cache.batched_fetches").Inc()
+	}
+	rec := m.beginBgOp("prefetch")
+	if tr != nil {
+		tr.InstantCtx(rec.ctx(), "cache", "prefetch", m.c.id, int64(m.c.sim.Now()),
+			trace.I("ino", f.ino), trace.I("block", idxs[0]), trace.I("blocks", int64(k)))
+	}
+	ln := bs * units.Bytes(k)
+	m.goIO(rec.ctx(), first.NSD, 64, ioPayload{
+		Cluster: m.c.cluster.Name, FS: m.fsName,
+		NSD: first.NSD, Block: first.Block, Off: 0, Len: ln, Count: int64(k),
+		Op: disk.Read, Verify: verify,
+	}, func(resp netsim.Response) {
+		media, _ := resp.Payload.([]byte)
+		m.endBgOp(rec, trace.I("ino", f.ino), trace.I("block", idxs[0]), trace.I("bytes", int64(ln)))
+		for i, pg := range pages {
+			pg.fetching = false
+			pg.inPrefetch = false
+			if pg.stale {
+				ws := pg.waiters
+				pg.waiters = nil
+				for _, w := range ws {
+					w()
+				}
+				m.pool.remove(pg)
+				continue
+			}
+			if resp.Err == nil {
+				pg.present = true
+				pg.err = nil
+				m.bytesRead += bs
+				if verify && units.Bytes(len(media)) == ln {
+					pg.mergeFetched(media[units.Bytes(i)*bs:units.Bytes(i+1)*bs], bs)
+				}
+			} else {
+				pg.err = resp.Err
+			}
+			ws := pg.waiters
+			pg.waiters = nil
+			for _, w := range ws {
+				w()
+			}
+		}
+		m.pool.evict()
+	})
+}
+
 // mergeFetched installs media bytes without clobbering a dirty interval.
 func (pg *page) mergeFetched(media []byte, bs units.Bytes) {
 	if pg.data == nil {
@@ -332,8 +434,12 @@ func (f *File) readAt(p *sim.Proc, off, size units.Bytes, verify bool) ([]byte, 
 		raFrom := f.raEdge + 1
 		if raFrom <= raLast {
 			if err := f.ensureLayout(p, raLast); err == nil {
-				for idx := raFrom; idx <= raLast; idx++ {
-					m.fetchAsync(f, idx, f.layout[idx], verify, true)
+				if m.c.cfg.Gather {
+					m.prefetchBatch(f, raFrom, raLast, verify)
+				} else {
+					for idx := raFrom; idx <= raLast; idx++ {
+						m.fetchAsync(f, idx, f.layout[idx], verify, true)
+					}
 				}
 				f.raEdge = raLast
 				if tr != nil {
@@ -478,6 +584,12 @@ func (f *File) writeAt(p *sim.Proc, off, size units.Bytes, data []byte) error {
 		}
 		for m.pool.dirty >= 2*m.c.cfg.WriteBehind {
 			m.flSig.Wait(p)
+			if m.c.cfg.Gather && m.pool.dirty >= 2*m.c.cfg.WriteBehind {
+				// Gathered write-behind may have held edge runs back; keep
+				// the scheduler running so the stall always ends (it falls
+				// back to unaligned flushing once nothing is in flight).
+				m.writeBehind(f.ino)
+			}
 		}
 		m.waitSpan(p, rec.tr, "writeback", waitStart)
 	}
@@ -498,21 +610,186 @@ func (m *Mount) writeBehind(ino int64) {
 	if reg != nil {
 		reg.Counter("cache.writebehind_triggers").Inc()
 	}
-	m.flushAllDirty(ino)
+	issued := m.flushDirty(m.pool.pagesOf(ino), false)
+	var others []*page
 	for _, pg := range m.pool.allPages() {
-		if pg.key.ino != ino && pg.dirty && !pg.flushing {
-			m.flushAsync(pg)
+		if pg.key.ino != ino {
+			others = append(others, pg)
 		}
+	}
+	issued += m.flushDirty(others, false)
+	if issued == 0 && m.flInFlight == 0 {
+		// Gathering held every run back (all sub-stripe edges) while the
+		// pool sits over its dirty bound and nothing is in flight: flush
+		// unaligned rather than let the writer's backpressure loop wait
+		// forever for a flush ack that is never coming.
+		m.flushDirty(m.pool.allPages(), true)
 	}
 }
 
 // flushAllDirty starts async flushes for every dirty page of an inode.
 func (m *Mount) flushAllDirty(ino int64) {
-	for _, pg := range m.pool.pagesOf(ino) {
+	m.flushDirty(m.pool.pagesOf(ino), true)
+}
+
+// gatherRuns groups pages (pre-sorted by inode and block index) into runs
+// flushable as one NSD RPC: fully-dirty pages of one inode, consecutive
+// in both file block index and NSD block slot, uniform in hasBytes.
+// Partially-dirty pages always end up as singleton runs.
+func (m *Mount) gatherRuns(pgs []*page) [][]*page {
+	bs := m.info.BlockSize
+	var runs [][]*page
+	for _, pg := range pgs {
+		if n := len(runs); n > 0 {
+			last := runs[n-1]
+			prev := last[len(last)-1]
+			if pg.dFrom == 0 && pg.dTo == bs &&
+				prev.dFrom == 0 && prev.dTo == bs &&
+				pg.key.ino == prev.key.ino && pg.key.idx == prev.key.idx+1 &&
+				pg.ref.NSD == prev.ref.NSD && pg.ref.Block == prev.ref.Block+1 &&
+				pg.hasBytes == prev.hasBytes {
+				runs[n-1] = append(last, pg)
+				continue
+			}
+		}
+		runs = append(runs, []*page{pg})
+	}
+	return runs
+}
+
+// flushDirty starts flushes for the dirty, not-yet-flushing pages of pgs
+// and returns how many flush RPCs it issued. With gathering off, every
+// page goes out alone (the historical path, byte-identical). With it on,
+// contiguous runs go out as single multi-block RPCs; in non-barrier mode
+// (write-behind) a run's unaligned edges are additionally held back so
+// the next round can complete them into full RAID stripes — the store
+// then skips its parity read entirely. Barrier callers (sync, revoke,
+// unmount, truncate) flush everything regardless of alignment.
+func (m *Mount) flushDirty(pgs []*page, barrier bool) int {
+	var cand []*page
+	for _, pg := range pgs {
 		if pg.dirty && !pg.flushing {
-			m.flushAsync(pg)
+			cand = append(cand, pg)
 		}
 	}
+	if len(cand) == 0 {
+		return 0
+	}
+	if !m.c.cfg.Gather {
+		for _, pg := range cand {
+			m.flushAsync(pg)
+		}
+		return len(cand)
+	}
+	bs := m.info.BlockSize
+	issued := 0
+	for _, run := range m.gatherRuns(cand) {
+		lo, n := 0, len(run)
+		if !barrier {
+			if run[0].dFrom != 0 || run[0].dTo != bs {
+				// Partially-dirty page (always a singleton run): hold it
+				// back — a writer straddling block boundaries completes it
+				// on its next transfer, and flushing the half now means
+				// paying the store's read-modify-write twice for one block.
+				// Barrier callers and the write-behind fallback still flush
+				// partials, so a lone half page cannot stall the pool.
+				continue
+			}
+			if sw := m.stripeWOf(run[0].ref.NSD); sw > 0 && sw%bs == 0 {
+				if swb := int(sw / bs); swb > 1 && run[0].dFrom == 0 && run[0].dTo == bs {
+					skip := (swb - int(run[0].ref.Block)%swb) % swb
+					aligned := (n - skip) / swb * swb
+					if aligned <= 0 {
+						continue // no full stripe accumulated yet; stays dirty
+					}
+					lo, n = skip, aligned
+				}
+			}
+		}
+		m.flushGathered(run[lo : lo+n])
+		issued++
+	}
+	return issued
+}
+
+// flushGathered writes one run of fully-dirty consecutive pages back as a
+// single multi-block NSD RPC (single-page runs take the ordinary path).
+// The store sees one contiguous write — stripe-aligned runs hit the RAID
+// full-stripe path with no parity read. A failed gathered flush leaves
+// every page dirty with a sticky error: it must not ack.
+func (m *Mount) flushGathered(run []*page) {
+	if len(run) == 1 {
+		m.flushAsync(run[0])
+		return
+	}
+	bs := m.info.BlockSize
+	n := len(run)
+	ln := bs * units.Bytes(n)
+	for _, pg := range run {
+		pg.flushing = true
+	}
+	m.writebacks += uint64(n)
+	m.gatheredFlushes++
+	m.batchedNSDOps++
+	if sw := m.stripeWOf(run[0].ref.NSD); sw > 0 && sw%bs == 0 {
+		if swb := int64(sw / bs); swb >= 1 && run[0].ref.Block%swb == 0 {
+			m.fullStripeWrites += uint64(int64(n) / swb)
+		}
+	}
+	var data []byte
+	if run[0].hasBytes {
+		data = make([]byte, ln)
+		for i, pg := range run {
+			copy(data[units.Bytes(i)*bs:], pg.data)
+		}
+	}
+	_, reg := m.obs()
+	var issued sim.Time
+	if reg != nil {
+		issued = m.c.sim.Now()
+	}
+	rec := m.beginBgOp("flush")
+	m.wgFl.Add(1)
+	m.flInFlight++
+	m.goIO(rec.ctx(), run[0].ref.NSD, ln, ioPayload{
+		Cluster: m.c.cluster.Name, FS: m.fsName,
+		NSD: run[0].ref.NSD, Block: run[0].ref.Block, Off: 0, Len: ln, Count: int64(n),
+		Op: disk.Write, Data: data,
+	}, func(resp netsim.Response) {
+		for _, pg := range run {
+			pg.flushing = false
+		}
+		m.flInFlight--
+		m.endBgOp(rec, trace.I("ino", run[0].key.ino), trace.I("bytes", int64(ln)), trace.I("blocks", int64(n)))
+		if reg != nil {
+			reg.Counter("cache.flushes").Inc()
+			reg.Counter("cache.gathered_flushes").Inc()
+			reg.Histogram("cache.flush_ns").Observe(float64(m.c.sim.Now() - issued))
+		}
+		for _, pg := range run {
+			if pg.stale {
+				if pg.dirty {
+					pg.dirty = false
+					m.pool.dirty--
+				}
+				m.pool.remove(pg)
+				continue
+			}
+			if resp.Err == nil {
+				pg.err = nil
+				m.bytesWritten += bs
+				if pg.dirty && pg.dFrom == 0 && pg.dTo == bs {
+					pg.dirty = false
+					m.pool.dirty--
+				}
+			} else {
+				pg.err = resp.Err
+			}
+		}
+		m.wgFl.Done()
+		m.flSig.Fire()
+		m.pool.evict()
+	})
 }
 
 // flushAsync writes a page's dirty interval back to its NSD server.
@@ -538,12 +815,14 @@ func (m *Mount) flushAsync(pg *page) {
 	// time is redistributed over the aggregate flush profile by critpath.
 	rec := m.beginBgOp("flush")
 	m.wgFl.Add(1)
+	m.flInFlight++
 	m.goIO(rec.ctx(), pg.ref.NSD, snapTo-snapFrom, ioPayload{
 		Cluster: m.c.cluster.Name, FS: m.fsName,
 		NSD: pg.ref.NSD, Block: pg.ref.Block, Off: snapFrom, Len: snapTo - snapFrom,
 		Op: disk.Write, Data: data,
 	}, func(resp netsim.Response) {
 		pg.flushing = false
+		m.flInFlight--
 		m.endBgOp(rec, trace.I("ino", pg.key.ino), trace.I("bytes", int64(snapTo-snapFrom)))
 		if reg != nil {
 			reg.Counter("cache.flushes").Inc()

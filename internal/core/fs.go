@@ -74,6 +74,12 @@ type FileSystem struct {
 	tokens *tokenTable
 	lease  sim.Time // token lease; a dead client's tokens expire after this
 
+	// stripeAlign places stripe-width groups of consecutive file blocks
+	// contiguously on one NSD (see SetStripeAlign); elevator enables
+	// per-NSD request scheduling (see SetElevator).
+	stripeAlign bool
+	elevator    bool
+
 	// Stats
 	metaOps uint64
 }
@@ -121,8 +127,9 @@ type mountInfo struct {
 	FS        string
 	BlockSize units.Bytes
 	NSDs      int
-	Servers   []*NSDServer // each NSD's primary server
-	Backups   []*NSDServer // each NSD's backup server (nil entries allowed)
+	Servers   []*NSDServer  // each NSD's primary server
+	Backups   []*NSDServer  // each NSD's backup server (nil entries allowed)
+	StripeW   []units.Bytes // each NSD's RAID stripe width (0 = unknown/none)
 	Manager   *netsim.Endpoint
 }
 
@@ -153,9 +160,53 @@ func (fs *FileSystem) AddNSD(name string, store BlockStore, server *NSDServer) *
 		alloc:     NewAllocator(int64(store.Capacity() / fs.BlockSize)),
 		content:   make(map[int64][]byte),
 	}
+	if sw, ok := store.(stripeWidther); ok {
+		n.stripeW = sw.StripeWidth()
+	}
+	if fs.elevator {
+		n.elev = &nsdElevator{fs: fs, nsd: n}
+	}
 	fs.nsds = append(fs.nsds, n)
 	server.nsds = append(server.nsds, n)
 	return n
+}
+
+// SetStripeAlign makes the allocator hand out stripe-width groups of
+// consecutive file blocks as contiguous, stripe-aligned slot runs on one
+// NSD (then round-robin to the next NSD), instead of scattering every
+// block to a different NSD. A client gathering consecutive dirty blocks
+// then lands one contiguous full-stripe store write — the layout half of
+// write gathering. Off by default: the historical per-block round-robin.
+func (fs *FileSystem) SetStripeAlign(on bool) { fs.stripeAlign = on }
+
+// SetElevator enables (or disables) per-NSD elevator scheduling: block
+// I/O arriving while the store is busy queues, is sorted by store offset,
+// and contiguous same-direction requests merge into one submission.
+func (fs *FileSystem) SetElevator(on bool) {
+	fs.elevator = on
+	for _, n := range fs.nsds {
+		if on {
+			if n.elev == nil {
+				n.elev = &nsdElevator{fs: fs, nsd: n}
+			}
+		} else {
+			n.elev = nil
+		}
+	}
+}
+
+// stripeGroup returns the stripe-align allocation group: the largest
+// whole number of file-system blocks per RAID stripe across the NSDs.
+func (fs *FileSystem) stripeGroup() int {
+	g := 1
+	for _, n := range fs.nsds {
+		if n.stripeW > 0 && n.stripeW%fs.BlockSize == 0 {
+			if k := int(n.stripeW / fs.BlockSize); k > g {
+				g = k
+			}
+		}
+	}
+	return g
 }
 
 // NSDs returns the NSD count.
@@ -510,12 +561,42 @@ func (fs *FileSystem) serveMeta(p *sim.Proc, req *netsim.Request) netsim.Respons
 
 // allocBlocks extends an inode's block list so indexes [from, from+count)
 // exist, allocating slots round-robin across NSDs with spill to the next
-// NSD when one fills.
+// NSD when one fills. With stripe alignment on, whole groups of
+// consecutive blocks land as one stripe-aligned contiguous slot run on
+// one NSD (falling back to per-block allocation when no run is free).
 func (fs *FileSystem) allocBlocks(ino *Inode, from, count int64) ([]BlockRef, error) {
 	striper := Striper{NSDs: len(fs.nsds), First: int(ino.Num) % len(fs.nsds)}
+	if fs.stripeAlign {
+		striper.Group = fs.stripeGroup()
+	}
+	g := int64(striper.Group)
+	if g < 1 {
+		g = 1
+	}
 	for int64(len(ino.Blocks)) < from+count {
 		idx := int64(len(ino.Blocks))
 		first := striper.NSDFor(idx)
+		if runLen := g - idx%g; runLen > 1 {
+			placed := false
+			for k := 0; k < len(fs.nsds); k++ {
+				ni := (first + k) % len(fs.nsds)
+				align := int64(1)
+				if runLen == g {
+					align = g
+				}
+				if slot, ok := fs.nsds[ni].alloc.AllocRun(runLen, align); ok {
+					for j := int64(0); j < runLen; j++ {
+						ino.Blocks = append(ino.Blocks, BlockRef{NSD: ni, Block: slot + j})
+					}
+					placed = true
+					break
+				}
+			}
+			if placed {
+				continue
+			}
+			// No NSD has a free run: degrade to per-block allocation.
+		}
 		var ref = NilBlock
 		for k := 0; k < len(fs.nsds); k++ {
 			ni := (first + k) % len(fs.nsds)
@@ -574,15 +655,17 @@ func (fs *FileSystem) serveMount(p *sim.Proc, req *netsim.Request) netsim.Respon
 	}
 	servers := make([]*NSDServer, len(fs.nsds))
 	backups := make([]*NSDServer, len(fs.nsds))
+	stripeW := make([]units.Bytes, len(fs.nsds))
 	for i, n := range fs.nsds {
 		servers[i] = n.Primary
 		backups[i] = n.Backup
+		stripeW[i] = n.stripeW
 	}
 	return netsim.Response{
 		Size: units.Bytes(256 + 64*len(fs.nsds)),
 		Payload: mountInfo{
 			FS: fs.Name, BlockSize: fs.BlockSize, NSDs: len(fs.nsds),
-			Servers: servers, Backups: backups, Manager: fs.mgr,
+			Servers: servers, Backups: backups, StripeW: stripeW, Manager: fs.mgr,
 		},
 	}
 }

@@ -197,6 +197,11 @@ func TestMmpmonRoundTrip(t *testing.T) {
 		"write stalls":    int64(want.WriteStalls),
 		"opens":           int64(want.Opens),
 		"closes":          int64(want.Closes),
+
+		"gathered flushes":   int64(want.GatheredFlushes),
+		"full stripe writes": int64(want.FullStripeWrites),
+		"wide token grants":  int64(want.WideTokenGrants),
+		"batched nsd ops":    int64(want.BatchedNSDOps),
 	} {
 		if got := fsio.Counters[key]; got != want {
 			t.Errorf("counter %q = %d, want %d", key, got, want)

@@ -81,6 +81,48 @@ func (a *Allocator) Alloc() (int64, bool) {
 	return 0, false
 }
 
+// AllocRun claims n consecutive free slots whose start is a multiple of
+// align (align <= 1 means unaligned) and returns the first slot. It scans
+// from the hint like Alloc and fails when no such run exists — callers
+// fall back to single-slot allocation. Contiguous, aligned runs are what
+// let a client flush a whole RAID stripe as one store write.
+func (a *Allocator) AllocRun(n, align int64) (int64, bool) {
+	if n <= 1 && align <= 1 {
+		return a.Alloc()
+	}
+	if align < 1 {
+		align = 1
+	}
+	if a.total-a.used < n {
+		return 0, false
+	}
+	steps := (a.total + align - 1) / align // candidate aligned starts
+	base := (a.hint / align) % steps       // next-fit: resume near the hint
+	for s := int64(0); s < steps; s++ {
+		i := ((base + s) % steps) * align
+		if i+n > a.total {
+			continue
+		}
+		free := true
+		for j := int64(0); j < n; j++ {
+			if a.IsAllocated(i + j) {
+				free = false
+				break
+			}
+		}
+		if !free {
+			continue
+		}
+		for j := int64(0); j < n; j++ {
+			a.words[(i+j)/64] |= 1 << uint((i+j)%64)
+		}
+		a.used += n
+		a.hint = i + n
+		return i, true
+	}
+	return 0, false
+}
+
 // IsAllocated reports the state of a slot.
 func (a *Allocator) IsAllocated(i int64) bool {
 	if i < 0 || i >= a.total {
@@ -108,9 +150,14 @@ func (a *Allocator) Release(i int64) {
 
 // Striper maps file block indexes onto NSDs round-robin, starting at an
 // inode-specific offset so load spreads when many small files coexist.
+// Group > 1 places that many consecutive file blocks on the same NSD
+// before advancing — stripe-group striping, so a gathered flush of
+// consecutive blocks is one contiguous store write instead of a scatter
+// across every NSD.
 type Striper struct {
 	NSDs  int
 	First int
+	Group int // consecutive blocks per NSD; <= 1 is per-block round-robin
 }
 
 // NSDFor returns the NSD serving file block index b.
@@ -118,7 +165,11 @@ func (s Striper) NSDFor(b int64) int {
 	if s.NSDs <= 0 {
 		panic("core: striper with no NSDs")
 	}
-	return int((int64(s.First) + b) % int64(s.NSDs))
+	g := int64(s.Group)
+	if g < 1 {
+		g = 1
+	}
+	return int((int64(s.First) + b/g) % int64(s.NSDs))
 }
 
 // blockSpan describes the file blocks overlapped by a byte range.

@@ -18,6 +18,11 @@ type MmpmonSnapshot struct {
 	IO                   []MmpmonIO
 	Resources            []MmpmonResource
 	EventsFired, Pending int64
+	// Warnings records lines the parser skipped because it did not
+	// recognize them — output from a newer writer. Forward compatibility:
+	// an old scraper keeps every counter it knows instead of failing on
+	// the first counter it doesn't.
+	Warnings []string
 }
 
 // MmpmonFSIO is one per-client-mount fs_io_s section.
@@ -57,9 +62,12 @@ type MmpmonResource struct {
 	PeakUtil                           float64
 }
 
-// ParseMmpmon parses a WriteMmpmon rendering. It is strict: any line it
-// does not recognize, and any malformed number, is an error — a scrape
-// that silently drops counters is worse than one that fails loudly.
+// ParseMmpmon parses a WriteMmpmon rendering. It is strict about the
+// structures it knows — a malformed header, nsd, resource or sim line is
+// an error, because a scrape that silently drops counters is worse than
+// one that fails loudly. Lines it does not recognize at all (a newer
+// writer's sections or counters) are skipped with a note in
+// MmpmonSnapshot.Warnings, so an old scraper survives new output.
 func ParseMmpmon(r io.Reader) (*MmpmonSnapshot, error) {
 	snap := &MmpmonSnapshot{}
 	var curFS *MmpmonFSIO
@@ -75,6 +83,10 @@ func ParseMmpmon(r io.Reader) (*MmpmonSnapshot, error) {
 		}
 		fail := func(why string) (*MmpmonSnapshot, error) {
 			return nil, fmt.Errorf("core: mmpmon parse: line %d: %s: %q", lineNo, why, line)
+		}
+		warn := func(why string) {
+			snap.Warnings = append(snap.Warnings,
+				fmt.Sprintf("line %d: %s: %q", lineNo, why, line))
 		}
 		switch {
 		case strings.HasPrefix(line, "=== mmpmon snapshot t="):
@@ -146,28 +158,42 @@ func ParseMmpmon(r io.Reader) (*MmpmonSnapshot, error) {
 				return fail("bad sim counters")
 			}
 			snap.EventsFired, snap.Pending = ev, pd
+		case strings.HasPrefix(line, "mmpmon "):
+			// An mmpmon section this parser predates. Skip it whole —
+			// treating its body as counters would pollute a section.
+			warn("unrecognized mmpmon section")
+			curFS, curIO = nil, nil
 		default:
 			key, val, ok := strings.Cut(line, ": ")
 			if !ok {
-				return fail("unrecognized line")
+				warn("unrecognized line")
+				continue
 			}
 			switch {
 			case curFS != nil:
-				if err := applyKV(key, val, &curFS.Cluster, &curFS.Filesystem,
-					&curFS.Disks, &curFS.Timestamp, curFS.Counters); err != nil {
+				w, err := applyKV(key, val, &curFS.Cluster, &curFS.Filesystem,
+					&curFS.Disks, &curFS.Timestamp, curFS.Counters)
+				if err != nil {
 					return fail(err.Error())
+				}
+				if w != "" {
+					warn(w)
 				}
 			case curIO != nil:
 				var fsName string // io_s sections name the fs in the header
-				if err := applyKV(key, val, &curIO.Cluster, &fsName,
-					&curIO.Disks, &curIO.Timestamp, curIO.Counters); err != nil {
+				w, err := applyKV(key, val, &curIO.Cluster, &fsName,
+					&curIO.Disks, &curIO.Timestamp, curIO.Counters)
+				if err != nil {
 					return fail(err.Error())
+				}
+				if w != "" {
+					warn(w)
 				}
 				if fsName != "" {
 					return fail("filesystem key inside io_s section")
 				}
 			default:
-				return fail("key/value line outside any section")
+				warn("key/value line outside any section")
 			}
 		}
 	}
@@ -178,36 +204,39 @@ func ParseMmpmon(r io.Reader) (*MmpmonSnapshot, error) {
 }
 
 // applyKV routes one "key: value" row into a section: the few string and
-// float keys go to dedicated fields, everything else must be an integer
-// counter.
-func applyKV(key, val string, cluster, fsName *string, disks *int64, ts *float64, counters map[string]int64) error {
+// float keys go to dedicated fields; everything else is an integer
+// counter. A counter row with a non-integer value is a row from a newer
+// writer whose format this parser predates — returned as a warning, not
+// an error, so the remaining counters still land. Malformed known keys
+// (disks, timestamp) stay hard errors.
+func applyKV(key, val string, cluster, fsName *string, disks *int64, ts *float64, counters map[string]int64) (warning string, err error) {
 	switch key {
 	case "cluster":
 		*cluster = val
-		return nil
+		return "", nil
 	case "filesystem":
 		*fsName = val
-		return nil
+		return "", nil
 	case "disks":
 		v, err := strconv.ParseInt(val, 10, 64)
 		if err != nil {
-			return fmt.Errorf("bad disks value")
+			return "", fmt.Errorf("bad disks value")
 		}
 		*disks = v
-		return nil
+		return "", nil
 	case "timestamp":
 		v, err := strconv.ParseFloat(val, 64)
 		if err != nil {
-			return fmt.Errorf("bad timestamp")
+			return "", fmt.Errorf("bad timestamp")
 		}
 		*ts = v
-		return nil
+		return "", nil
 	default:
 		v, err := strconv.ParseInt(val, 10, 64)
 		if err != nil {
-			return fmt.Errorf("bad counter %q", key)
+			return fmt.Sprintf("skipping non-integer counter %q", key), nil
 		}
 		counters[key] = v
-		return nil
+		return "", nil
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"gfs/internal/disk"
 	"gfs/internal/metrics"
@@ -24,6 +25,11 @@ type BlockStore interface {
 	Capacity() units.Bytes
 }
 
+// stripeWidther is implemented by stores sitting on a parity-striped
+// array. AddNSD probes for it; clients align gathered flushes to the
+// advertised width so they hit the RAID full-stripe write path.
+type stripeWidther interface{ StripeWidth() units.Bytes }
+
 // RAIDStore is a direct-attached RAID set (no fabric hop).
 type RAIDStore struct{ Set *raid.Set }
 
@@ -39,6 +45,9 @@ func (s RAIDStore) IO(p *sim.Proc, op disk.Op, off, size units.Bytes) error {
 
 // Capacity implements BlockStore.
 func (s RAIDStore) Capacity() units.Bytes { return s.Set.Capacity() }
+
+// StripeWidth implements stripeWidther.
+func (s RAIDStore) StripeWidth() units.Bytes { return s.Set.StripeWidth() }
 
 // DiskStore is a single direct-attached drive.
 type DiskStore struct{ Disk *disk.Disk }
@@ -70,6 +79,9 @@ func (s SANStore) IO(p *sim.Proc, op disk.Op, off, size units.Bytes) error {
 
 // Capacity implements BlockStore.
 func (s SANStore) Capacity() units.Bytes { return s.Array.Sets[s.LUN].Capacity() }
+
+// StripeWidth implements stripeWidther.
+func (s SANStore) StripeWidth() units.Bytes { return s.Array.Sets[s.LUN].StripeWidth() }
 
 // RateStore is an idealized store with a fixed service rate and no seeks —
 // useful for experiments where the paper's bottleneck was strictly the
@@ -110,8 +122,10 @@ type NSD struct {
 	Backup  *NSDServer // optional; clients fail over when Primary is down
 
 	blockSize units.Bytes
+	stripeW   units.Bytes // RAID stripe width of the store (0 = none)
 	alloc     *Allocator
 	content   map[int64][]byte // sparse real contents, keyed by block slot
+	elev      *nsdElevator     // non-nil when elevator scheduling is on
 }
 
 // Blocks returns the number of block slots on the NSD.
@@ -172,7 +186,10 @@ func (s *NSDServer) Down() bool { return s.down }
 // BytesServed returns (reads, writes) moved through this server.
 func (s *NSDServer) BytesServed() (units.Bytes, units.Bytes) { return s.bytesOut, s.bytesIn }
 
-// ioPayload is the nsd.io RPC body.
+// ioPayload is the nsd.io RPC body. Count > 1 names a batched transfer:
+// Count consecutive block slots starting at Block, with Off == 0 and
+// Len == Count * blockSize — one RPC, one trace span, one (contiguous)
+// disk submission.
 type ioPayload struct {
 	Cluster string // requesting cluster, for access enforcement
 	FS      string
@@ -180,6 +197,7 @@ type ioPayload struct {
 	Block   int64
 	Off     units.Bytes
 	Len     units.Bytes
+	Count   int64 // block slots covered; 0 or 1 is a single-block transfer
 	Op      disk.Op
 	Data    []byte // optional real bytes on writes
 	Verify  bool   // on reads: return real bytes
@@ -208,7 +226,21 @@ func (s *NSDServer) serve(p *sim.Proc, req *netsim.Request) netsim.Response {
 	if n.Primary != s && n.Backup != s {
 		return netsim.Response{Err: fmt.Errorf("core: NSD %s not served by %s: %w", n.Name, s.Name, ErrNoSuchDevice)}
 	}
-	if io.Off+io.Len > n.blockSize {
+	cnt := io.Count
+	if cnt < 1 {
+		cnt = 1
+	}
+	if cnt > 1 {
+		if io.Off != 0 || io.Len != n.blockSize*units.Bytes(cnt) {
+			return netsim.Response{Err: fmt.Errorf("core: bad batched I/O geometry (off %d len %d count %d)", io.Off, io.Len, cnt)}
+		}
+		if io.Block < 0 || io.Block+cnt > n.alloc.Total() {
+			return netsim.Response{Err: fmt.Errorf("core: batched I/O past NSD end (block %d count %d of %d)", io.Block, cnt, n.alloc.Total())}
+		}
+		if io.Data != nil && units.Bytes(len(io.Data)) != io.Len {
+			return netsim.Response{Err: fmt.Errorf("core: batched write data %d != len %d", len(io.Data), io.Len)}
+		}
+	} else if io.Off+io.Len > n.blockSize {
 		return netsim.Response{Err: fmt.Errorf("core: I/O past block end (%d+%d > %d)", io.Off, io.Len, n.blockSize)}
 	}
 	tr := s.fs.Sim.Tracer()
@@ -227,7 +259,12 @@ func (s *NSDServer) serve(p *sim.Proc, req *netsim.Request) netsim.Response {
 		prev = p.Ctx()
 		p.SetCtx(trace.Ctx{Op: req.Ctx.Op, Parent: sid})
 	}
-	err := n.Store.IO(p, io.Op, n.byteOff(io.Block, io.Off), io.Len)
+	var err error
+	if n.elev != nil {
+		err = n.elev.submit(p, io.Op, n.byteOff(io.Block, io.Off), io.Len)
+	} else {
+		err = n.Store.IO(p, io.Op, n.byteOff(io.Block, io.Off), io.Len)
+	}
 	if tr != nil {
 		p.SetCtx(prev)
 	}
@@ -235,38 +272,174 @@ func (s *NSDServer) serve(p *sim.Proc, req *netsim.Request) netsim.Response {
 		return netsim.Response{Err: err}
 	}
 	if tr != nil || reg != nil {
-		s.recordIO(tr, reg, n, io.Op, io.Len, issued, req.Ctx, sid)
+		s.recordIO(tr, reg, n, io.Op, io.Len, cnt, issued, req.Ctx, sid)
 	}
 	if io.Op == disk.Read {
 		s.bytesOut += io.Len
 		var data []byte
 		if io.Verify {
-			data = n.readContent(io.Block, io.Off, io.Len)
+			if cnt > 1 {
+				data = make([]byte, 0, io.Len)
+				for b := int64(0); b < cnt; b++ {
+					data = append(data, n.readContent(io.Block+b, 0, n.blockSize)...)
+				}
+			} else {
+				data = n.readContent(io.Block, io.Off, io.Len)
+			}
 		}
 		return netsim.Response{Size: io.Len, Payload: data}
 	}
 	s.bytesIn += io.Len
 	if io.Data != nil {
-		n.writeContent(io.Block, io.Off, io.Data)
+		if cnt > 1 {
+			for b := int64(0); b < cnt; b++ {
+				n.writeContent(io.Block+b, 0, io.Data[units.Bytes(b)*n.blockSize:units.Bytes(b+1)*n.blockSize])
+			}
+		} else {
+			n.writeContent(io.Block, io.Off, io.Data)
+		}
 	}
 	return netsim.Response{Size: 64}
 }
 
 // recordIO emits the disk-service span and registry samples for one NSD
 // transfer. Kept out of serve so the disabled path pays only nil checks.
-func (s *NSDServer) recordIO(tr *trace.Tracer, reg *metrics.Registry, n *NSD, op disk.Op, ln units.Bytes, issued sim.Time, ctx trace.Ctx, sid int64) {
+func (s *NSDServer) recordIO(tr *trace.Tracer, reg *metrics.Registry, n *NSD, op disk.Op, ln units.Bytes, cnt int64, issued sim.Time, ctx trace.Ctx, sid int64) {
 	now := s.fs.Sim.Now()
 	name := "read"
 	if op == disk.Write {
 		name = "write"
 	}
 	if tr != nil {
-		tr.SpanCtx(ctx, sid, "nsd", name, s.Name, int64(issued), int64(now),
-			trace.S("nsd", n.Name), trace.I("bytes", int64(ln)))
+		if cnt > 1 {
+			tr.SpanCtx(ctx, sid, "nsd", name, s.Name, int64(issued), int64(now),
+				trace.S("nsd", n.Name), trace.I("bytes", int64(ln)), trace.I("blocks", cnt))
+		} else {
+			tr.SpanCtx(ctx, sid, "nsd", name, s.Name, int64(issued), int64(now),
+				trace.S("nsd", n.Name), trace.I("bytes", int64(ln)))
+		}
 	}
 	if reg != nil {
 		reg.Counter("nsd." + name + ".ops").Inc()
 		reg.Counter("nsd." + name + ".bytes").Add(uint64(ln))
+		if cnt > 1 {
+			reg.Counter("nsd.batched.ops").Inc()
+			reg.Counter("nsd.batched.blocks").Add(uint64(cnt))
+		}
 		reg.Histogram("nsd.service_ns").Observe(float64(now - issued))
 	}
+}
+
+// nsdElevator is the per-NSD request scheduler (mmchconfig-style
+// nsdMultiQueue, reduced to its essence): while the store is busy, newly
+// arriving block I/O queues; each dispatch round sorts the queue by store
+// offset and merges contiguous same-direction requests into single
+// submissions. Under a purely concurrent load the elevator degenerates to
+// pass-through rounds of one request each; under a sequential multi-block
+// load it turns N adjacent RPCs into one long store transfer.
+type nsdElevator struct {
+	fs   *FileSystem
+	nsd  *NSD
+	q    []*elevReq
+	seq  int64 // arrival order, the sort tie-breaker
+	busy bool  // a dispatcher proc is running
+}
+
+// elevReq is one queued block I/O request.
+type elevReq struct {
+	op   disk.Op
+	off  units.Bytes
+	ln   units.Bytes
+	seq  int64
+	ctx  trace.Ctx
+	enq  sim.Time // enqueue time, for the elev_wait span
+	err  error
+	done bool
+	wake func()
+}
+
+// submit queues one request and blocks p until the store I/O carrying it
+// completes. The first request into an idle elevator starts a dispatcher
+// proc; requests arriving while a round is in flight form the next round.
+func (e *nsdElevator) submit(p *sim.Proc, op disk.Op, off, ln units.Bytes) error {
+	r := &elevReq{op: op, off: off, ln: ln, seq: e.seq, ctx: p.Ctx(), enq: e.fs.Sim.Now()}
+	e.seq++
+	e.q = append(e.q, r)
+	if !e.busy {
+		e.busy = true
+		e.fs.Sim.Go("elev/"+e.nsd.Name, e.run)
+	}
+	for !r.done {
+		r.wake = p.Suspend()
+		p.Block()
+	}
+	return r.err
+}
+
+// elevMerged is one merged store submission and the requests it carries.
+type elevMerged struct {
+	op      disk.Op
+	off, ln units.Bytes
+	reqs    []*elevReq
+}
+
+// run is the dispatcher: it drains rounds until the queue stays empty.
+// Merged submissions within a round run as parallel procs (launch order
+// is the sorted order, keeping event timing deterministic), so the
+// elevator never serializes I/O the store itself would have overlapped.
+func (e *nsdElevator) run(p *sim.Proc) {
+	tr := e.fs.Sim.Tracer()
+	reg := e.fs.cluster.Net.Metrics
+	for len(e.q) > 0 {
+		batch := e.q
+		e.q = nil
+		sort.SliceStable(batch, func(i, j int) bool {
+			if batch[i].off != batch[j].off {
+				return batch[i].off < batch[j].off
+			}
+			return batch[i].seq < batch[j].seq
+		})
+		var runs []*elevMerged
+		for _, r := range batch {
+			if n := len(runs); n > 0 {
+				last := runs[n-1]
+				if last.op == r.op && last.off+last.ln == r.off {
+					last.ln += r.ln
+					last.reqs = append(last.reqs, r)
+					continue
+				}
+			}
+			runs = append(runs, &elevMerged{op: r.op, off: r.off, ln: r.ln, reqs: []*elevReq{r}})
+		}
+		if reg != nil {
+			reg.Counter("nsd.elev.rounds").Inc()
+			if merged := len(batch) - len(runs); merged > 0 {
+				reg.Counter("nsd.elev.merged").Add(uint64(merged))
+			}
+		}
+		wg := sim.NewWaitGroup(e.fs.Sim)
+		for _, m := range runs {
+			wg.Add(1)
+			m := m
+			e.fs.Sim.Go("elev/"+e.nsd.Name+"/io", func(ip *sim.Proc) {
+				defer wg.Done()
+				started := e.fs.Sim.Now()
+				err := e.nsd.Store.IO(ip, m.op, m.off, m.ln)
+				for _, r := range m.reqs {
+					if tr != nil && started > r.enq {
+						tr.SpanCtx(r.ctx, 0, "nsd", "elev_wait", e.nsd.Name,
+							int64(r.enq), int64(started))
+					}
+					r.err = err
+					r.done = true
+					if w := r.wake; w != nil {
+						r.wake = nil
+						w()
+					}
+				}
+			})
+		}
+		wg.Wait(p)
+	}
+	e.busy = false
 }

@@ -32,6 +32,13 @@ type MountStats struct {
 	Closes         uint64
 	Reads          uint64 // read calls (ReadAt/Read), not blocks
 	Writes         uint64 // write calls (WriteAt/Write)
+
+	// Write-gathering counters (zero unless ClientConfig.Gather /
+	// WideTokens are on).
+	GatheredFlushes  uint64 // multi-page flush RPCs issued
+	FullStripeWrites uint64 // gathered flushes covering whole RAID stripes
+	WideTokenGrants  uint64 // token grants wider than the desired range
+	BatchedNSDOps    uint64 // multi-block NSD RPCs (flushes + prefetches)
 }
 
 // Stats returns a snapshot of the mount's I/O statistics.
@@ -51,6 +58,11 @@ func (m *Mount) Stats() MountStats {
 		Closes:         m.closes,
 		Reads:          m.readOps,
 		Writes:         m.writeOps,
+
+		GatheredFlushes:  m.gatheredFlushes,
+		FullStripeWrites: m.fullStripeWrites,
+		WideTokenGrants:  m.wideTokenGrants,
+		BatchedNSDOps:    m.batchedNSDOps,
 	}
 }
 
@@ -134,6 +146,10 @@ func WriteMmpmon(w io.Writer, s *sim.Sim, clusters []*Cluster) {
 			fmt.Fprintf(w, "prefetch unused: %d\n", st.PrefetchUnused)
 			fmt.Fprintf(w, "writebacks: %d\n", st.Writebacks)
 			fmt.Fprintf(w, "write stalls: %d\n", st.WriteStalls)
+			fmt.Fprintf(w, "gathered flushes: %d\n", st.GatheredFlushes)
+			fmt.Fprintf(w, "full stripe writes: %d\n", st.FullStripeWrites)
+			fmt.Fprintf(w, "wide token grants: %d\n", st.WideTokenGrants)
+			fmt.Fprintf(w, "batched nsd ops: %d\n", st.BatchedNSDOps)
 		}
 	}
 

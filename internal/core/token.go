@@ -36,12 +36,19 @@ type heldRange struct {
 // tokenTable is the manager-side state: granted ranges per inode.
 type tokenTable struct {
 	byInode map[int64][]heldRange
-	grants  uint64
-	revokes uint64
+	// contended marks inodes where an acquisition has ever had to revoke
+	// another holder. Opportunistic widening is suppressed there: a lone
+	// sequential writer keeps taking one balloon grant for the whole file,
+	// but the moment a second writer shows up the manager falls back to
+	// exact desired-range grants — otherwise strided writers leapfrog each
+	// other into the unclaimed tail and every acquisition pays a revoke.
+	contended map[int64]bool
+	grants    uint64
+	revokes   uint64
 }
 
 func newTokenTable() *tokenTable {
-	return &tokenTable{byInode: make(map[int64][]heldRange)}
+	return &tokenTable{byInode: make(map[int64][]heldRange), contended: make(map[int64]bool)}
 }
 
 // Grants returns the cumulative number of token grants.
@@ -154,8 +161,38 @@ func (t *tokenTable) dropHolder(holder string) {
 	}
 }
 
-// dropInode forgets all tokens for a removed file.
-func (t *tokenTable) dropInode(inode int64) { delete(t.byInode, inode) }
+// dropInode forgets all tokens (and contention history) for a removed file.
+func (t *tokenTable) dropInode(inode int64) {
+	delete(t.byInode, inode)
+	delete(t.contended, inode)
+}
+
+// widen expands [start,end) to the widest range that conflicts with no
+// other holder at the given mode — GPFS's opportunistic grant. The
+// caller has already revoked every conflicting range inside [start,end),
+// so only ranges entirely below or above it remain: the grant grows down
+// to the nearest conflicting end and up to the nearest conflicting start.
+// A sequential writer thus takes one token RPC for the whole unclaimed
+// tail of the file; a competitor showing up later carves the wide grant
+// back down through the ordinary revoke path.
+func (t *tokenTable) widen(inode int64, requester string, start, end units.Bytes, mode TokenMode) (units.Bytes, units.Bytes) {
+	lo, hi := units.Bytes(0), maxTokenEnd
+	for _, r := range t.byInode[inode] {
+		if r.Holder == requester {
+			continue
+		}
+		if mode == TokShared && r.Mode == TokShared {
+			continue
+		}
+		if r.End <= start && r.End > lo {
+			lo = r.End
+		}
+		if r.Start >= end && r.Start < hi {
+			hi = r.Start
+		}
+	}
+	return lo, hi
+}
 
 // holderCovers reports whether holder already holds [start,end) at >= mode.
 func (t *tokenTable) holderCovers(inode int64, holder string, start, end units.Bytes, mode TokenMode) bool {
@@ -194,7 +231,12 @@ type tokenOp struct {
 	DStart  units.Bytes // desired range start (>= granted >= required)
 	DEnd    units.Bytes // desired range end
 	Mode    TokenMode
+	Wide    bool // opportunistic grant: widen into conflict-free space
 }
+
+// maxTokenEnd is the open upper bound of a wide grant — effectively "to
+// end of file, whatever it grows to" (Truncate uses the same sentinel).
+const maxTokenEnd = units.Bytes(1) << 60
 
 // grantRange is the acquire response payload.
 type grantRange struct {
@@ -256,6 +298,7 @@ func (fs *FileSystem) serveToken(p *sim.Proc, req *netsim.Request) netsim.Respon
 		}
 		conf := t.conflicts(op.Inode, dStart, dEnd, op.Mode, op.Client)
 		if len(conf) > 0 {
+			t.contended[op.Inode] = true
 			// Revoke conflicting holders in parallel; wait for all. A
 			// revoked client flushes dirty data in the span before acking,
 			// which is what makes cross-site caching coherent.
@@ -310,9 +353,13 @@ func (fs *FileSystem) serveToken(p *sim.Proc, req *netsim.Request) netsim.Respon
 			}
 			wg.Wait(p)
 		}
-		t.insert(op.Inode, op.Client, dStart, dEnd, op.Mode)
-		fs.obsTokenEvent("grant", op.Client, op.Inode, dStart, dEnd)
-		return netsim.Response{Size: 64, Payload: grantRange{dStart, dEnd}}
+		gStart, gEnd := dStart, dEnd
+		if op.Wide && !t.contended[op.Inode] {
+			gStart, gEnd = t.widen(op.Inode, op.Client, dStart, dEnd, op.Mode)
+		}
+		t.insert(op.Inode, op.Client, gStart, gEnd, op.Mode)
+		fs.obsTokenEvent("grant", op.Client, op.Inode, gStart, gEnd)
+		return netsim.Response{Size: 64, Payload: grantRange{gStart, gEnd}}
 
 	case "release":
 		fs.tokens.carve(op.Inode, op.Client, op.Start, op.End)

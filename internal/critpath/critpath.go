@@ -47,6 +47,7 @@ const (
 	PhaseNetQueue  = "net_queue"
 	PhaseNetXmit   = "net_xmit"
 	PhaseProp      = "wan_prop"
+	PhaseDiskQueue = "disk_queue"
 	PhaseDisk      = "disk"
 	PhaseCache     = "cache"
 	PhasePrefetch  = "prefetch_hit"
@@ -59,7 +60,7 @@ var Phases = []string{
 	PhaseClient, PhaseToken, PhaseRPC,
 	PhaseRetry, PhaseProbe,
 	PhaseNetQueue, PhaseNetXmit, PhaseProp,
-	PhaseDisk, PhaseCache, PhasePrefetch, PhaseWriteback, PhaseOther,
+	PhaseDiskQueue, PhaseDisk, PhaseCache, PhasePrefetch, PhaseWriteback, PhaseOther,
 }
 
 // waitTarget maps a cache wait-span name to the background op type whose
@@ -272,7 +273,13 @@ func charge(n *node, lo, hi int64, inst *OpInstance, absorb string) {
 	case "failover":
 		inst.Phases[PhaseProbe] += d
 	case "nsd", "disk":
-		inst.Phases[PhaseDisk] += d
+		if e.Name == "elev_wait" {
+			// Time a request sat in the NSD elevator queue before its
+			// (possibly merged) disk submission started.
+			inst.Phases[PhaseDiskQueue] += d
+		} else {
+			inst.Phases[PhaseDisk] += d
+		}
 	case "flow":
 		chargeFlow(n, lo, hi, inst)
 	case "cache":

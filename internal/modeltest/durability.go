@@ -11,11 +11,13 @@ import (
 
 // DurabilityConfig parameterizes the client-crash durability check.
 type DurabilityConfig struct {
-	Seed    int64
-	Clients int      // bystander workload clients running alongside the victim
-	Ops     int      // ops per bystander
-	CrashAt sim.Time // when the victim node dies (workload-relative)
-	Lease   sim.Time // token lease: how long until the dead victim's tokens are stolen
+	Seed       int64
+	Clients    int      // bystander workload clients running alongside the victim
+	Ops        int      // ops per bystander
+	CrashAt    sim.Time // when the victim node dies (workload-relative)
+	Gather     bool     // flush gathering on (the Sync ack contract must hold either way)
+	WideTokens bool     // opportunistic wide grants on
+	Lease      sim.Time // token lease: how long until the dead victim's tokens are stolen
 }
 
 // recByte is the victim's deterministic record pattern: the oracle must
@@ -30,7 +32,8 @@ func recByte(off int64) byte { return byte(off*131 + off>>9 + 7) }
 // clients run the usual random workload throughout, so the lease steal
 // happens under live token traffic.
 func RunCrashDurability(cfg DurabilityConfig) []Divergence {
-	wcfg := Config{Seed: cfg.Seed, Clients: cfg.Clients, Ops: cfg.Ops}
+	wcfg := Config{Seed: cfg.Seed, Clients: cfg.Clients, Ops: cfg.Ops,
+		Gather: cfg.Gather, WideTokens: cfg.WideTokens}
 	wcfg.defaults()
 	wcfg.Clients++ // clients[0] is the victim; the rest run the workload
 	if cfg.CrashAt == 0 {

@@ -32,6 +32,12 @@ type Config struct {
 	// workload must ride through on retries with zero divergences.
 	ServerCrashDelay  sim.Time
 	ServerCrashOutage sim.Time
+
+	// Gather turns on flush gathering, batched NSD I/O and the elevator;
+	// WideTokens turns on opportunistic wide token grants. Both must be
+	// invisible to the byte-level oracle.
+	Gather     bool
+	WideTokens bool
 }
 
 func (c *Config) defaults() {
@@ -88,12 +94,18 @@ func buildRig(cfg *Config) *rig {
 	mgrNode := nw.NewNode("mgr")
 	nw.DuplexLink("mgr-eth", mgrNode, sw, units.Gbps, 50*sim.Microsecond)
 	fs.SetManager(mgrNode, 2)
+	if cfg.Gather {
+		fs.SetStripeAlign(true)
+		fs.SetElevator(true)
+	}
 
 	ccfg := core.DefaultClientConfig()
 	ccfg.PagePool = units.Bytes(cfg.PoolBlocks) * cfg.BlockSize
 	ccfg.ReadAhead = cfg.ReadAhead
 	ccfg.WriteBehind = cfg.WriteBehind
 	ccfg.TokenChunk = 8 // narrow tokens: more steal traffic between clients
+	ccfg.Gather = cfg.Gather
+	ccfg.WideTokens = cfg.WideTokens
 	// Enough retry budget to ride out the scripted server outage.
 	ccfg.Retry = netsim.RetryPolicy{
 		MaxAttempts: 40,

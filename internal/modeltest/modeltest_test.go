@@ -58,6 +58,51 @@ func TestCrashDurability(t *testing.T) {
 	}
 }
 
+// TestRandomWorkloadGather reruns the standard seeds with flush
+// gathering, batched NSD I/O, the elevator and wide token grants all on.
+// The knobs are pure performance machinery: the byte-level oracle and
+// the namespace checks must not notice them.
+func TestRandomWorkloadGather(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		seed := seed
+		t.Run(string(rune('A'+seed-1)), func(t *testing.T) {
+			report(t, Run(Config{Seed: seed, Clients: 4, Ops: 100,
+				Gather: true, WideTokens: true}))
+		})
+	}
+}
+
+// TestRandomWorkloadGatherServerCrash crashes NSD server 0 mid-run with
+// gathering on: a gathered multi-block flush that dies with the server
+// must not ack — the pages stay dirty and are re-flushed on retry, so
+// the verifier still sees every byte.
+func TestRandomWorkloadGatherServerCrash(t *testing.T) {
+	for _, seed := range []int64{1, 7} {
+		seed := seed
+		t.Run(string(rune('A'+seed-1)), func(t *testing.T) {
+			report(t, Run(Config{
+				Seed: seed, Clients: 4, Ops: 100,
+				Gather: true, WideTokens: true,
+				ServerCrashDelay:  100 * sim.Millisecond,
+				ServerCrashOutage: 2 * sim.Second,
+			}))
+		})
+	}
+}
+
+// TestCrashDurabilityGather reruns the Sync-ack oracle with gathering
+// on: an acked Sync must survive the client crash even when the flush
+// that carried it was a gathered multi-block write.
+func TestCrashDurabilityGather(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(string(rune('A'+seed-1)), func(t *testing.T) {
+			report(t, RunCrashDurability(DurabilityConfig{Seed: seed, Clients: 3, Ops: 80,
+				Gather: true, WideTokens: true}))
+		})
+	}
+}
+
 // TestDeterministicDivergenceFree runs the same seed twice and insists
 // both runs are clean — a cheap determinism canary at the package level
 // (the byte-level trace diff lives in CI).

@@ -19,9 +19,10 @@ type Set struct {
 
 	failed int // index of failed member, -1 if healthy
 
-	reads     uint64
-	writes    uint64
-	rmwWrites uint64 // partial-stripe (read-modify-write) writes
+	reads            uint64
+	writes           uint64
+	rmwWrites        uint64 // partial-stripe (read-modify-write) writes
+	fullStripeWrites uint64 // full stripes written without a parity read
 }
 
 // NewSet builds a RAID5 set over the given member drives (>= 3) with the
@@ -62,6 +63,10 @@ func (r *Set) Writes() uint64 { return r.writes }
 
 // RMWWrites returns how many Write calls touched a partial stripe.
 func (r *Set) RMWWrites() uint64 { return r.rmwWrites }
+
+// FullStripeWrites returns how many full stripes were written without a
+// parity read — the payoff of stripe-aligned write gathering.
+func (r *Set) FullStripeWrites() uint64 { return r.fullStripeWrites }
 
 // Degraded reports whether a member has failed.
 func (r *Set) Degraded() bool { return r.failed >= 0 }
@@ -207,8 +212,32 @@ func (r *Set) Read(p *sim.Proc, off, size units.Bytes) {
 // parity, then write new data and new parity.
 func (r *Set) Write(p *sim.Proc, off, size units.Bytes) {
 	r.writes++
-	work := map[int][]diskWork{}
 	sw := r.StripeWidth()
+	if off%sw == 0 && size > 0 && size%sw == 0 {
+		// First-class full-stripe path: the request is stripe-aligned end
+		// to end, so parity is computed entirely from the new data — no
+		// member reads at all. This is the path stripe-aligned gathered
+		// flushes are built to hit.
+		work := map[int][]diskWork{}
+		first := int64(off / sw)
+		nStripes := int64(size / sw)
+		for s := int64(0); s < nStripes; s++ {
+			stripe := first + s
+			base := r.diskOffset(stripe)
+			for k := 0; k < r.DataDisks(); k++ {
+				if di := r.dataDisk(stripe, k); di != r.failed {
+					work[di] = append(work[di], diskWork{disk.Write, base, r.stripeUnit})
+				}
+			}
+			if pd := r.parityDisk(stripe); pd != r.failed {
+				work[pd] = append(work[pd], diskWork{disk.Write, base, r.stripeUnit})
+			}
+		}
+		r.fullStripeWrites += uint64(nStripes)
+		r.run(p, work)
+		return
+	}
+	work := map[int][]diskWork{}
 	rmw := false
 	// Track which stripes are written in full.
 	type stripeAcc struct {
@@ -250,6 +279,7 @@ func (r *Set) Write(p *sim.Proc, off, size units.Bytes) {
 			if pd != r.failed {
 				work[pd] = append(work[pd], diskWork{disk.Write, base, r.stripeUnit})
 			}
+			r.fullStripeWrites++
 			continue
 		}
 		// Partial stripe: read-modify-write on touched data segments + parity.

@@ -31,6 +31,10 @@ type Fabric struct {
 	Sim *sim.Sim
 	Net *netsim.Network
 
+	// Arrays lists every enclosure built on this fabric, in creation
+	// order, so tools can sum RAID-set counters after a run.
+	Arrays []*Array
+
 	switches map[string]*netsim.Node
 }
 
@@ -143,6 +147,7 @@ func (f *Fabric) NewArray(name string, sw *netsim.Node, cfg ArrayConfig) *Array 
 	}
 	a.ctl[0].Handle(ioService, a.serve)
 	a.ctl[1].Handle(ioService, a.serve)
+	f.Arrays = append(f.Arrays, a)
 	return a
 }
 
