@@ -8,11 +8,19 @@
 //	gfsbench -sweep stripe                     # NSD server count ablation
 //	gfsbench -sweep sc03depth                  # sc03 single-client pipeline depth
 //	gfsbench -sweep writegather                # stripe-aligned write gathering off/on
+//	gfsbench -sweep simscale                   # engine throughput vs node count
 //	gfsbench -sweep readahead -json BENCH_2.json  # machine-readable results
 //
 // With -json the sweep additionally records a causal trace and the output
 // file carries the sweep rows plus per-op-type rates and critical-path
 // attribution totals.
+//
+// The simscale sweep profiles the simulator itself, not the modeled
+// hardware: it runs the production workload at 64/256/1024 nodes with an
+// engine probe attached and reports sim-events per wall second, wall
+// milliseconds per simulated second, allocations per event and the
+// event-queue high-water mark. `-json BENCH_6.json` is the artifact the
+// CI events/sec floor checks against.
 package main
 
 import (
@@ -20,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -35,14 +45,25 @@ import (
 
 func main() {
 	var (
-		sweep    = flag.String("sweep", "", "readahead | nodes | blocksize | stripe | sc03depth | writegather")
-		rttFlag  = flag.Duration("rtt", 80*time.Millisecond, "WAN round-trip time")
-		nodesCS  = flag.String("nodes", "1,2,4,8,16,32,48,64", "node counts for -sweep nodes")
-		sizeStr  = flag.String("size", "512MiB", "bytes moved per client")
-		jsonPath = flag.String("json", "", "also write machine-readable results (rows + op rates + attribution) to this file")
+		sweep      = flag.String("sweep", "", "readahead | nodes | blocksize | stripe | sc03depth | writegather | simscale")
+		rttFlag    = flag.Duration("rtt", 80*time.Millisecond, "WAN round-trip time")
+		nodesCS    = flag.String("nodes", "", "node counts for -sweep nodes/simscale (default 1,2,4,8,16,32,48,64; simscale: 64,256,1024)")
+		sizeStr    = flag.String("size", "", "bytes moved per client (default 512MiB; simscale: 64MiB)")
+		jsonPath   = flag.String("json", "", "also write machine-readable results (rows + op rates + attribution) to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile (post-sweep, after GC) to this file")
 	)
 	flag.Parse()
 
+	// Per-sweep defaults: the simscale sweep measures engine throughput,
+	// where 512 MiB/client at 1024 nodes would take minutes of wall clock
+	// for no extra information — 64 MiB per client is plenty of events.
+	if *sizeStr == "" {
+		*sizeStr = "512MiB"
+		if *sweep == "simscale" {
+			*sizeStr = "64MiB"
+		}
+	}
 	size, err := units.ParseBytes(*sizeStr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gfsbench:", err)
@@ -50,9 +71,28 @@ func main() {
 	}
 	rtt := sim.Time(rttFlag.Nanoseconds())
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gfsbench: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "gfsbench: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	var obs *experiments.Obs
-	if *jsonPath != "" {
-		obs = experiments.SetObservability(&experiments.ObsConfig{Trace: true})
+	if *jsonPath != "" || *sweep == "simscale" {
+		// simscale needs engine probes but not a trace: retaining every
+		// event of a 1024-node run is exactly what this PR's bounded
+		// modes exist to avoid, and the sweep reports engine numbers only.
+		obs = experiments.SetObservability(&experiments.ObsConfig{
+			Trace:  *jsonPath != "" && *sweep != "simscale",
+			Engine: *sweep == "simscale",
+		})
 		defer experiments.SetObservability(nil)
 	}
 
@@ -68,17 +108,27 @@ func main() {
 		}
 	case "nodes":
 		columns = []string{"nodes", "read_MBps", "write_MBps"}
-		for _, ns := range strings.Split(*nodesCS, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(ns))
-			if err != nil || n < 1 {
-				fmt.Fprintln(os.Stderr, "gfsbench: bad node count", ns)
-				os.Exit(2)
-			}
+		for _, n := range nodeCounts(*nodesCS, []int{1, 2, 4, 8, 16, 32, 48, 64}) {
 			cfg := experiments.DefaultProductionConfig()
 			cfg.NodeCounts = []int{n}
 			cfg.SizePer = size
 			r := experiments.RunProductionScaling(cfg)
 			addRow(float64(n), r.Series[0].Points[0].Y, r.Series[1].Points[0].Y)
+		}
+	case "simscale":
+		columns = []string{"nodes", "events", "sim_s", "wall_s",
+			"ev_per_wall_s", "wall_ms_per_sim_s", "allocs_per_ev", "peak_pending"}
+		for _, n := range nodeCounts(*nodesCS, []int{64, 256, 1024}) {
+			start := len(obs.EngineWindows())
+			cfg := experiments.DefaultProductionConfig()
+			cfg.NodeCounts = []int{n}
+			cfg.SizePer = size
+			experiments.RunProductionScaling(cfg)
+			es := sim.MergeEngineSnapshots(obs.EngineWindows()[start:])
+			addRow(float64(n), float64(es.Events),
+				float64(es.SimNs)/1e9, float64(es.WallNs)/1e9,
+				es.EventsPerSec, es.WallPerSimSec*1e3,
+				es.AllocsPerEvent, float64(es.PeakPending))
 		}
 	case "blocksize":
 		columns = []string{"blocksize_KiB", "MBps"}
@@ -131,13 +181,50 @@ func main() {
 		fmt.Println(strings.Join(parts, ","))
 	}
 
-	if obs != nil {
-		if err := writeJSON(*jsonPath, *sweep, columns, rows, critpath.Analyze(obs.Tracer)); err != nil {
+	if obs != nil && *jsonPath != "" {
+		var rep *critpath.Report
+		if obs.Tracer != nil {
+			rep = critpath.Analyze(obs.Tracer)
+		}
+		if err := writeJSON(*jsonPath, *sweep, columns, rows, rep); err != nil {
 			fmt.Fprintln(os.Stderr, "gfsbench:", err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "gfsbench: wrote %s\n", *jsonPath)
 	}
+
+	if *memProfile != "" {
+		runtime.GC()
+		f, err := os.Create(*memProfile)
+		if err == nil {
+			err = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gfsbench: -memprofile:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// nodeCounts parses a comma-separated -nodes list, falling back to the
+// sweep's default when the flag was not given.
+func nodeCounts(csv string, def []int) []int {
+	if csv == "" {
+		return def
+	}
+	var out []int
+	for _, ns := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(ns))
+		if err != nil || n < 1 {
+			fmt.Fprintln(os.Stderr, "gfsbench: bad node count", ns)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
 }
 
 // benchOp is one op type's aggregate in the JSON output.
@@ -163,7 +250,9 @@ type benchOut struct {
 // (struct field order is fixed; encoding/json sorts map keys). The bench
 // number tags the artifact series: 2 for the original sweeps, 4 for the
 // sc03 pipeline-depth sweep added with client prefetch/write-behind, 5
-// for the write-gathering ablation.
+// for the write-gathering ablation, 6 for the engine-throughput simscale
+// sweep (which carries no op attribution — it measures the simulator,
+// not the modeled filesystem, and rep is nil).
 func writeJSON(path, sweep string, columns []string, rows [][]float64, rep *critpath.Report) error {
 	bench := 2
 	switch sweep {
@@ -171,10 +260,15 @@ func writeJSON(path, sweep string, columns []string, rows [][]float64, rep *crit
 		bench = 4
 	case "writegather":
 		bench = 5
+	case "simscale":
+		bench = 6
 	}
 	out := benchOut{
 		Bench: bench, Sweep: sweep, Columns: columns, Rows: rows,
 		Ops: map[string]benchOp{},
+	}
+	if rep == nil {
+		rep = &critpath.Report{}
 	}
 	// Observed op rate: count over the simulated span the op type was
 	// active. Sweeps run many sims on one tracer, so this is a rate over

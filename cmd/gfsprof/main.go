@@ -8,6 +8,8 @@
 //	gfsprof -top 10 trace.jsonl       # the ten slowest operations
 //	gfsprof -op 1234 trace.jsonl      # one operation's span tree
 //	gfsprof -faults trace.jsonl       # fault-injection and failover timeline
+//	gfsprof -engine trace.jsonl       # engine sample timeline (queue depth,
+//	                                  # event rate over virtual time)
 package main
 
 import (
@@ -26,6 +28,7 @@ func main() {
 		op     = flag.Int64("op", 0, "print the span tree of one operation ID and exit")
 		lat    = flag.Bool("oplat", false, "print the mmpmon-style op_lat section instead of the table")
 		faults = flag.Bool("faults", false, "print the fault-injection and failover timeline instead of the table")
+		engine = flag.Bool("engine", false, "print the engine sample timeline (events fired, queue depth over virtual time)")
 		path   = flag.String("in", "", "input JSONL file (or pass it as the positional argument; - reads stdin)")
 	)
 	flag.Parse()
@@ -63,6 +66,11 @@ func main() {
 		return
 	}
 
+	if *engine {
+		writeEngineTimeline(os.Stdout, tr)
+		return
+	}
+
 	rep := critpath.Analyze(tr)
 	if *lat {
 		rep.WriteOpLat(os.Stdout)
@@ -87,6 +95,44 @@ func main() {
 }
 
 func fmtMs(ns int64) string { return fmt.Sprintf("%.3fms", float64(ns)/1e6) }
+
+// writeEngineTimeline prints the engine/sample instants an attached
+// EngineProbe emitted (gfssim -engine-stats with a trace output): for
+// each sample the virtual time, cumulative events fired, the event rate
+// per *simulated* second since the previous sample, and the event-queue
+// depth. The instants carry no wall-clock, so this view is identical
+// across replays of the same run; it localizes event-storm hot spots in
+// virtual time where the wall-clock report only gives run-wide totals.
+func writeEngineTimeline(w io.Writer, tr *trace.Tracer) {
+	fmt.Fprintf(w, "%12s %14s %16s %10s\n", "sim time", "events fired", "ev per sim-sec", "pending")
+	n := 0
+	var prevTS, prevFired int64
+	for i := range tr.Events() {
+		e := &tr.Events()[i]
+		if e.Kind != trace.Instant || e.Cat != "engine" || e.Name != "sample" {
+			continue
+		}
+		var fired, pending int64
+		for _, a := range tr.EvArgs(e) {
+			switch a.Key {
+			case "fired":
+				fired = a.IVal
+			case "pending":
+				pending = a.IVal
+			}
+		}
+		rate := "-"
+		if n > 0 && e.TS > prevTS {
+			rate = fmt.Sprintf("%.0f", float64(fired-prevFired)/(float64(e.TS-prevTS)/1e9))
+		}
+		fmt.Fprintf(w, "%11.6fs %14d %16s %10d\n", float64(e.TS)/1e9, fired, rate, pending)
+		prevTS, prevFired = e.TS, fired
+		n++
+	}
+	if n == 0 {
+		fmt.Fprintln(w, "no engine samples in trace (record with: gfssim -engine-stats -jsonl out.jsonl ...)")
+	}
+}
 
 // writeFaultTimeline prints every injected fault and every failover
 // transition in the trace in time order: what broke, when, on which

@@ -11,6 +11,10 @@
 //	gfssim -exp failover -outage 12s  # crash drill with a longer NSD outage
 //	gfssim -exp sc03 -ra-depth 8      # WAN read pipeline depth 8 per client
 //	gfssim -exp production -gather -wide-tokens  # write-gathering fast path on
+//	gfssim -exp production -engine-stats         # profile the simulator itself
+//	gfssim -exp production -nodes 1024 -size 64MiB -jsonl-stream t.jsonl -trace-sample 64
+//	                                  # bounded-memory sampled trace at scale
+//	gfssim -exp production -attr-agg  # attribution with zero event retention
 package main
 
 import (
@@ -18,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"gfs/internal/critpath"
@@ -48,6 +54,15 @@ func main() {
 		gather   = flag.Bool("gather", false, "production only: stripe-aligned flush gathering, NSD batching and elevator")
 		wideTok  = flag.Bool("wide-tokens", false, "production only: opportunistic wide token grants")
 		nodes    = flag.Int("nodes", 0, "production only: run a single node count instead of the full sweep")
+		sizeStr  = flag.String("size", "", "production only: override bytes moved per client node (e.g. 64MiB)")
+
+		engineStats = flag.Bool("engine-stats", false, "print engine-plane telemetry (events/sec, queue depth, per-kind wall attribution)")
+		jsonlStream = flag.String("jsonl-stream", "", "stream trace events to this JSONL file as they happen (O(1) trace memory)")
+		traceSample = flag.Uint64("trace-sample", 0, "keep one traced operation in N (deterministic hash of the op ID; 0/1 keeps all)")
+		traceRing   = flag.Int("trace-ring", 0, "retain only the last N trace events (ring buffer)")
+		attrAgg     = flag.Bool("attr-agg", false, "critical-path attribution computed incrementally with zero event retention")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator process to this file")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile (post-run, after GC) to this file")
 	)
 	flag.Parse()
 
@@ -126,9 +141,9 @@ func main() {
 		runners[0].Run = func() *experiments.Result { return experiments.RunFailover(cfg) }
 	}
 
-	if *gather || *wideTok || *nodes > 0 {
+	if *gather || *wideTok || *nodes > 0 || *sizeStr != "" {
 		if *exp != "production" {
-			fmt.Fprintln(os.Stderr, "gfssim: -gather/-wide-tokens/-nodes only apply to -exp production")
+			fmt.Fprintln(os.Stderr, "gfssim: -gather/-wide-tokens/-nodes/-size only apply to -exp production")
 			os.Exit(2)
 		}
 		cfg := experiments.DefaultProductionConfig()
@@ -137,17 +152,69 @@ func main() {
 		if *nodes > 0 {
 			cfg.NodeCounts = []int{*nodes}
 		}
+		if *sizeStr != "" {
+			sz, err := units.ParseBytes(*sizeStr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gfssim: -size:", err)
+				os.Exit(2)
+			}
+			cfg.SizePer = sz
+		}
 		runners[0].Run = func() *experiments.Result { return experiments.RunProductionScaling(cfg) }
 	}
 
+	if *jsonlStream != "" && (*traceOut != "" || *jsonlOut != "" || *traceRing > 0) {
+		fmt.Fprintln(os.Stderr, "gfssim: -jsonl-stream retains nothing; it cannot combine with -trace/-jsonl/-trace-ring")
+		os.Exit(2)
+	}
+	if *attrAgg && *attr {
+		fmt.Fprintln(os.Stderr, "gfssim: pick one of -attr (batch, retains the trace) or -attr-agg (incremental, retains nothing)")
+		os.Exit(2)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gfssim: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "gfssim: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	needTrace := *traceOut != "" || *jsonlOut != "" || *attr || *attrAgg ||
+		*jsonlStream != "" || *traceSample > 1 || *traceRing > 0
 	var obs *experiments.Obs
-	if *traceOut != "" || *jsonlOut != "" || *stats || *interval > 0 || *attr {
-		obs = experiments.SetObservability(&experiments.ObsConfig{
-			Trace:    *traceOut != "" || *jsonlOut != "" || *attr,
-			Stats:    *stats || *interval > 0,
-			Interval: sim.Time((*interval) / time.Nanosecond),
-			Out:      os.Stdout,
-		})
+	var streamFile *os.File
+	if needTrace || *stats || *interval > 0 || *engineStats {
+		cfg := experiments.ObsConfig{
+			Trace:       needTrace,
+			Stats:       *stats || *interval > 0,
+			Interval:    sim.Time((*interval) / time.Nanosecond),
+			Out:         os.Stdout,
+			Engine:      *engineStats,
+			SampleOneIn: *traceSample,
+			Ring:        *traceRing,
+			Agg:         *attrAgg,
+		}
+		if *engineStats && needTrace {
+			// One deterministic engine/sample instant every 4096 events:
+			// enough timeline for gfsprof -engine, negligible trace volume.
+			cfg.EngineTraceEvery = 4096
+		}
+		if *jsonlStream != "" {
+			f, err := os.Create(*jsonlStream)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gfssim: -jsonl-stream:", err)
+				os.Exit(1)
+			}
+			streamFile = f
+			cfg.Stream = f
+		}
+		obs = experiments.SetObservability(&cfg)
 		defer experiments.SetObservability(nil)
 	}
 
@@ -180,28 +247,69 @@ func main() {
 		fmt.Println()
 	}
 
-	if obs == nil {
-		return
+	if obs != nil {
+		if *attr && !attrPerRun {
+			fmt.Println("-- critical-path attribution --")
+			critpath.Analyze(obs.Tracer).WriteTable(os.Stdout)
+			fmt.Println()
+		}
+		if *attrAgg {
+			fmt.Println("-- critical-path attribution (incremental, zero retention) --")
+			obs.Agg.Report().WriteTable(os.Stdout)
+			fmt.Println()
+		}
+		if *stats {
+			obs.Snapshot(os.Stdout)
+			fmt.Print(obs.Registry.Render())
+		}
+		if *engineStats {
+			fmt.Println("-- engine telemetry --")
+			es := obs.EngineSnapshot()
+			es.WriteReport(os.Stdout)
+			fmt.Println()
+		}
+		if obs.Tracer != nil && !attrPerRun {
+			if *jsonlStream != "" || *attrAgg {
+				fmt.Printf("trace: %d events emitted, %d retained\n",
+					obs.Tracer.TotalEmitted(), obs.Tracer.Len())
+			} else {
+				fmt.Printf("trace: %d events (%s)\n", obs.Tracer.Len(), obs.Tracer.Summary())
+			}
+		}
+		if *traceOut != "" {
+			writeFileWith(*traceOut, obs.Tracer.WriteChrome)
+			fmt.Fprintf(os.Stderr, "trace: wrote Chrome trace to %s\n", *traceOut)
+		}
+		if *jsonlOut != "" {
+			writeFileWith(*jsonlOut, obs.Tracer.WriteJSONL)
+			fmt.Fprintf(os.Stderr, "trace: wrote JSONL events to %s\n", *jsonlOut)
+		}
+		if streamFile != nil {
+			err := obs.Tracer.FlushStream()
+			if cerr := streamFile.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gfssim: streaming %s: %v\n", *jsonlStream, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "trace: streamed JSONL events to %s\n", *jsonlStream)
+		}
 	}
-	if *attr && !attrPerRun {
-		fmt.Println("-- critical-path attribution --")
-		critpath.Analyze(obs.Tracer).WriteTable(os.Stdout)
-		fmt.Println()
-	}
-	if *stats {
-		obs.Snapshot(os.Stdout)
-		fmt.Print(obs.Registry.Render())
-	}
-	if obs.Tracer != nil && !attrPerRun {
-		fmt.Printf("trace: %d events (%s)\n", obs.Tracer.Len(), obs.Tracer.Summary())
-	}
-	if *traceOut != "" {
-		writeFileWith(*traceOut, obs.Tracer.WriteChrome)
-		fmt.Fprintf(os.Stderr, "trace: wrote Chrome trace to %s\n", *traceOut)
-	}
-	if *jsonlOut != "" {
-		writeFileWith(*jsonlOut, obs.Tracer.WriteJSONL)
-		fmt.Fprintf(os.Stderr, "trace: wrote JSONL events to %s\n", *jsonlOut)
+
+	if *memProfile != "" {
+		runtime.GC()
+		f, err := os.Create(*memProfile)
+		if err == nil {
+			err = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gfssim: -memprofile:", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"gfs/internal/metrics"
 	"gfs/internal/sim"
 	"gfs/internal/units"
 )
@@ -228,5 +229,99 @@ func TestMmpmonRoundTrip(t *testing.T) {
 		t.Errorf("expected non-zero prefetch issued (%d) and cache misses (%d) after cold re-read",
 			fsio.Counters["prefetch issued"], fsio.Counters["cache misses"])
 	}
+	// Snapshots without a probe carry no engine section.
+	if snap.Engine != nil || len(snap.EngineKinds) != 0 {
+		t.Errorf("engine section present without a probe: %+v %+v", snap.Engine, snap.EngineKinds)
+	}
 	_ = fmt.Sprintf("%v", snap) // the types must all be printable
+}
+
+// TestMmpmonEngineHistRoundTrip round-trips the engine-telemetry and
+// histogram lines: a probed run's snapshot must parse cleanly (no
+// warnings), and a hist line written before p999 existed must still
+// parse.
+func TestMmpmonEngineHistRoundTrip(t *testing.T) {
+	r := newRig(t, 2, 1, 256*units.KiB)
+	probe := sim.NewEngineProbe()
+	r.s.SetEngineProbe(probe)
+	r.run(t, func(p *sim.Proc) error {
+		m, err := r.clients[0].MountLocal(p, r.fs)
+		if err != nil {
+			return err
+		}
+		f, err := m.Create(p, "/e.dat", DefaultPerm)
+		if err != nil {
+			return err
+		}
+		if err := f.WriteBytesAt(p, 0, pattern(int(1*units.MiB), 3)); err != nil {
+			return err
+		}
+		if err := f.Sync(p); err != nil {
+			return err
+		}
+		return f.Close(p)
+	})
+
+	reg := metrics.NewRegistry()
+	h := reg.Histogram("op.read_ns")
+	for i := 1; i <= 2000; i++ {
+		h.Observe(float64(i))
+	}
+	reg.Histogram("empty.never_observed") // empty: must not render
+
+	var buf bytes.Buffer
+	WriteMmpmon(&buf, r.s, []*Cluster{r.cl})
+	WriteMmpmonHists(&buf, reg)
+
+	snap, err := ParseMmpmon(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parse of probed rendering failed: %v", err)
+	}
+	if len(snap.Warnings) != 0 {
+		t.Errorf("own rendering produced warnings: %v", snap.Warnings)
+	}
+	if snap.Engine == nil {
+		t.Fatal("no engine line parsed")
+	}
+	if snap.Engine.Events <= 0 || snap.Engine.WallNs <= 0 || snap.Engine.SimNs <= 0 {
+		t.Errorf("engine window not populated: %+v", snap.Engine)
+	}
+	if len(snap.EngineKinds) == 0 {
+		t.Fatal("no engine_kind lines parsed")
+	}
+	var kindSum int64
+	seenKinds := map[string]bool{}
+	for _, k := range snap.EngineKinds {
+		kindSum += k.Count
+		seenKinds[k.Name] = true
+	}
+	if kindSum != snap.Engine.Events {
+		t.Errorf("kind counts sum %d != engine events %d", kindSum, snap.Engine.Events)
+	}
+	for _, want := range []string{"sim.timer", "net.flow_completion", "net.deliver"} {
+		if !seenKinds[want] {
+			t.Errorf("expected event kind %q in %v", want, seenKinds)
+		}
+	}
+	if len(snap.Hists) != 1 || snap.Hists[0].Name != "op.read_ns" {
+		t.Fatalf("hists = %+v, want one op.read_ns entry", snap.Hists)
+	}
+	hist := snap.Hists[0]
+	if hist.N != 2000 || !hist.HasP999 {
+		t.Errorf("hist = %+v, want n=2000 with p999", hist)
+	}
+	if hist.P999 < hist.P99 || hist.Max < hist.P999 {
+		t.Errorf("quantile ladder out of order: p99=%v p999=%v max=%v",
+			hist.P99, hist.P999, hist.Max)
+	}
+
+	// Forward compatibility: a pre-p999 hist line still parses.
+	old := "mmpmon hist old.lat_ns n 10 mean 5 p50 5 p95 9 p99 10 max 10\n"
+	oldSnap, err := ParseMmpmon(strings.NewReader(old))
+	if err != nil {
+		t.Fatalf("pre-p999 hist line failed to parse: %v", err)
+	}
+	if len(oldSnap.Hists) != 1 || oldSnap.Hists[0].HasP999 || oldSnap.Hists[0].N != 10 {
+		t.Errorf("pre-p999 hist parsed wrong: %+v", oldSnap.Hists)
+	}
 }

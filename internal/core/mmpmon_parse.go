@@ -18,6 +18,11 @@ type MmpmonSnapshot struct {
 	IO                   []MmpmonIO
 	Resources            []MmpmonResource
 	EventsFired, Pending int64
+	// Engine holds the engine-telemetry line (nil when the snapshot was
+	// taken without an EngineProbe attached — every pre-probe snapshot).
+	Engine      *MmpmonEngine
+	EngineKinds []MmpmonEngineKind
+	Hists       []MmpmonHist
 	// Warnings records lines the parser skipped because it did not
 	// recognize them — output from a newer writer. Forward compatibility:
 	// an old scraper keeps every counter it knows instead of failing on
@@ -60,6 +65,32 @@ type MmpmonResource struct {
 	Name                               string
 	Cap, InUse, Queued, Peak, Acquired int64
 	PeakUtil                           float64
+}
+
+// MmpmonEngine is the parsed "mmpmon engine" telemetry line: how fast
+// the simulator itself ran over the probed window.
+type MmpmonEngine struct {
+	Events, WallNs, SimNs           int64
+	EvPerSec                        float64
+	WallMsPerSimSec                 float64
+	AllocsPerEv                     float64
+	DepthP50, DepthP99, PeakPending int64
+}
+
+// MmpmonEngineKind is one "mmpmon engine_kind" per-event-kind line.
+type MmpmonEngineKind struct {
+	Name             string
+	Count, EstWallNs int64
+}
+
+// MmpmonHist is one "mmpmon hist" histogram line. P999 was added after
+// the first hist-emitting writer shipped; HasP999 distinguishes "old
+// snapshot without the field" from "p999 is zero".
+type MmpmonHist struct {
+	Name                           string
+	N                              int64
+	Mean, P50, P95, P99, P999, Max float64
+	HasP999                        bool
 }
 
 // ParseMmpmon parses a WriteMmpmon rendering. It is strict about the
@@ -158,6 +189,69 @@ func ParseMmpmon(r io.Reader) (*MmpmonSnapshot, error) {
 				return fail("bad sim counters")
 			}
 			snap.EventsFired, snap.Pending = ev, pd
+		case strings.HasPrefix(line, "mmpmon engine_kind "):
+			fields := strings.Fields(line)
+			if len(fields) != 7 || fields[3] != "count" || fields[5] != "est_wall_ns" {
+				return fail("bad engine_kind line")
+			}
+			cnt, err1 := strconv.ParseInt(fields[4], 10, 64)
+			wall, err2 := strconv.ParseInt(fields[6], 10, 64)
+			if err1 != nil || err2 != nil {
+				return fail("bad engine_kind counters")
+			}
+			snap.EngineKinds = append(snap.EngineKinds, MmpmonEngineKind{
+				Name: fields[2], Count: cnt, EstWallNs: wall})
+		case strings.HasPrefix(line, "mmpmon engine "):
+			kv, ok := kvPairs(strings.Fields(line), 2)
+			if !ok {
+				return fail("bad engine line")
+			}
+			eng := &MmpmonEngine{}
+			err := firstErr(
+				kvInt(kv, "events", &eng.Events),
+				kvInt(kv, "wall_ns", &eng.WallNs),
+				kvInt(kv, "sim_ns", &eng.SimNs),
+				kvFloat(kv, "ev_per_s", &eng.EvPerSec),
+				kvFloat(kv, "wall_ms_per_sim_s", &eng.WallMsPerSimSec),
+				kvFloat(kv, "allocs_per_ev", &eng.AllocsPerEv),
+				kvInt(kv, "depth_p50", &eng.DepthP50),
+				kvInt(kv, "depth_p99", &eng.DepthP99),
+				kvInt(kv, "peak_pending", &eng.PeakPending),
+			)
+			if err != nil {
+				return fail(err.Error())
+			}
+			snap.Engine = eng
+		case strings.HasPrefix(line, "mmpmon hist "):
+			fields := strings.Fields(line)
+			if len(fields) < 4 {
+				return fail("bad hist line")
+			}
+			kv, ok := kvPairs(fields, 3)
+			if !ok {
+				return fail("bad hist line")
+			}
+			h := MmpmonHist{Name: fields[2]}
+			err := firstErr(
+				kvInt(kv, "n", &h.N),
+				kvFloat(kv, "mean", &h.Mean),
+				kvFloat(kv, "p50", &h.P50),
+				kvFloat(kv, "p95", &h.P95),
+				kvFloat(kv, "p99", &h.P99),
+				kvFloat(kv, "max", &h.Max),
+			)
+			if err != nil {
+				return fail(err.Error())
+			}
+			// p999 is newer than the first hist writer: optional, so old
+			// snapshots still parse.
+			if _, has := kv["p999"]; has {
+				if err := kvFloat(kv, "p999", &h.P999); err != nil {
+					return fail(err.Error())
+				}
+				h.HasP999 = true
+			}
+			snap.Hists = append(snap.Hists, h)
 		case strings.HasPrefix(line, "mmpmon "):
 			// An mmpmon section this parser predates. Skip it whole —
 			// treating its body as counters would pollute a section.
@@ -201,6 +295,56 @@ func ParseMmpmon(r io.Reader) (*MmpmonSnapshot, error) {
 		return nil, fmt.Errorf("core: mmpmon parse: %w", err)
 	}
 	return snap, nil
+}
+
+// kvPairs parses alternating "key value" tokens starting at from.
+func kvPairs(fields []string, from int) (map[string]string, bool) {
+	if len(fields) < from || (len(fields)-from)%2 != 0 {
+		return nil, false
+	}
+	m := make(map[string]string, (len(fields)-from)/2)
+	for i := from; i < len(fields); i += 2 {
+		m[fields[i]] = fields[i+1]
+	}
+	return m, true
+}
+
+// kvInt extracts a required integer field from a kvPairs map.
+func kvInt(kv map[string]string, key string, dst *int64) error {
+	s, ok := kv[key]
+	if !ok {
+		return fmt.Errorf("missing %s", key)
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad %s", key)
+	}
+	*dst = v
+	return nil
+}
+
+// kvFloat extracts a required float field from a kvPairs map.
+func kvFloat(kv map[string]string, key string, dst *float64) error {
+	s, ok := kv[key]
+	if !ok {
+		return fmt.Errorf("missing %s", key)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return fmt.Errorf("bad %s", key)
+	}
+	*dst = v
+	return nil
+}
+
+// firstErr returns the first non-nil error.
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
 }
 
 // applyKV routes one "key: value" row into a section: the few string and

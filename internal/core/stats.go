@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"gfs/internal/metrics"
 	"gfs/internal/sim"
 	"gfs/internal/units"
 )
@@ -191,4 +192,37 @@ func WriteMmpmon(w io.Writer, s *sim.Sim, clusters []*Cluster) {
 			r.Name(), r.Capacity(), r.InUse(), r.Queued(), r.PeakInUse(), r.TotalAcquired(), util)
 	}
 	fmt.Fprintf(w, "mmpmon sim events_fired %d pending %d\n", s.EventsFired(), s.Pending())
+	if p := s.EngineProbe(); p != nil {
+		WriteMmpmonEngine(w, p.Snapshot())
+	}
+}
+
+// WriteMmpmonEngine renders one engine-telemetry snapshot as mmpmon
+// lines. Emitted by WriteMmpmon only when an EngineProbe is attached —
+// the values are wall-clock-derived and would break byte-identical
+// determinism diffs of default runs.
+func WriteMmpmonEngine(w io.Writer, es sim.EngineSnapshot) {
+	fmt.Fprintf(w, "mmpmon engine events %d wall_ns %d sim_ns %d ev_per_s %.0f wall_ms_per_sim_s %.3f allocs_per_ev %.2f depth_p50 %d depth_p99 %d peak_pending %d\n",
+		es.Events, es.WallNs, es.SimNs, es.EventsPerSec, es.WallPerSimSec*1e3,
+		es.AllocsPerEvent, es.DepthP50, es.DepthP99, es.PeakPending)
+	for _, k := range es.Kinds {
+		fmt.Fprintf(w, "mmpmon engine_kind %s count %d est_wall_ns %d\n",
+			k.Name, k.Count, k.EstWallNs)
+	}
+}
+
+// WriteMmpmonHists renders every non-empty histogram in the registry as
+// one mmpmon line with the full quantile ladder including p999.
+func WriteMmpmonHists(w io.Writer, reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, name := range reg.HistogramNames() {
+		h := reg.Histogram(name)
+		if h.N() == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "mmpmon hist %s n %d mean %.0f p50 %.0f p95 %.0f p99 %.0f p999 %.0f max %.0f\n",
+			name, h.N(), h.Mean(), h.P50(), h.P95(), h.P99(), h.P999(), h.Max())
+	}
 }

@@ -34,6 +34,7 @@ import (
 	"sort"
 	"strings"
 
+	"gfs/internal/metrics"
 	"gfs/internal/trace"
 )
 
@@ -87,14 +88,20 @@ type OpStats struct {
 	Name    string
 	Count   int
 	TotalNs int64
-	lats    []int64 // sorted ascending
+	lats    []int64            // sorted ascending (batch Analyze)
+	hist    *metrics.Histogram // bucketed latencies (incremental Agg)
 	Phases  map[string]int64
 }
 
 // Quantile returns the q-quantile (0 < q <= 1) of the op type's
-// end-to-end latencies, by the nearest-rank method.
+// end-to-end latencies: exact nearest-rank when the raw latencies were
+// retained (Analyze), bucket-resolution (~9%) when they were folded into
+// a histogram (Agg).
 func (s *OpStats) Quantile(q float64) int64 {
 	if len(s.lats) == 0 {
+		if s.hist != nil {
+			return int64(s.hist.Quantile(q))
+		}
 		return 0
 	}
 	i := int(q*float64(len(s.lats))+0.9999999) - 1
@@ -518,9 +525,10 @@ func (r *Report) WriteOpLat(w io.Writer) {
 		if s.Count > 0 {
 			mean = s.TotalNs / int64(s.Count)
 		}
-		fmt.Fprintf(w, "mmpmon op_lat %s n %d mean %s p50 %s p95 %s p99 %s",
+		fmt.Fprintf(w, "mmpmon op_lat %s n %d mean %s p50 %s p95 %s p99 %s p999 %s",
 			s.Name, s.Count, fmtMs(mean),
-			fmtMs(s.Quantile(0.50)), fmtMs(s.Quantile(0.95)), fmtMs(s.Quantile(0.99)))
+			fmtMs(s.Quantile(0.50)), fmtMs(s.Quantile(0.95)), fmtMs(s.Quantile(0.99)),
+			fmtMs(s.Quantile(0.999)))
 		for _, ph := range Phases {
 			if d := s.Phases[ph]; d != 0 {
 				fmt.Fprintf(w, " %s %s", ph, pct(d, s.TotalNs))

@@ -27,6 +27,27 @@ type ObsConfig struct {
 	Interval sim.Time
 	// Out receives periodic snapshots; nil discards them.
 	Out io.Writer
+
+	// Engine attaches a sim.EngineProbe to every simulator: events/sec,
+	// queue depth, per-kind wall attribution, allocations per event.
+	Engine bool
+	// EngineTraceEvery, with Engine and Trace on, emits one deterministic
+	// engine/sample instant into the trace every so many fired events.
+	EngineTraceEvery uint64
+
+	// Bounded-memory tracing (all require Trace):
+	// SampleOneIn keeps one operation in n via a deterministic hash of
+	// the op ID (n <= 1 keeps everything).
+	SampleOneIn uint64
+	// Stream writes each kept event as a JSONL line immediately and
+	// retains nothing, so trace memory stays O(1) in run length.
+	Stream io.Writer
+	// Ring retains only the last n events (0 = unbounded buffer).
+	Ring int
+	// Agg folds spans into an incremental critpath aggregate as they are
+	// recorded. Without Stream or Ring the tracer is put in discard mode:
+	// attribution with zero event retention.
+	Agg bool
 }
 
 // Obs is the live state of one observed run: the shared tracer and
@@ -36,8 +57,17 @@ type Obs struct {
 	cfg      ObsConfig
 	Tracer   *trace.Tracer
 	Registry *metrics.Registry
+	// Agg is the incremental critical-path aggregator (cfg.Agg only).
+	Agg      *critpath.Agg
 	sims     []*sim.Sim
 	clusters []*core.Cluster
+
+	// Engine telemetry: one probe per simulator, and one finished window
+	// per run — captured the moment a run's event loop drains, so a
+	// window's wall clock is not polluted by later runs in the same sweep.
+	probes      []*sim.EngineProbe
+	engineSnaps []sim.EngineSnapshot
+	snapped     map[*sim.EngineProbe]bool
 }
 
 // obs is the installed hook; nil means observability is off and every
@@ -52,9 +82,26 @@ func SetObservability(cfg *ObsConfig) *Obs {
 		obs = nil
 		return nil
 	}
-	o := &Obs{cfg: *cfg}
+	o := &Obs{cfg: *cfg, snapped: map[*sim.EngineProbe]bool{}}
 	if cfg.Trace {
 		o.Tracer = trace.New()
+		if cfg.SampleOneIn > 1 {
+			o.Tracer.SetSampleOneIn(cfg.SampleOneIn)
+		}
+		if cfg.Agg {
+			o.Agg = critpath.NewAgg()
+			o.Tracer.SetObserver(o.Agg.Observe)
+		}
+		// Retention mode: streaming wins over ring; aggregate-only means
+		// discard when nothing else wants the events retained.
+		switch {
+		case cfg.Stream != nil:
+			o.Tracer.SetStream(cfg.Stream)
+		case cfg.Ring > 0:
+			o.Tracer.SetRing(cfg.Ring)
+		case cfg.Agg:
+			o.Tracer.SetDiscard()
+		}
 	}
 	if cfg.Stats {
 		o.Registry = metrics.NewRegistry()
@@ -91,6 +138,14 @@ func (o *Obs) attachSim(s *sim.Sim) {
 	if o.Tracer != nil {
 		s.SetTracer(o.Tracer)
 	}
+	if o.cfg.Engine {
+		p := sim.NewEngineProbe()
+		if o.Tracer != nil {
+			p.TraceSampleEvery = o.cfg.EngineTraceEvery
+		}
+		s.SetEngineProbe(p)
+		o.probes = append(o.probes, p)
+	}
 	if o.cfg.Stats && o.cfg.Interval > 0 && o.cfg.Out != nil {
 		var tick func()
 		tick = func() {
@@ -113,6 +168,40 @@ func observeCluster(c *core.Cluster) {
 	}
 }
 
+// observeRunDone is called by run() the moment a simulator's event loop
+// drains, freezing that run's engine window while its wall clock is
+// still honest (a snapshot taken after later runs would charge their
+// wall time to this window too).
+func observeRunDone(s *sim.Sim) {
+	if obs != nil {
+		obs.captureEngine(s)
+	}
+}
+
+func (o *Obs) captureEngine(s *sim.Sim) {
+	p := s.EngineProbe()
+	if p == nil || o.snapped[p] {
+		return
+	}
+	o.snapped[p] = true
+	o.engineSnaps = append(o.engineSnaps, p.Snapshot())
+}
+
+// EngineWindows returns every finished engine window so far — one per
+// simulator run with a probe attached. Probes whose runs did not go
+// through run() are snapshotted now.
+func (o *Obs) EngineWindows() []sim.EngineSnapshot {
+	for _, s := range o.sims {
+		o.captureEngine(s)
+	}
+	return o.engineSnaps
+}
+
+// EngineSnapshot merges every engine window into one summary.
+func (o *Obs) EngineSnapshot() sim.EngineSnapshot {
+	return sim.MergeEngineSnapshots(o.EngineWindows())
+}
+
 // snapshotSim writes one mmpmon snapshot for the clusters living on s.
 // With tracing on, the counters are followed by an op_lat section —
 // per-op-type latency quantiles with critical-path phase percentages,
@@ -125,7 +214,10 @@ func (o *Obs) snapshotSim(w io.Writer, s *sim.Sim) {
 		}
 	}
 	core.WriteMmpmon(w, s, cs)
-	if o.Tracer != nil && o.Tracer.Len() > 0 {
+	core.WriteMmpmonHists(w, o.Registry)
+	if o.Agg != nil {
+		o.Agg.Report().WriteOpLat(w)
+	} else if o.Tracer != nil && o.Tracer.Len() > 0 {
 		critpath.Analyze(o.Tracer).WriteOpLat(w)
 	}
 }

@@ -170,6 +170,7 @@ func run(s *sim.Sim, fn func(p *sim.Proc) error) {
 		done = true
 	})
 	s.Run()
+	observeRunDone(s)
 	if !done {
 		panic("experiment deadlocked")
 	}

@@ -134,7 +134,12 @@ func (h *Histogram) P95() float64 { return h.Quantile(0.95) }
 // P99 returns the 99th-percentile estimate.
 func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
 
+// P999 returns the 99.9th-percentile estimate — the tail the million-user
+// scaling work is judged on; below ~1000 observations it coincides with
+// Max.
+func (h *Histogram) P999() float64 { return h.Quantile(0.999) }
+
 func (h *Histogram) String() string {
-	return fmt.Sprintf("n=%d mean=%.0f p50=%.0f p95=%.0f p99=%.0f max=%.0f",
-		h.n, h.Mean(), h.P50(), h.P95(), h.P99(), h.Max())
+	return fmt.Sprintf("n=%d mean=%.0f p50=%.0f p95=%.0f p99=%.0f p999=%.0f max=%.0f",
+		h.n, h.Mean(), h.P50(), h.P95(), h.P99(), h.P999(), h.Max())
 }

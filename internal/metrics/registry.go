@@ -91,6 +91,17 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// HistogramNames returns the names of every histogram in the registry,
+// sorted — for exporters that render histograms in a stable order.
+func (r *Registry) HistogramNames() []string {
+	names := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Render returns the registry contents as aligned text, one metric per
 // line, sorted by name within each section.
 func (r *Registry) Render() string {

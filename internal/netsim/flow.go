@@ -138,7 +138,7 @@ func (c *Conn) SendCtx(ctx trace.Ctx, size units.Bytes, onDelivered func()) {
 		c.bytesSent += size
 		c.msgsSent++
 		if onDelivered != nil {
-			nw.Sim.Schedule(0, onDelivered)
+			nw.Sim.ScheduleKind(kindDeliver, 0, onDelivered)
 		}
 		return
 	}
@@ -217,7 +217,7 @@ func (c *Conn) scheduleBump() {
 	if c.tcp.MaxWindow <= 0 || c.rtt <= 0 || c.cwnd >= float64(c.tcp.MaxWindow) {
 		return
 	}
-	c.bumpEv = c.net.Sim.Schedule(c.rtt, func() {
+	c.bumpEv = c.net.Sim.ScheduleKind(kindBump, c.rtt, func() {
 		c.bumpEv = nil
 		if !c.active {
 			return
@@ -290,7 +290,7 @@ func (c *Conn) deliverHead(now sim.Time) {
 	}
 	if head.onDelivered != nil {
 		cb := head.onDelivered
-		nw.Sim.Schedule(c.oneWay, cb)
+		nw.Sim.ScheduleKind(kindDeliver, c.oneWay, cb)
 	}
 	if len(c.queue) == 0 {
 		c.deactivate()
@@ -317,7 +317,7 @@ func (c *Conn) scheduleCompletion() {
 	if dt < 1 {
 		dt = 1
 	}
-	c.completionEv = c.net.Sim.Schedule(dt, func() {
+	c.completionEv = c.net.Sim.ScheduleKind(kindCompletion, dt, func() {
 		c.completionEv = nil
 		c.net.onCompletion(c)
 	})
@@ -351,7 +351,7 @@ func (nw *Network) recompute() {
 			delay = next - nw.Sim.Now()
 		}
 	}
-	nw.Sim.Schedule(delay, nw.doRecompute)
+	nw.Sim.ScheduleKind(kindRecompute, delay, nw.doRecompute)
 }
 
 // doRecompute reallocates rates across all active conns by progressive

@@ -1,0 +1,16 @@
+package netsim
+
+import "gfs/internal/sim"
+
+// Engine-telemetry kind labels for the events this package schedules. They
+// are inert unless an EngineProbe is attached to the simulator, but they
+// let `gfssim -engine-stats` attribute wall-clock to the flow solver
+// (recompute), per-message completion handling, slow-start window bumps,
+// delivery callbacks, and RPC deadline/backoff timers separately.
+var (
+	kindRecompute  = sim.RegisterEventKind("net.recompute")
+	kindCompletion = sim.RegisterEventKind("net.flow_completion")
+	kindBump       = sim.RegisterEventKind("net.cwnd_bump")
+	kindDeliver    = sim.RegisterEventKind("net.deliver")
+	kindRPCTimer   = sim.RegisterEventKind("net.rpc_timer")
+)

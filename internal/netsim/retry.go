@@ -77,7 +77,7 @@ func (e *Endpoint) GoDeadline(ctx trace.Ctx, peer *Endpoint, service string, req
 	}
 	nw := e.net
 	expired := false
-	timer := nw.Sim.Schedule(deadline, func() {
+	timer := nw.Sim.ScheduleKind(kindRPCTimer, deadline, func() {
 		expired = true
 		if reg := nw.Metrics; reg != nil {
 			reg.Counter("rpc.deadline_expired").Inc()
@@ -118,7 +118,7 @@ func (e *Endpoint) GoRetry(ctx trace.Ctx, peer *Endpoint, service string, reqSiz
 			}
 			gap := pol.Backoff(n)
 			start := nw.Sim.Now()
-			nw.Sim.Schedule(gap, func() {
+			nw.Sim.ScheduleKind(kindRPCTimer, gap, func() {
 				if tr := nw.Sim.Tracer(); tr != nil && gap > 0 {
 					tr.SpanCtx(ctx, 0, "retry", "backoff",
 						e.node.name+"->"+peer.node.name,

@@ -32,7 +32,7 @@ func (s *Sim) Go(name string, fn func(p *Proc)) *Proc {
 		resume: make(chan struct{}),
 		park:   make(chan struct{}),
 	}
-	s.Schedule(0, func() {
+	s.ScheduleKind(KindProcStart, 0, func() {
 		go func() {
 			<-p.resume
 			func() {
@@ -81,7 +81,7 @@ func (p *Proc) Kill() {
 	// so it can observe killed and unwind. It may be waiting inside a
 	// resource queue; those resumes are harmless on a done process because
 	// wake() checks the flags.
-	p.sim.Schedule(0, func() { p.wake() })
+	p.sim.ScheduleKind(KindWake, 0, func() { p.wake() })
 }
 
 // wake resumes a parked process from the event loop. Safe on finished or
@@ -120,7 +120,7 @@ func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative sleep %v", d))
 	}
-	p.sim.Schedule(d, func() { p.wake() })
+	p.sim.ScheduleKind(KindTimer, d, func() { p.wake() })
 	p.yield()
 }
 

@@ -61,6 +61,7 @@ type Event struct {
 	sim      *Sim
 	index    int // heap index, -1 once popped or canceled
 	canceled bool
+	kind     EventKind // engine-telemetry label (see RegisterEventKind)
 }
 
 // When returns the virtual time at which the event will fire.
@@ -125,6 +126,11 @@ type Sim struct {
 	// branch per instrumentation site.
 	tracer *trace.Tracer
 
+	// probe receives engine-plane telemetry (events/sec, queue depth,
+	// per-kind wall attribution); nil (the default) disables it at the
+	// cost of one branch per event.
+	probe *EngineProbe
+
 	// resources lists every Resource created on this simulator, so stats
 	// snapshots can report utilization without the experiment threading
 	// each one through by hand.
@@ -164,22 +170,36 @@ func (s *Sim) Pending() int { return len(s.pq) }
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it would silently corrupt causality.
 func (s *Sim) At(t Time, fn func()) *Event {
+	return s.AtKind(KindOther, t, fn)
+}
+
+// AtKind is At with an engine-telemetry kind label. The label is inert
+// unless an EngineProbe is attached.
+func (s *Sim) AtKind(k EventKind, t Time, fn func()) *Event {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
 	s.seq++
-	e := &Event{when: t, seq: s.seq, fn: fn, sim: s}
+	e := &Event{when: t, seq: s.seq, fn: fn, sim: s, kind: k}
 	heap.Push(&s.pq, e)
+	if s.probe != nil {
+		s.probe.notePending(len(s.pq))
+	}
 	return e
 }
 
 // Schedule schedules fn to run after duration d (d may be zero; the event
 // then fires after all currently-running work at this instant).
 func (s *Sim) Schedule(d Time, fn func()) *Event {
+	return s.ScheduleKind(KindOther, d, fn)
+}
+
+// ScheduleKind is Schedule with an engine-telemetry kind label.
+func (s *Sim) ScheduleKind(k EventKind, d Time, fn func()) *Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
-	return s.At(s.now+d, fn)
+	return s.AtKind(k, s.now+d, fn)
 }
 
 // Step executes the next pending event, advancing the clock. It returns
@@ -192,7 +212,11 @@ func (s *Sim) Step() bool {
 		}
 		s.now = e.when
 		s.fired++
-		e.fn()
+		if s.probe != nil {
+			s.probe.exec(e)
+		} else {
+			e.fn()
+		}
 		return true
 	}
 	return false

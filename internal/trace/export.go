@@ -16,7 +16,7 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	for i := range t.Events() {
 		e := &t.events[i]
-		if err := t.writeEventJSON(bw, e); err != nil {
+		if err := writeEventJSON(bw, e, t.EvArgs(e)); err != nil {
 			return err
 		}
 		if _, err := bw.WriteString("\n"); err != nil {
@@ -237,13 +237,16 @@ func argsJSON(args []Arg) string {
 	return out + "}"
 }
 
-func (t *Tracer) writeEventJSON(w io.Writer, e *Event) error {
+// writeEventJSON encodes one event as a JSONL object. It takes the args
+// explicitly so both the buffered exporter (arena-backed args) and the
+// streaming mode (caller-stack args, never retained) share one encoding.
+func writeEventJSON(w io.Writer, e *Event, args []Arg) error {
 	causal := ""
 	if e.Op != 0 || e.SID != 0 || e.Parent != 0 {
 		causal = fmt.Sprintf(`"op":%d,"sid":%d,"parent":%d,`, e.Op, e.SID, e.Parent)
 	}
 	_, err := fmt.Fprintf(w, `{"kind":%s,"ts":%d,"dur":%d,%s"cat":%s,"name":%s,"track":%s,"args":%s}`,
-		jstr(e.Kind.String()), e.TS, e.Dur, causal, jstr(e.Cat), jstr(e.Name), jstr(e.Track), argsJSON(t.EvArgs(e)))
+		jstr(e.Kind.String()), e.TS, e.Dur, causal, jstr(e.Cat), jstr(e.Name), jstr(e.Track), argsJSON(args))
 	return err
 }
 

@@ -21,6 +21,8 @@
 // a disabled site allocates nothing.
 package trace
 
+import "bufio"
+
 // Kind discriminates event shapes.
 type Kind uint8
 
@@ -92,6 +94,20 @@ type Tracer struct {
 	args   []Arg // shared arena backing every event's arguments
 	ops    int64 // last allocated operation ID
 	sids   int64 // last allocated span ID
+
+	// Bounded-memory machinery (see bounded.go). The zero values give the
+	// classic buffer-everything behaviour.
+	mode        retainMode
+	sampleEvery uint64 // keep 1 op in N (0/1 = keep all)
+	emitted     uint64 // events that passed sampling, any mode
+	observer    func(e Event, args []Arg)
+	stream      *bufio.Writer
+	streamErr   error
+	ring        []Event
+	ringArgs    [][]Arg
+	ringNext    int
+	ringLen     int
+	scratch     []Arg // reusable copy handed to observers (args must not escape push)
 }
 
 // New returns an empty tracer.
@@ -123,12 +139,10 @@ func (t *Tracer) NewSpanID() int64 {
 }
 
 func (t *Tracer) push(e Event, args []Arg) {
-	if len(args) > 0 {
-		e.argPos = int32(len(t.args))
-		e.argN = int32(len(args))
-		t.args = append(t.args, args...)
+	if t.sampleEvery > 1 && e.Op != 0 && !sampleKeep(e.Op, t.sampleEvery) {
+		return
 	}
-	t.events = append(t.events, e)
+	t.dispatch(e, args)
 }
 
 // Span records an interval event covering [start, end] nanoseconds with
@@ -185,10 +199,14 @@ func (t *Tracer) Len() int {
 }
 
 // Events returns the recorded events in emission order. The slice is the
-// tracer's own buffer; callers must not mutate it.
+// tracer's own buffer; callers must not mutate it. In ring mode the ring
+// is materialized oldest-first on each call.
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
+	}
+	if t.mode == modeRing {
+		t.linearizeRing()
 	}
 	return t.events
 }
@@ -205,13 +223,15 @@ func (t *Tracer) EvArgs(e *Event) []Arg {
 
 // Reset discards all recorded events, keeping capacity. ID allocators
 // keep counting so op/span IDs stay unique across a Reset (analysis of a
-// later window can never confuse its trees with an earlier one's).
+// later window can never confuse its trees with an earlier one's). The
+// retention mode, sampling factor and observer are preserved.
 func (t *Tracer) Reset() {
 	if t == nil {
 		return
 	}
 	t.events = t.events[:0]
 	t.args = t.args[:0]
+	t.ringNext, t.ringLen = 0, 0
 }
 
 // CountByCat returns how many events carry the given category.
