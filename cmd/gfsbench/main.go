@@ -40,6 +40,7 @@ import (
 	"gfs/internal/netsim"
 	"gfs/internal/san"
 	"gfs/internal/sim"
+	"gfs/internal/timeline"
 	"gfs/internal/units"
 )
 
@@ -89,16 +90,35 @@ func main() {
 		// simscale needs engine probes but not a trace: retaining every
 		// event of a 1024-node run is exactly what this PR's bounded
 		// modes exist to avoid, and the sweep reports engine numbers only.
+		// The other sweeps additionally collect a timeline, so the JSON
+		// carries rate-vs-time series per row, not just the scalar rates.
 		obs = experiments.SetObservability(&experiments.ObsConfig{
-			Trace:  *jsonPath != "" && *sweep != "simscale",
-			Engine: *sweep == "simscale",
+			Trace:            *jsonPath != "" && *sweep != "simscale",
+			Engine:           *sweep == "simscale",
+			Timeline:         *jsonPath != "" && *sweep != "simscale",
+			TimelineInterval: 250 * sim.Millisecond,
 		})
 		defer experiments.SetObservability(nil)
 	}
 
 	var columns []string
 	var rows [][]float64
-	addRow := func(vs ...float64) { rows = append(rows, vs) }
+	var series []benchSeries
+	tlMark := 0
+	// addRow also harvests the timeline collectors born while the row ran
+	// (one per simulator) into aggregate rate-vs-time series tagged with
+	// the row index.
+	addRow := func(vs ...float64) {
+		rows = append(rows, vs)
+		if obs == nil {
+			return
+		}
+		tls := obs.Timelines()
+		for _, tl := range tls[tlMark:] {
+			series = append(series, rowSeries(len(rows)-1, tl)...)
+		}
+		tlMark = len(tls)
+	}
 
 	switch *sweep {
 	case "readahead":
@@ -186,7 +206,7 @@ func main() {
 		if obs.Tracer != nil {
 			rep = critpath.Analyze(obs.Tracer)
 		}
-		if err := writeJSON(*jsonPath, *sweep, columns, rows, rep); err != nil {
+		if err := writeJSON(*jsonPath, *sweep, columns, rows, series, rep); err != nil {
 			fmt.Fprintln(os.Stderr, "gfsbench:", err)
 			os.Exit(1)
 		}
@@ -238,12 +258,56 @@ type benchOp struct {
 	PhasesMs map[string]float64 `json:"phases_ms"`
 }
 
+// benchSeries is one rate-vs-time series recorded while one sweep row
+// ran: the aggregate NSD serve rate across every server, windowed at
+// the timeline interval. Additive: consumers of the scalar rows are
+// unaffected, and the field is omitted when no timeline was collected.
+type benchSeries struct {
+	Row       int       `json:"row"`  // index into Rows
+	Sim       string    `json:"sim"`  // collector label ("sim3")
+	Name      string    `json:"name"` // e.g. "nsd_read_MBps"
+	Unit      string    `json:"unit"`
+	IntervalS float64   `json:"interval_s"`
+	T         []float64 `json:"t"`
+	V         []float64 `json:"v"`
+}
+
 type benchOut struct {
 	Bench   int                `json:"bench"`
 	Sweep   string             `json:"sweep"`
 	Columns []string           `json:"columns"`
 	Rows    [][]float64        `json:"rows"`
+	Series  []benchSeries      `json:"series,omitempty"`
 	Ops     map[string]benchOp `json:"ops"`
+}
+
+// rowSeries folds one collector's per-server NSD rates into aggregate
+// read and write series for the row. Values are rounded to 0.1 so the
+// JSON stays short and byte-stable.
+func rowSeries(row int, tl *timeline.Collector) []benchSeries {
+	var out []benchSeries
+	for _, dir := range []string{"read", "write"} {
+		var group []*timeline.Series
+		for _, se := range tl.Prefix("nsd.") {
+			if strings.HasSuffix(se.Name, "."+dir+"_MBps") {
+				group = append(group, se)
+			}
+		}
+		if len(group) == 0 {
+			continue
+		}
+		sum := timeline.Sum(group, "nsd_"+dir+"_MBps", "MB/s")
+		bs := benchSeries{
+			Row: row, Sim: tl.Label, Name: sum.Name, Unit: sum.Unit,
+			IntervalS: tl.Interval().Seconds(),
+		}
+		for _, p := range sum.Points() {
+			bs.T = append(bs.T, p.T)
+			bs.V = append(bs.V, float64(int64(p.V*10+0.5))/10)
+		}
+		out = append(out, bs)
+	}
+	return out
 }
 
 // writeJSON renders the sweep plus attribution as deterministic JSON
@@ -253,7 +317,7 @@ type benchOut struct {
 // for the write-gathering ablation, 6 for the engine-throughput simscale
 // sweep (which carries no op attribution — it measures the simulator,
 // not the modeled filesystem, and rep is nil).
-func writeJSON(path, sweep string, columns []string, rows [][]float64, rep *critpath.Report) error {
+func writeJSON(path, sweep string, columns []string, rows [][]float64, series []benchSeries, rep *critpath.Report) error {
 	bench := 2
 	switch sweep {
 	case "sc03depth":
@@ -265,7 +329,7 @@ func writeJSON(path, sweep string, columns []string, rows [][]float64, rep *crit
 	}
 	out := benchOut{
 		Bench: bench, Sweep: sweep, Columns: columns, Rows: rows,
-		Ops: map[string]benchOp{},
+		Series: series, Ops: map[string]benchOp{},
 	}
 	if rep == nil {
 		rep = &critpath.Report{}
@@ -336,8 +400,8 @@ func ms(ns int64) float64 { return float64(ns/1000) / 1000 }
 // width means every ungathered writeback is a sub-stripe update.
 func writeGatherRow(gather bool, size units.Bytes) []float64 {
 	s := sim.New()
-	if o := experiments.Observability(); o != nil && o.Tracer != nil {
-		s.SetTracer(o.Tracer)
+	if o := experiments.Observability(); o != nil {
+		o.ObserveSim(s)
 	}
 	nw := netsim.New(s)
 	site := experiments.NewSite(s, nw, "wg")
@@ -442,8 +506,8 @@ func streamRate(servers int, blockSize units.Bytes, rtt sim.Time, size units.Byt
 
 func streamRateTuned(tune func(*core.ClientConfig), servers int, blockSize units.Bytes, rtt sim.Time, size units.Bytes) float64 {
 	s := sim.New()
-	if o := experiments.Observability(); o != nil && o.Tracer != nil {
-		s.SetTracer(o.Tracer)
+	if o := experiments.Observability(); o != nil {
+		o.ObserveSim(s)
 	}
 	nw := netsim.New(s)
 	site := experiments.NewSite(s, nw, "origin")

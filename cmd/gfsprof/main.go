@@ -10,6 +10,8 @@
 //	gfsprof -faults trace.jsonl       # fault-injection and failover timeline
 //	gfsprof -engine trace.jsonl       # engine sample timeline (queue depth,
 //	                                  # event rate over virtual time)
+//	gfsprof -timeline tl.jsonl        # summarize a `gfssim -timeline-jsonl` dump
+//	gfsprof -timeline -series 'nsd.*MBps' tl.jsonl   # sparkline matching series
 package main
 
 import (
@@ -17,32 +19,37 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path"
+	"sort"
 
 	"gfs/internal/critpath"
+	"gfs/internal/timeline"
 	"gfs/internal/trace"
 )
 
 func main() {
 	var (
-		top    = flag.Int("top", 0, "also list the N slowest operations with their phase breakdowns")
-		op     = flag.Int64("op", 0, "print the span tree of one operation ID and exit")
-		lat    = flag.Bool("oplat", false, "print the mmpmon-style op_lat section instead of the table")
-		faults = flag.Bool("faults", false, "print the fault-injection and failover timeline instead of the table")
-		engine = flag.Bool("engine", false, "print the engine sample timeline (events fired, queue depth over virtual time)")
-		path   = flag.String("in", "", "input JSONL file (or pass it as the positional argument; - reads stdin)")
+		top      = flag.Int("top", 0, "also list the N slowest operations with their phase breakdowns")
+		op       = flag.Int64("op", 0, "print the span tree of one operation ID and exit")
+		lat      = flag.Bool("oplat", false, "print the mmpmon-style op_lat section instead of the table")
+		faults   = flag.Bool("faults", false, "print the fault-injection and failover timeline instead of the table")
+		engine   = flag.Bool("engine", false, "print the engine sample timeline (events fired, queue depth over virtual time)")
+		tlMode   = flag.Bool("timeline", false, "input is a timeline JSONL dump (gfssim -timeline-jsonl); print per-series summaries")
+		tlSeries = flag.String("series", "", "with -timeline: sparkline the series matching this glob (e.g. 'nsd.*MBps')")
+		inPath   = flag.String("in", "", "input JSONL file (or pass it as the positional argument; - reads stdin)")
 	)
 	flag.Parse()
-	if *path == "" {
+	if *inPath == "" {
 		if flag.NArg() != 1 {
-			fmt.Fprintln(os.Stderr, "usage: gfsprof [-top n | -op id | -oplat | -faults] <trace.jsonl>")
+			fmt.Fprintln(os.Stderr, "usage: gfsprof [-top n | -op id | -oplat | -faults | -timeline] <dump.jsonl>")
 			os.Exit(2)
 		}
-		*path = flag.Arg(0)
+		*inPath = flag.Arg(0)
 	}
 
 	in := os.Stdin
-	if *path != "-" {
-		f, err := os.Open(*path)
+	if *inPath != "-" {
+		f, err := os.Open(*inPath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gfsprof: %v\n", err)
 			os.Exit(1)
@@ -50,6 +57,17 @@ func main() {
 		defer f.Close()
 		in = f
 	}
+
+	if *tlMode {
+		dump, err := timeline.ReadJSONL(in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gfsprof: %v\n", err)
+			os.Exit(1)
+		}
+		writeTimeline(os.Stdout, dump, *tlSeries)
+		return
+	}
+
 	tr, err := trace.ReadJSONL(in)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gfsprof: %v\n", err)
@@ -95,6 +113,77 @@ func main() {
 }
 
 func fmtMs(ns int64) string { return fmt.Sprintf("%.3fms", float64(ns)/1e6) }
+
+// writeTimeline summarizes a parsed timeline dump: per run, one row per
+// series with window count, mean/max/last values — or, with a glob,
+// sparklines of the matching series on a shared scale so relative load
+// across resources is visible at a glance.
+func writeTimeline(w io.Writer, dump *timeline.Dump, glob string) {
+	if len(dump.Runs) == 0 {
+		fmt.Fprintln(w, "no timeline runs in dump (record with: gfssim -exp ... -timeline-jsonl out.jsonl)")
+		return
+	}
+	for _, run := range dump.Runs {
+		label := run.Label
+		if label == "" {
+			label = "(unlabeled)"
+		}
+		fmt.Fprintf(w, "== timeline %s (interval %gs, %d series) ==\n", label, run.IntervalS, len(run.Names()))
+		if glob != "" {
+			writeTimelineSpark(w, run, glob)
+			continue
+		}
+		fmt.Fprintf(w, "%-40s %8s %12s %12s %12s\n", "series", "windows", "mean", "max", "last")
+		for _, se := range run.Series() {
+			vals := se.Values()
+			var sum, max float64
+			for _, v := range vals {
+				sum += v
+				if v > max {
+					max = v
+				}
+			}
+			mean := 0.0
+			if len(vals) > 0 {
+				mean = sum / float64(len(vals))
+			}
+			last, _ := se.Last()
+			fmt.Fprintf(w, "%-40s %8d %12.3f %12.3f %12.3f\n", se.Name, se.Len(), mean, max, last.V)
+		}
+	}
+}
+
+// writeTimelineSpark renders every series matching the glob as one
+// sparkline row, all scaled to the group-wide maximum.
+func writeTimelineSpark(w io.Writer, run *timeline.Run, glob string) {
+	var names []string
+	max := 0.0
+	for _, n := range run.Names() {
+		ok, err := path.Match(glob, n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gfsprof: -series: %v\n", err)
+			os.Exit(2)
+		}
+		if !ok {
+			continue
+		}
+		names = append(names, n)
+		for _, v := range run.Get(n).Values() {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintf(w, "no series match %q\n", glob)
+		return
+	}
+	fmt.Fprintf(w, "scale: max %.3f\n", max)
+	for _, n := range names {
+		fmt.Fprintf(w, "%-40s %s\n", n, timeline.Spark(run.Get(n).Values(), max))
+	}
+}
 
 // writeEngineTimeline prints the engine/sample instants an attached
 // EngineProbe emitted (gfssim -engine-stats with a trace output): for

@@ -15,12 +15,16 @@
 //	gfssim -exp production -nodes 1024 -size 64MiB -jsonl-stream t.jsonl -trace-sample 64
 //	                                  # bounded-memory sampled trace at scale
 //	gfssim -exp production -attr-agg  # attribution with zero event retention
+//	gfssim -exp failover -timeline-jsonl tl.jsonl   # per-interval rate series for every resource
+//	gfssim -exp production -http :8080 -http-hold 30s
+//	                                  # live Prometheus /metrics + /timeline JSON while running
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -30,6 +34,7 @@ import (
 	"gfs/internal/experiments"
 	"gfs/internal/metrics"
 	"gfs/internal/sim"
+	"gfs/internal/timeline"
 	"gfs/internal/units"
 )
 
@@ -61,6 +66,11 @@ func main() {
 		traceSample = flag.Uint64("trace-sample", 0, "keep one traced operation in N (deterministic hash of the op ID; 0/1 keeps all)")
 		traceRing   = flag.Int("trace-ring", 0, "retain only the last N trace events (ring buffer)")
 		attrAgg     = flag.Bool("attr-agg", false, "critical-path attribution computed incrementally with zero event retention")
+		tlJSONL     = flag.String("timeline-jsonl", "", "stream per-interval resource rate series (timeline windows) to this JSONL file")
+		tlInterval  = flag.Duration("timeline-interval", time.Second, "timeline sampling interval in simulated time")
+		tlRing      = flag.Int("timeline-ring", 0, "retain only the last N timeline windows per series (bounded memory; enables the timeline plane)")
+		httpAddr    = flag.String("http", "", "serve live timeline telemetry on this address: Prometheus text on /metrics, JSON history on /timeline")
+		httpHold    = flag.Duration("http-hold", 0, "keep the -http exporter serving this long (wall time) after the runs finish")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator process to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile (post-run, after GC) to this file")
 	)
@@ -187,9 +197,11 @@ func main() {
 
 	needTrace := *traceOut != "" || *jsonlOut != "" || *attr || *attrAgg ||
 		*jsonlStream != "" || *traceSample > 1 || *traceRing > 0
+	needTimeline := *tlJSONL != "" || *httpAddr != "" || *tlRing > 0
 	var obs *experiments.Obs
-	var streamFile *os.File
-	if needTrace || *stats || *interval > 0 || *engineStats {
+	var streamFile, tlFile *os.File
+	var exporter *timeline.Exporter
+	if needTrace || needTimeline || *stats || *interval > 0 || *engineStats {
 		cfg := experiments.ObsConfig{
 			Trace:       needTrace,
 			Stats:       *stats || *interval > 0,
@@ -213,6 +225,30 @@ func main() {
 			}
 			streamFile = f
 			cfg.Stream = f
+		}
+		if needTimeline {
+			cfg.Timeline = true
+			cfg.TimelineInterval = sim.Time((*tlInterval) / time.Nanosecond)
+			cfg.TimelineRing = *tlRing
+			if *tlJSONL != "" {
+				f, err := os.Create(*tlJSONL)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "gfssim: -timeline-jsonl:", err)
+					os.Exit(1)
+				}
+				tlFile = f
+				cfg.TimelineStream = f
+			}
+			if *httpAddr != "" {
+				exporter = timeline.NewExporter()
+				cfg.TimelineExport = exporter
+				go func() {
+					if err := http.ListenAndServe(*httpAddr, exporter.Handler()); err != nil {
+						fmt.Fprintln(os.Stderr, "gfssim: -http:", err)
+					}
+				}()
+				fmt.Fprintf(os.Stderr, "timeline: serving /metrics and /timeline on %s\n", *httpAddr)
+			}
 		}
 		obs = experiments.SetObservability(&cfg)
 		defer experiments.SetObservability(nil)
@@ -295,6 +331,31 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "trace: streamed JSONL events to %s\n", *jsonlStream)
 		}
+		if tls := obs.Timelines(); len(tls) > 0 {
+			windows, series := 0, 0
+			for _, tl := range tls {
+				windows += tl.Ticks()
+				series += len(tl.Names())
+			}
+			fmt.Printf("timeline: %d windows, %d series across %d sims (interval %s)\n",
+				windows, series, len(tls), *tlInterval)
+		}
+		if err := obs.FlushTimeline(); err != nil {
+			fmt.Fprintf(os.Stderr, "gfssim: -timeline-jsonl: %v\n", err)
+			os.Exit(1)
+		}
+		if tlFile != nil {
+			if err := tlFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "gfssim: -timeline-jsonl: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "timeline: streamed windows to %s\n", *tlJSONL)
+		}
+	}
+
+	if exporter != nil && *httpHold > 0 {
+		fmt.Fprintf(os.Stderr, "timeline: holding %s on %s (final window stays served)\n", *httpHold, *httpAddr)
+		time.Sleep(*httpHold)
 	}
 
 	if *memProfile != "" {

@@ -3,8 +3,14 @@
 // interval, the way GPFS administrators watched fs_io_s counters tick
 // during the SC demonstrations.
 //
+// Each snapshot carries the cumulative fs_io_s counters plus "mmpmon
+// rate" lines — the per-interval rates over the window that just closed
+// (per-NSD MB/s, link saturation, client op rates), so a watched feed
+// shows load moving instead of counters growing.
+//
 //	mmpmon -exp sc04                # snapshot every simulated second
 //	mmpmon -exp production -i 10s   # every 10 simulated seconds
+//	mmpmon -exp failover            # watch the Fig. 5 dip in the rate lines
 package main
 
 import (
@@ -43,12 +49,19 @@ func main() {
 	}
 
 	// Trace is on so snapshots can include the op_lat section (per-op
-	// latency quantiles with critical-path phase attribution).
+	// latency quantiles with critical-path phase attribution). Timeline
+	// ticks at the same interval so each snapshot carries "mmpmon rate"
+	// lines — the load over the window just ended, not merely the
+	// monotone cumulative counters; the ring keeps memory bounded however
+	// long the run.
 	obs := experiments.SetObservability(&experiments.ObsConfig{
-		Trace:    true,
-		Stats:    true,
-		Interval: sim.Time((*interval) / time.Nanosecond),
-		Out:      os.Stdout,
+		Trace:            true,
+		Stats:            true,
+		Interval:         sim.Time((*interval) / time.Nanosecond),
+		Out:              os.Stdout,
+		Timeline:         true,
+		TimelineInterval: sim.Time((*interval) / time.Nanosecond),
+		TimelineRing:     128,
 	})
 	defer experiments.SetObservability(nil)
 

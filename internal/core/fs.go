@@ -81,7 +81,8 @@ type FileSystem struct {
 	elevator    bool
 
 	// Stats
-	metaOps uint64
+	metaOps      uint64
+	tokenWaiting int // acquire requests blocked on in-flight revokes
 }
 
 // DefaultTokenLease is how long the manager waits for a revocation ack
@@ -211,6 +212,10 @@ func (fs *FileSystem) stripeGroup() int {
 
 // NSDs returns the NSD count.
 func (fs *FileSystem) NSDs() int { return len(fs.nsds) }
+
+// NSDList returns the filesystem's NSDs in creation order (the order
+// striping rotates over them).
+func (fs *FileSystem) NSDList() []*NSD { return fs.nsds }
 
 // Servers returns the NSD servers.
 func (fs *FileSystem) Servers() []*NSDServer { return fs.servers }

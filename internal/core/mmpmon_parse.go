@@ -23,6 +23,9 @@ type MmpmonSnapshot struct {
 	Engine      *MmpmonEngine
 	EngineKinds []MmpmonEngineKind
 	Hists       []MmpmonHist
+	// Rates holds the per-interval timeline lines (WriteMmpmonRates) —
+	// windowed rates between snapshots, absent from pre-timeline writers.
+	Rates []MmpmonRate
 	// Warnings records lines the parser skipped because it did not
 	// recognize them — output from a newer writer. Forward compatibility:
 	// an old scraper keeps every counter it knows instead of failing on
@@ -91,6 +94,13 @@ type MmpmonHist struct {
 	N                              int64
 	Mean, P50, P95, P99, P999, Max float64
 	HasP999                        bool
+}
+
+// MmpmonRate is one "mmpmon rate" per-interval timeline line.
+type MmpmonRate struct {
+	Name  string
+	Unit  string
+	Value float64
 }
 
 // ParseMmpmon parses a WriteMmpmon rendering. It is strict about the
@@ -222,6 +232,23 @@ func ParseMmpmon(r io.Reader) (*MmpmonSnapshot, error) {
 				return fail(err.Error())
 			}
 			snap.Engine = eng
+		case strings.HasPrefix(line, "mmpmon rate "):
+			// Warn-don't-fail: rate lines are advisory telemetry, and a
+			// future writer may extend the format. Dropping one window's
+			// rate is recoverable in a way dropping an fs_io_s counter
+			// is not.
+			fields := strings.Fields(line)
+			if len(fields) != 5 {
+				warn("bad rate line")
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[4], 64)
+			if err != nil {
+				warn("bad rate value")
+				continue
+			}
+			snap.Rates = append(snap.Rates, MmpmonRate{
+				Name: fields[2], Unit: fields[3], Value: v})
 		case strings.HasPrefix(line, "mmpmon hist "):
 			fields := strings.Fields(line)
 			if len(fields) < 4 {

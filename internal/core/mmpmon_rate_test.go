@@ -1,0 +1,69 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gfs/internal/timeline"
+)
+
+// TestMmpmonRateRoundTrip checks that the "mmpmon rate" lines a
+// timeline window renders are recovered exactly by ParseMmpmon — the
+// scraper contract the rate plane adds to the snapshot format.
+func TestMmpmonRateRoundTrip(t *testing.T) {
+	snap := timeline.Snapshot{
+		T:     2,
+		Names: []string{"link.wan.MBps", "nsd.srv0.read_MBps", "token.fs.waiting"},
+		Values: map[string]float64{
+			"link.wan.MBps":      1157.70464,
+			"nsd.srv0.read_MBps": 0.5,
+			"token.fs.waiting":   3,
+		},
+		Units: map[string]string{
+			"link.wan.MBps":      "MB/s",
+			"nsd.srv0.read_MBps": "MB/s",
+			// token.fs.waiting has no unit: rendered as "-"
+		},
+	}
+	var buf bytes.Buffer
+	WriteMmpmonRates(&buf, snap)
+
+	parsed, err := ParseMmpmon(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Warnings) != 0 {
+		t.Fatalf("rate lines produced warnings: %v", parsed.Warnings)
+	}
+	if len(parsed.Rates) != 3 {
+		t.Fatalf("got %d rates, want 3: %+v", len(parsed.Rates), parsed.Rates)
+	}
+	for i, want := range []MmpmonRate{
+		{Name: "link.wan.MBps", Unit: "MB/s", Value: 1157.70464},
+		{Name: "nsd.srv0.read_MBps", Unit: "MB/s", Value: 0.5},
+		{Name: "token.fs.waiting", Unit: "-", Value: 3},
+	} {
+		if parsed.Rates[i] != want {
+			t.Errorf("rate %d = %+v, want %+v", i, parsed.Rates[i], want)
+		}
+	}
+}
+
+// TestMmpmonRateForwardCompat checks that a malformed or future rate
+// line degrades to a warning instead of a parse failure.
+func TestMmpmonRateForwardCompat(t *testing.T) {
+	in := "mmpmon rate only.three.fields\n" +
+		"mmpmon rate x MB/s notanumber\n" +
+		"mmpmon rate good MB/s 1.5\n"
+	parsed, err := ParseMmpmon(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Rates) != 1 || parsed.Rates[0].Name != "good" {
+		t.Fatalf("rates %+v, want only the well-formed line", parsed.Rates)
+	}
+	if len(parsed.Warnings) != 2 {
+		t.Fatalf("warnings %v, want 2 (bad field count, bad value)", parsed.Warnings)
+	}
+}

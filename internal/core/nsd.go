@@ -30,6 +30,12 @@ type BlockStore interface {
 // advertised width so they hit the RAID full-stripe write path.
 type stripeWidther interface{ StripeWidth() units.Bytes }
 
+// BusyTimer is implemented by stores that account cumulative service
+// time normalized to their parallelism: a BusyTime delta over a
+// virtual-time window is the store's utilization in [0,1] for that
+// window. The timeline plane probes for it per NSD.
+type BusyTimer interface{ BusyTime() sim.Time }
+
 // RAIDStore is a direct-attached RAID set (no fabric hop).
 type RAIDStore struct{ Set *raid.Set }
 
@@ -49,6 +55,9 @@ func (s RAIDStore) Capacity() units.Bytes { return s.Set.Capacity() }
 // StripeWidth implements stripeWidther.
 func (s RAIDStore) StripeWidth() units.Bytes { return s.Set.StripeWidth() }
 
+// BusyTime implements BusyTimer: mean member-spindle busy time.
+func (s RAIDStore) BusyTime() sim.Time { return s.Set.BusyTime() }
+
 // DiskStore is a single direct-attached drive.
 type DiskStore struct{ Disk *disk.Disk }
 
@@ -60,6 +69,9 @@ func (s DiskStore) IO(p *sim.Proc, op disk.Op, off, size units.Bytes) error {
 
 // Capacity implements BlockStore.
 func (s DiskStore) Capacity() units.Bytes { return s.Disk.Params().Capacity }
+
+// BusyTime implements BusyTimer.
+func (s DiskStore) BusyTime() sim.Time { return s.Disk.BusyTime() }
 
 // SANStore is a LUN on a dual-controller array reached across the FC
 // fabric; the bytes cross HBA and controller links.
@@ -83,14 +95,20 @@ func (s SANStore) Capacity() units.Bytes { return s.Array.Sets[s.LUN].Capacity()
 // StripeWidth implements stripeWidther.
 func (s SANStore) StripeWidth() units.Bytes { return s.Array.Sets[s.LUN].StripeWidth() }
 
+// BusyTime implements BusyTimer: mean spindle busy time of the LUN's
+// RAID set (fabric time excluded — links have their own series).
+func (s SANStore) BusyTime() sim.Time { return s.Array.Sets[s.LUN].BusyTime() }
+
 // RateStore is an idealized store with a fixed service rate and no seeks —
 // useful for experiments where the paper's bottleneck was strictly the
 // network (the SC'03 demonstration).
 type RateStore struct {
-	sim  *sim.Sim
-	res  *sim.Resource
-	rate units.BytesPerSec
-	cap  units.Bytes
+	sim     *sim.Sim
+	res     *sim.Resource
+	rate    units.BytesPerSec
+	cap     units.Bytes
+	streams int
+	busy    sim.Time // total stream-service time across all streams
 }
 
 // NewRateStore builds a rate-limited store with the given parallelism.
@@ -98,19 +116,26 @@ func NewRateStore(s *sim.Sim, name string, rate units.BytesPerSec, capacity unit
 	if streams < 1 {
 		streams = 1
 	}
-	return &RateStore{sim: s, res: sim.NewResource(s, name, streams), rate: rate, cap: capacity}
+	return &RateStore{sim: s, res: sim.NewResource(s, name, streams), rate: rate, cap: capacity, streams: streams}
 }
 
 // IO implements BlockStore.
 func (s *RateStore) IO(p *sim.Proc, op disk.Op, off, size units.Bytes) error {
 	s.res.Acquire(p, 1)
-	p.Sleep(sim.FromSeconds(float64(size) / float64(s.rate)))
+	d := sim.FromSeconds(float64(size) / float64(s.rate))
+	p.Sleep(d)
+	s.busy += d
 	s.res.Release(1)
 	return nil
 }
 
 // Capacity implements BlockStore.
 func (s *RateStore) Capacity() units.Bytes { return s.cap }
+
+// BusyTime implements BusyTimer: aggregate service time divided by the
+// stream count, so a delta over a window is utilization of the store's
+// full parallel capacity.
+func (s *RateStore) BusyTime() sim.Time { return s.busy / sim.Time(s.streams) }
 
 // NSD is one Network Shared Disk: a block store plus the servers that
 // export it (a primary and an optional backup, as GPFS NSDs carry) and
@@ -130,6 +155,15 @@ type NSD struct {
 
 // Blocks returns the number of block slots on the NSD.
 func (n *NSD) Blocks() int64 { return n.alloc.Total() }
+
+// QueueDepth returns the requests waiting in the NSD's elevator queue
+// (zero when elevator scheduling is off or the queue is drained).
+func (n *NSD) QueueDepth() int {
+	if n.elev == nil {
+		return 0
+	}
+	return len(n.elev.q)
+}
 
 // FreeBlocks returns unallocated slots.
 func (n *NSD) FreeBlocks() int64 { return n.alloc.Free() }

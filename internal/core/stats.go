@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 
 	"gfs/internal/metrics"
 	"gfs/internal/sim"
+	"gfs/internal/timeline"
 	"gfs/internal/units"
 )
 
@@ -208,6 +210,26 @@ func WriteMmpmonEngine(w io.Writer, es sim.EngineSnapshot) {
 	for _, k := range es.Kinds {
 		fmt.Fprintf(w, "mmpmon engine_kind %s count %d est_wall_ns %d\n",
 			k.Name, k.Count, k.EstWallNs)
+	}
+}
+
+// WriteMmpmonRates renders one timeline window as mmpmon lines — the
+// per-interval rates between snapshots that turn a watched mmpmon feed
+// from monotone cumulative counters into visible load. One line per
+// series, sorted by name, shortest-round-trip float formatting:
+//
+//	mmpmon rate nsd.prod-srv0.read_MBps MB/s 117.19
+//
+// Older ParseMmpmon scrapers predate this line type and skip it into
+// Warnings; the current parser recovers it into MmpmonSnapshot.Rates.
+func WriteMmpmonRates(w io.Writer, snap timeline.Snapshot) {
+	for _, name := range snap.Names {
+		unit := snap.Units[name]
+		if unit == "" {
+			unit = "-"
+		}
+		fmt.Fprintf(w, "mmpmon rate %s %s %s\n", name, unit,
+			strconv.FormatFloat(snap.Values[name], 'g', -1, 64))
 	}
 }
 

@@ -351,7 +351,9 @@ func (fs *FileSystem) serveToken(p *sim.Proc, req *netsim.Request) netsim.Respon
 						wg.Done()
 					})
 			}
+			fs.tokenWaiting++
 			wg.Wait(p)
+			fs.tokenWaiting--
 		}
 		gStart, gEnd := dStart, dEnd
 		if op.Wide && !t.contended[op.Inode] {
@@ -377,3 +379,8 @@ func (fs *FileSystem) serveToken(p *sim.Proc, req *netsim.Request) netsim.Respon
 func (fs *FileSystem) TokenStats() (uint64, uint64) {
 	return fs.tokens.Grants(), fs.tokens.Revokes()
 }
+
+// TokenWaiters returns how many acquire requests are currently blocked
+// waiting for conflicting holders to ack revokes — the manager's
+// wait-queue depth, sampled by the timeline plane.
+func (fs *FileSystem) TokenWaiters() int { return fs.tokenWaiting }

@@ -8,6 +8,7 @@ import (
 	"gfs/internal/metrics"
 	"gfs/internal/netsim"
 	"gfs/internal/sim"
+	"gfs/internal/timeline"
 	"gfs/internal/units"
 )
 
@@ -71,6 +72,18 @@ func RunFailover(cfg FailoverConfig) *Result {
 	wanFwd, _ := nw.DuplexLink("wan", prod.Switch, edgeSW, cfg.WANRate, cfg.WANDelay)
 	mon := metrics.NewRateMonitor(s, "wan", cfg.Interval)
 	wanFwd.Monitor = mon
+
+	// A local timeline tracks each NSD server's serve rate so the result
+	// can report how unevenly the survivors carried the load while one
+	// server was down (the per-window CoV across servers).
+	tl := timeline.New(s, cfg.Interval)
+	tl.Label = "failover"
+	tl.AddSource(func(tk *timeline.Tick) {
+		for _, srv := range prod.FS.Servers() {
+			out, in := srv.BytesServed()
+			tk.Rate("nsd."+srv.Name+".MBps", "MB/s", float64(out+in)/1e6)
+		}
+	})
 
 	// Readers retry long enough to ride out the whole outage: there are
 	// no backup servers here, so recovery is pure re-probe of the primary.
@@ -151,48 +164,48 @@ func RunFailover(cfg FailoverConfig) *Result {
 	crash := cfg.CrashAt.Seconds()
 	restart := (cfg.CrashAt + cfg.Outage).Seconds()
 	ser := &metrics.Series{Name: "WAN bandwidth", XLabel: "time (s)", YLabel: "Gb/s"}
-	var preSum, postSum float64
-	var preN, postN int
-	dip := -1.0
+	var pts []timeline.Point
 	for _, pt := range mon.SeriesGbps().Points {
 		x := pt.X - start.Seconds()
 		if x < 0 {
 			continue
 		}
 		ser.Add(x, pt.Y)
-		binEnd := x + cfg.Interval.Seconds()
-		switch {
-		case x >= 1 && binEnd <= crash:
-			preSum += pt.Y
-			preN++
-		case x >= crash && binEnd <= restart:
-			if dip < 0 || pt.Y < dip {
-				dip = pt.Y
-			}
-		case x >= restart+2 && binEnd <= cfg.Duration.Seconds():
-			postSum += pt.Y
-			postN++
-		}
+		pts = append(pts, timeline.Point{T: x, V: pt.Y})
 	}
 	res.Add(ser)
-	pre, post := 0.0, 0.0
-	if preN > 0 {
-		pre = preSum / float64(preN)
+
+	// The Fig. 5 quantities, computed instead of eyeballed: baseline from
+	// t=1 (skipping the ramp) to the crash, minimum and mean across the
+	// outage, recovery at the first post-restart window back to >= 90% of
+	// baseline.
+	rep := timeline.AnalyzeDip(pts, 1, crash, restart, cfg.Duration.Seconds(), 0.9)
+
+	// How unevenly the surviving servers carried the outage: CoV across
+	// per-server serve rates, window by window.
+	cov := timeline.CoVSeries(tl.Prefix("nsd."), "NSD load CoV")
+	covSer := &metrics.Series{Name: "NSD load CoV", XLabel: "time (s)", YLabel: "CoV"}
+	peakCoV := 0.0
+	for _, p := range cov.Points() {
+		x := p.T - start.Seconds()
+		if x < 0 {
+			continue
+		}
+		covSer.Add(x, p.V)
+		if x >= crash && x < restart && p.V > peakCoV {
+			peakCoV = p.V
+		}
 	}
-	if postN > 0 {
-		post = postSum / float64(postN)
-	}
-	if dip < 0 {
-		dip = 0
-	}
-	ratio := 0.0
-	if pre > 0 {
-		ratio = post / pre
-	}
-	res.Headline["pre-fault Gb/s"] = pre
-	res.Headline["dip Gb/s"] = dip
-	res.Headline["post-recovery Gb/s"] = post
-	res.Headline["recovery ratio"] = ratio
+	res.Add(covSer)
+
+	res.Headline["pre-fault Gb/s"] = rep.Baseline
+	res.Headline["dip Gb/s"] = rep.Dip
+	res.Headline["dip depth %"] = rep.DipDepthPct()
+	res.Headline["outage Gb/s"] = rep.OutageMean
+	res.Headline["post-recovery Gb/s"] = rep.Recovered
+	res.Headline["recovery ratio"] = rep.Ratio
+	res.Headline["time to recover s"] = rep.TimeToRecover
+	res.Headline["peak NSD CoV (outage)"] = peakCoV
 	res.Headline["read errors"] = float64(readErrs)
 	res.Note(fmt.Sprintf("NSD server crash at t=%vs, restart at t=%vs; recovery is automatic (retry + re-probe)",
 		cfg.CrashAt.Seconds(), restart))

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"bufio"
+	"fmt"
 	"io"
 
 	"gfs/internal/core"
@@ -8,6 +10,7 @@ import (
 	"gfs/internal/metrics"
 	"gfs/internal/netsim"
 	"gfs/internal/sim"
+	"gfs/internal/timeline"
 	"gfs/internal/trace"
 )
 
@@ -48,6 +51,27 @@ type ObsConfig struct {
 	// recorded. Without Stream or Ring the tracer is put in discard mode:
 	// attribution with zero event retention.
 	Agg bool
+
+	// Timeline attaches a timeline.Collector to every simulator: per-
+	// interval rates for every resource (NSD servers, links, clients,
+	// token managers, the engine itself), sampled at TimelineInterval
+	// (default one simulated second). With Stats snapshots on, each
+	// snapshot additionally carries "mmpmon rate" lines from the latest
+	// window.
+	Timeline         bool
+	TimelineInterval sim.Time
+	// TimelineRing bounds every series to its last n windows, making
+	// timeline memory independent of run length (0 = unbounded).
+	TimelineRing int
+	// TimelineStream writes one JSONL line per tick per simulator to
+	// this writer, retaining nothing beyond the ring. Runs in a sweep
+	// append in execution order; lines are byte-deterministic.
+	TimelineStream io.Writer
+	// TimelineExport publishes every window to an HTTP exporter.
+	TimelineExport *timeline.Exporter
+	// TimelineOnTick is invoked after each window closes — the live
+	// terminal dashboard hook (cmd/gfstop).
+	TimelineOnTick func(*timeline.Collector, timeline.Snapshot)
 }
 
 // Obs is the live state of one observed run: the shared tracer and
@@ -68,6 +92,13 @@ type Obs struct {
 	probes      []*sim.EngineProbe
 	engineSnaps []sim.EngineSnapshot
 	snapped     map[*sim.EngineProbe]bool
+
+	// Timeline collectors: one per simulator, in creation order, plus a
+	// shared buffered stream writer when cfg.TimelineStream is set (one
+	// buffer across collectors keeps a sweep's lines in tick order).
+	tls      []*timeline.Collector
+	tlBySim  map[*sim.Sim]*timeline.Collector
+	tlStream *bufio.Writer
 }
 
 // obs is the installed hook; nil means observability is off and every
@@ -82,7 +113,11 @@ func SetObservability(cfg *ObsConfig) *Obs {
 		obs = nil
 		return nil
 	}
-	o := &Obs{cfg: *cfg, snapped: map[*sim.EngineProbe]bool{}}
+	o := &Obs{cfg: *cfg, snapped: map[*sim.EngineProbe]bool{},
+		tlBySim: map[*sim.Sim]*timeline.Collector{}}
+	if cfg.TimelineStream != nil {
+		o.tlStream = bufio.NewWriterSize(cfg.TimelineStream, 1<<16)
+	}
 	if cfg.Trace {
 		o.Tracer = trace.New()
 		if cfg.SampleOneIn > 1 {
@@ -146,19 +181,140 @@ func (o *Obs) attachSim(s *sim.Sim) {
 		s.SetEngineProbe(p)
 		o.probes = append(o.probes, p)
 	}
+	// The timeline collector attaches before the snapshot tick so that
+	// when both intervals coincide the window closes first and the
+	// snapshot's "mmpmon rate" lines show the window just ended.
+	if o.cfg.Timeline {
+		o.attachTimeline(s)
+	}
 	if o.cfg.Stats && o.cfg.Interval > 0 && o.cfg.Out != nil {
 		var tick func()
 		tick = func() {
 			o.snapshotSim(o.cfg.Out, s)
-			// Only reschedule while other work is pending, so the tick
-			// never keeps Run from draining.
-			if s.Pending() > 0 {
-				s.At(s.Now()+o.cfg.Interval, tick)
-			}
+			// Daemon ticks never keep Run from draining.
+			s.AtDaemon(s.Now()+o.cfg.Interval, tick)
 		}
-		s.At(o.cfg.Interval, tick)
+		s.AtDaemon(o.cfg.Interval, tick)
 	}
 }
+
+// attachTimeline builds one collector for s and wires the whole-stack
+// source: engine event rate, per-link bytes and saturation, per-NSD
+// server MB/s and queue depth, per-NSD store utilization, per-client op
+// and cache-hit rates, and token-manager grant/revoke/wait-queue depth.
+// The source enumerates the observed clusters at every tick, so objects
+// created mid-run join the timeline the window they appear.
+func (o *Obs) attachTimeline(s *sim.Sim) *timeline.Collector {
+	iv := o.cfg.TimelineInterval
+	if iv <= 0 {
+		iv = sim.Second
+	}
+	tl := timeline.New(s, iv)
+	tl.Label = fmt.Sprintf("sim%d", len(o.sims)-1)
+	if o.cfg.TimelineRing > 0 {
+		tl.SetRing(o.cfg.TimelineRing)
+	}
+	if o.tlStream != nil {
+		tl.SetStream(o.tlStream)
+	}
+	tl.AddSource(func(tk *timeline.Tick) { o.sampleSim(s, tk) })
+	if o.cfg.TimelineExport != nil {
+		o.cfg.TimelineExport.Attach(tl)
+	}
+	if o.cfg.TimelineOnTick != nil {
+		tl.OnTick(o.cfg.TimelineOnTick)
+	}
+	o.tls = append(o.tls, tl)
+	o.tlBySim[s] = tl
+	return tl
+}
+
+// sampleSim emits one window's worth of whole-stack instruments for the
+// clusters living on s. Enumeration order is deterministic: clusters in
+// registration order, filesystems and clients sorted by name, servers,
+// NSDs and links in creation order — and the collector re-sorts series
+// by name anyway before recording.
+func (o *Obs) sampleSim(s *sim.Sim, tk *timeline.Tick) {
+	tk.Rate("engine.events_per_s", "ev/s", float64(s.EventsFired()))
+	seenNet := map[*netsim.Network]bool{}
+	for _, c := range o.clusters {
+		if c.Sim != s {
+			continue
+		}
+		if c.Net != nil && !seenNet[c.Net] {
+			seenNet[c.Net] = true
+			for _, l := range c.Net.Links() {
+				mbps := tk.Rate("link."+l.Name()+".MBps", "MB/s",
+					float64(l.BytesDelivered())/1e6)
+				if capMBps := float64(l.Capacity()) / 8 / 1e6; capMBps > 0 {
+					tk.Gauge("link."+l.Name()+".util", "frac", mbps/capMBps)
+				}
+			}
+		}
+		for _, fs := range c.Filesystems() {
+			grants, revokes := fs.TokenStats()
+			tk.Rate("token."+fs.Name+".grants_per_s", "ops/s", float64(grants))
+			tk.Rate("token."+fs.Name+".revokes_per_s", "ops/s", float64(revokes))
+			tk.Gauge("token."+fs.Name+".waiting", "reqs", float64(fs.TokenWaiters()))
+			tk.Rate("meta."+fs.Name+".ops_per_s", "ops/s", float64(fs.MetaOps()))
+			for _, srv := range fs.Servers() {
+				out, in := srv.BytesServed()
+				tk.Rate("nsd."+srv.Name+".read_MBps", "MB/s", float64(out)/1e6)
+				tk.Rate("nsd."+srv.Name+".write_MBps", "MB/s", float64(in)/1e6)
+				tk.Gauge("nsd."+srv.Name+".inflight", "rpcs", float64(srv.EP.InFlight()))
+			}
+			for _, n := range fs.NSDList() {
+				// Cumulative busy time differenced per window is
+				// utilization — the delta-to-rate machinery applies as-is.
+				if bt, ok := n.Store.(core.BusyTimer); ok {
+					tk.Rate("nsdstore."+n.Name+".util", "frac", bt.BusyTime().Seconds())
+				}
+				if n.QueueDepth() > 0 || tk.Seen("nsdstore."+n.Name+".qdepth") {
+					tk.Gauge("nsdstore."+n.Name+".qdepth", "reqs", float64(n.QueueDepth()))
+				}
+			}
+		}
+		for _, cl := range c.Clients() {
+			var st core.MountStats
+			for _, m := range cl.Mounts() {
+				ms := m.Stats()
+				st.Reads += ms.Reads
+				st.Writes += ms.Writes
+				st.CacheHits += ms.CacheHits
+				st.CacheMisses += ms.CacheMisses
+			}
+			tk.Rate("client."+cl.ID()+".ops_per_s", "ops/s", float64(st.Reads+st.Writes))
+			tk.Ratio("client."+cl.ID()+".hit_rate", "frac",
+				float64(st.CacheHits), float64(st.CacheHits+st.CacheMisses))
+		}
+	}
+}
+
+// Timelines returns every timeline collector created so far, one per
+// simulator, in creation order.
+func (o *Obs) Timelines() []*timeline.Collector { return o.tls }
+
+// TimelineFor returns the collector attached to s, or nil.
+func (o *Obs) TimelineFor(s *sim.Sim) *timeline.Collector { return o.tlBySim[s] }
+
+// FlushTimeline flushes the shared timeline stream and returns the
+// first error any collector hit while streaming.
+func (o *Obs) FlushTimeline() error {
+	for _, tl := range o.tls {
+		if err := tl.StreamErr(); err != nil {
+			return err
+		}
+	}
+	if o.tlStream != nil {
+		return o.tlStream.Flush()
+	}
+	return nil
+}
+
+// ObserveSim wires a simulator built outside newSim into the
+// observability plane (tracer, engine probe, timeline, snapshot tick) —
+// for benchmarks that construct sims and sites by hand.
+func (o *Obs) ObserveSim(s *sim.Sim) { o.attachSim(s) }
 
 // observeCluster registers a cluster for snapshot enumeration (called
 // from NewSite).
@@ -214,6 +370,9 @@ func (o *Obs) snapshotSim(w io.Writer, s *sim.Sim) {
 		}
 	}
 	core.WriteMmpmon(w, s, cs)
+	if tl := o.tlBySim[s]; tl != nil && tl.Ticks() > 0 {
+		core.WriteMmpmonRates(w, tl.Snapshot())
+	}
 	core.WriteMmpmonHists(w, o.Registry)
 	if o.Agg != nil {
 		o.Agg.Report().WriteOpLat(w)

@@ -264,6 +264,7 @@ func (c *Conn) deliverHead(now sim.Time) {
 	c.bytesSent += units.Bytes(head.size)
 	c.msgsSent++
 	for _, l := range c.path {
+		l.delivered += units.Bytes(head.size)
 		if l.Monitor != nil {
 			l.Monitor.RecordSpread(units.Bytes(head.size), head.started, now)
 		}

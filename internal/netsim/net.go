@@ -122,6 +122,8 @@ type Link struct {
 
 	Monitor *metrics.RateMonitor // optional; records delivered bytes
 
+	delivered units.Bytes // cumulative bytes delivered across this link
+
 	down bool // failed link: active conns crossing it stall at rate 0
 
 	// allocation scratch, valid during recompute
@@ -143,6 +145,11 @@ func (l *Link) Delay() sim.Time { return l.delay }
 
 // ActiveConns returns the number of active connections crossing the link.
 func (l *Link) ActiveConns() int { return len(l.flows) }
+
+// BytesDelivered returns the cumulative bytes of every message delivered
+// across this link — the counter the timeline plane differences into a
+// per-window link rate. Bytes are charged at message completion.
+func (l *Link) BytesDelivered() units.Bytes { return l.delivered }
 
 // Down reports whether the link is failed.
 func (l *Link) Down() bool { return l.down }

@@ -55,6 +55,17 @@ func (r *Set) Capacity() units.Bytes {
 	return per * units.Bytes(r.DataDisks())
 }
 
+// BusyTime returns the cumulative member-disk busy time averaged over
+// the members, so that a delta of BusyTime over a virtual-time window
+// is the set's mean spindle utilization in [0,1] for that window.
+func (r *Set) BusyTime() sim.Time {
+	var sum sim.Time
+	for _, d := range r.disks {
+		sum += d.BusyTime()
+	}
+	return sum / sim.Time(len(r.disks))
+}
+
 // Reads returns the number of Read calls served.
 func (r *Set) Reads() uint64 { return r.reads }
 

@@ -61,6 +61,7 @@ type Event struct {
 	sim      *Sim
 	index    int // heap index, -1 once popped or canceled
 	canceled bool
+	daemon   bool      // housekeeping: never keeps Run alive (see AtDaemon)
 	kind     EventKind // engine-telemetry label (see RegisterEventKind)
 }
 
@@ -81,6 +82,9 @@ func (e *Event) Cancel() {
 	e.canceled = true
 	if e.index >= 0 && e.sim != nil {
 		heap.Remove(&e.sim.pq, e.index)
+		if e.daemon {
+			e.sim.daemons--
+		}
 	}
 }
 
@@ -136,6 +140,12 @@ type Sim struct {
 	// each one through by hand.
 	resources []*Resource
 
+	// daemons counts queued daemon events (periodic samplers and other
+	// housekeeping). Run stops once only daemons remain, so two
+	// self-rescheduling ticks can never keep each other — and the run —
+	// alive forever.
+	daemons int
+
 	// Stats
 	fired uint64
 }
@@ -188,6 +198,24 @@ func (s *Sim) AtKind(k EventKind, t Time, fn func()) *Event {
 	return e
 }
 
+// AtDaemon schedules a daemon event: housekeeping (periodic samplers,
+// snapshot ticks) that fires like any event while real work is queued
+// but never keeps Run alive by itself. A daemon tick can therefore
+// reschedule itself unconditionally; when only daemons remain, Run
+// stops and leaves them unfired. Before daemons, every periodic tick
+// rescheduled "only while Pending() > 0" — a rule that deadlocks into a
+// livelock the moment two independent tickers each count the other as
+// pending work.
+func (s *Sim) AtDaemon(t Time, fn func()) *Event {
+	e := s.AtKind(KindOther, t, fn)
+	e.daemon = true
+	s.daemons++
+	return e
+}
+
+// Daemons returns the number of queued daemon events.
+func (s *Sim) Daemons() int { return s.daemons }
+
 // Schedule schedules fn to run after duration d (d may be zero; the event
 // then fires after all currently-running work at this instant).
 func (s *Sim) Schedule(d Time, fn func()) *Event {
@@ -207,6 +235,9 @@ func (s *Sim) ScheduleKind(k EventKind, d Time, fn func()) *Event {
 func (s *Sim) Step() bool {
 	for len(s.pq) > 0 {
 		e := heap.Pop(&s.pq).(*Event)
+		if e.daemon {
+			s.daemons--
+		}
 		if e.canceled {
 			continue
 		}
@@ -222,10 +253,25 @@ func (s *Sim) Step() bool {
 	return false
 }
 
-// Run executes events until the queue drains or Stop is called.
+// Run executes events until only daemon events (if any) remain in the
+// queue, or Stop is called. Daemons scheduled at the drain instant
+// still fire — a sampler tick coincident with the last real event
+// closes its final window — but time never advances for daemons alone.
 func (s *Sim) Run() {
 	s.stopped = false
-	for !s.stopped && s.Step() {
+	for !s.stopped {
+		if len(s.pq) > s.daemons {
+			if !s.Step() {
+				return
+			}
+			continue
+		}
+		if len(s.pq) == 0 || s.pq[0].when > s.now {
+			return
+		}
+		if !s.Step() {
+			return
+		}
 	}
 }
 

@@ -1,0 +1,104 @@
+package timeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Exporter publishes a collector's timeline over HTTP while a run is in
+// flight: Prometheus text on /metrics (latest window, one sample per
+// series) and the retained history as JSON on /timeline. The simulator
+// is single-threaded and HTTP handlers run on other goroutines, so the
+// exporter never touches live collector state: at each tick it copies
+// an immutable view under a mutex, and handlers read that copy.
+type Exporter struct {
+	mu     sync.Mutex
+	label  string
+	snap   Snapshot
+	series []exportSeries
+	ticks  int
+}
+
+type exportSeries struct {
+	Name string    `json:"name"`
+	Unit string    `json:"unit"`
+	T    []float64 `json:"t"`
+	V    []float64 `json:"v"`
+}
+
+// NewExporter returns an empty exporter; wire it to a collector with
+// Attach (or ObsConfig.TimelineExport).
+func NewExporter() *Exporter { return &Exporter{} }
+
+// Attach subscribes the exporter to a collector's ticks.
+func (e *Exporter) Attach(c *Collector) { c.OnTick(e.publish) }
+
+func (e *Exporter) publish(c *Collector, snap Snapshot) {
+	series := make([]exportSeries, 0, len(c.Names()))
+	for _, se := range c.Series() {
+		pts := se.Points()
+		es := exportSeries{
+			Name: se.Name, Unit: se.Unit,
+			T: make([]float64, len(pts)), V: make([]float64, len(pts)),
+		}
+		for i, p := range pts {
+			es.T[i], es.V[i] = p.T, p.V
+		}
+		series = append(series, es)
+	}
+	e.mu.Lock()
+	e.label, e.snap, e.series = c.Label, snap, series
+	e.ticks++
+	e.mu.Unlock()
+}
+
+// Handler returns the exporter's HTTP mux: /metrics and /timeline.
+func (e *Exporter) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", e.serveMetrics)
+	mux.HandleFunc("/timeline", e.serveTimeline)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "gfs timeline exporter: /metrics (Prometheus text), /timeline (JSON)")
+	})
+	return mux
+}
+
+// serveMetrics renders the latest window in the Prometheus text
+// exposition format: one gfs_timeline sample per series, labeled by
+// series name and unit, plus the window-end virtual time.
+func (e *Exporter) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	e.mu.Lock()
+	snap, label := e.snap, e.label
+	e.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintln(w, "# HELP gfs_timeline Latest per-interval timeline value for each series.")
+	fmt.Fprintln(w, "# TYPE gfs_timeline gauge")
+	names := append([]string(nil), snap.Names...)
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "gfs_timeline{run=%q,series=%q,unit=%q} %s\n",
+			label, n, snap.Units[n], strconv.FormatFloat(snap.Values[n], 'g', -1, 64))
+	}
+	fmt.Fprintln(w, "# HELP gfs_timeline_sim_seconds Virtual time of the latest closed window.")
+	fmt.Fprintln(w, "# TYPE gfs_timeline_sim_seconds gauge")
+	fmt.Fprintf(w, "gfs_timeline_sim_seconds %s\n", strconv.FormatFloat(snap.T, 'g', -1, 64))
+}
+
+// serveTimeline renders the retained history of every series as JSON.
+func (e *Exporter) serveTimeline(w http.ResponseWriter, r *http.Request) {
+	e.mu.Lock()
+	out := struct {
+		Run    string         `json:"run"`
+		T      float64        `json:"t"`
+		Series []exportSeries `json:"series"`
+	}{Run: e.label, T: e.snap.T, Series: e.series}
+	e.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(out)
+}

@@ -1,0 +1,101 @@
+package timeline
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Run is one collector's worth of series reconstructed from a JSONL
+// stream (a sweep concatenates several runs into one file).
+type Run struct {
+	Label     string
+	IntervalS float64
+	series    map[string]*Series
+	names     []string
+}
+
+// Names returns the run's series names, sorted.
+func (r *Run) Names() []string { return r.names }
+
+// Get returns the named series, or nil.
+func (r *Run) Get(name string) *Series { return r.series[name] }
+
+// Series returns every series sorted by name.
+func (r *Run) Series() []*Series {
+	out := make([]*Series, len(r.names))
+	for i, n := range r.names {
+		out[i] = r.series[n]
+	}
+	return out
+}
+
+// Dump is a parsed timeline JSONL file.
+type Dump struct {
+	Runs []*Run
+}
+
+// ReadJSONL parses the stream a Collector in stream mode writes: header
+// lines start a new run; {"t","v"} records add one window to the
+// current run's series. Records before any header land in an unlabeled
+// run, so hand-built streams without headers still parse.
+func ReadJSONL(r io.Reader) (*Dump, error) {
+	d := &Dump{}
+	var cur *Run
+	newRun := func(label string, interval float64) {
+		cur = &Run{Label: label, IntervalS: interval, series: map[string]*Series{}}
+		d.Runs = append(d.Runs, cur)
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec struct {
+			Timeline  *string            `json:"timeline"`
+			IntervalS float64            `json:"interval_s"`
+			T         *float64           `json:"t"`
+			V         map[string]float64 `json:"v"`
+		}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("timeline: line %d: %w", lineNo, err)
+		}
+		switch {
+		case rec.Timeline != nil:
+			newRun(*rec.Timeline, rec.IntervalS)
+		case rec.T != nil:
+			if cur == nil {
+				newRun("", 0)
+			}
+			names := make([]string, 0, len(rec.V))
+			for n := range rec.V {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				se, ok := cur.series[n]
+				if !ok {
+					se = &Series{Name: n}
+					cur.series[n] = se
+					cur.names = append(cur.names, n)
+				}
+				se.add(*rec.T, rec.V[n])
+			}
+		default:
+			return nil, fmt.Errorf("timeline: line %d: neither header nor record", lineNo)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("timeline: %w", err)
+	}
+	for _, run := range d.Runs {
+		sort.Strings(run.names)
+	}
+	return d, nil
+}
