@@ -19,8 +19,12 @@
 // hardware: it runs the production workload at 64/256/1024 nodes with an
 // engine probe attached and reports sim-events per wall second, wall
 // milliseconds per simulated second, allocations per event and the
-// event-queue high-water mark. `-json BENCH_6.json` is the artifact the
+// event-queue high-water mark. `-json BENCH_8.json` is the artifact the
 // CI events/sec floor checks against.
+//
+// The -scheduler/-engine-stats/-nodes/-size/-cpuprofile/-memprofile
+// flags are registered through experiments.Options, the flag surface
+// shared with gfssim.
 package main
 
 import (
@@ -28,9 +32,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
-	"strconv"
 	"strings"
 	"time"
 
@@ -46,47 +47,46 @@ import (
 
 func main() {
 	var (
-		sweep      = flag.String("sweep", "", "readahead | nodes | blocksize | stripe | sc03depth | writegather | simscale")
-		rttFlag    = flag.Duration("rtt", 80*time.Millisecond, "WAN round-trip time")
-		nodesCS    = flag.String("nodes", "", "node counts for -sweep nodes/simscale (default 1,2,4,8,16,32,48,64; simscale: 64,256,1024)")
-		sizeStr    = flag.String("size", "", "bytes moved per client (default 512MiB; simscale: 64MiB)")
-		jsonPath   = flag.String("json", "", "also write machine-readable results (rows + op rates + attribution) to this file")
-		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
-		memProfile = flag.String("memprofile", "", "write a pprof heap profile (post-sweep, after GC) to this file")
+		sweep    = flag.String("sweep", "", "readahead | nodes | blocksize | stripe | sc03depth | writegather | simscale")
+		rttFlag  = flag.Duration("rtt", 80*time.Millisecond, "WAN round-trip time")
+		jsonPath = flag.String("json", "", "also write machine-readable results (rows + op rates + attribution) to this file")
 	)
+	var opts experiments.Options
+	opts.RegisterEngine(flag.CommandLine)
+	opts.RegisterWorkload(flag.CommandLine)
+	opts.RegisterProfiles(flag.CommandLine)
 	flag.Parse()
+
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "gfsbench:", err)
+		os.Exit(2)
+	}
 
 	// Per-sweep defaults: the simscale sweep measures engine throughput,
 	// where 512 MiB/client at 1024 nodes would take minutes of wall clock
 	// for no extra information — 64 MiB per client is plenty of events.
-	if *sizeStr == "" {
-		*sizeStr = "512MiB"
+	if opts.Size == "" {
+		opts.Size = "512MiB"
 		if *sweep == "simscale" {
-			*sizeStr = "64MiB"
+			opts.Size = "64MiB"
 		}
 	}
-	size, err := units.ParseBytes(*sizeStr)
+	size, err := opts.SizeBytes()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gfsbench:", err)
+		fmt.Fprintln(os.Stderr, "gfsbench: -size:", err)
 		os.Exit(2)
 	}
 	rtt := sim.Time(rttFlag.Nanoseconds())
 
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "gfsbench: -cpuprofile:", err)
-			os.Exit(1)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "gfsbench: -cpuprofile:", err)
-			os.Exit(1)
-		}
-		defer pprof.StopCPUProfile()
+	stopProf, err := opts.StartCPUProfile()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gfsbench: -cpuprofile:", err)
+		os.Exit(1)
 	}
+	defer stopProf()
 
 	var obs *experiments.Obs
-	if *jsonPath != "" || *sweep == "simscale" {
+	if *jsonPath != "" || *sweep == "simscale" || opts.EngineStats {
 		// simscale needs engine probes but not a trace: retaining every
 		// event of a 1024-node run is exactly what this PR's bounded
 		// modes exist to avoid, and the sweep reports engine numbers only.
@@ -94,7 +94,7 @@ func main() {
 		// carries rate-vs-time series per row, not just the scalar rates.
 		obs = experiments.SetObservability(&experiments.ObsConfig{
 			Trace:            *jsonPath != "" && *sweep != "simscale",
-			Engine:           *sweep == "simscale",
+			Engine:           *sweep == "simscale" || opts.EngineStats,
 			Timeline:         *jsonPath != "" && *sweep != "simscale",
 			TimelineInterval: 250 * sim.Millisecond,
 		})
@@ -128,7 +128,7 @@ func main() {
 		}
 	case "nodes":
 		columns = []string{"nodes", "read_MBps", "write_MBps"}
-		for _, n := range nodeCounts(*nodesCS, []int{1, 2, 4, 8, 16, 32, 48, 64}) {
+		for _, n := range nodeCounts(&opts, []int{1, 2, 4, 8, 16, 32, 48, 64}) {
 			cfg := experiments.DefaultProductionConfig()
 			cfg.NodeCounts = []int{n}
 			cfg.SizePer = size
@@ -138,7 +138,7 @@ func main() {
 	case "simscale":
 		columns = []string{"nodes", "events", "sim_s", "wall_s",
 			"ev_per_wall_s", "wall_ms_per_sim_s", "allocs_per_ev", "peak_pending"}
-		for _, n := range nodeCounts(*nodesCS, []int{64, 256, 1024}) {
+		for _, n := range nodeCounts(&opts, []int{64, 256, 1024}) {
 			start := len(obs.EngineWindows())
 			cfg := experiments.DefaultProductionConfig()
 			cfg.NodeCounts = []int{n}
@@ -201,6 +201,13 @@ func main() {
 		fmt.Println(strings.Join(parts, ","))
 	}
 
+	if obs != nil && opts.EngineStats {
+		fmt.Println("-- engine telemetry --")
+		es := obs.EngineSnapshot()
+		es.WriteReport(os.Stdout)
+		fmt.Println()
+	}
+
 	if obs != nil && *jsonPath != "" {
 		var rep *critpath.Report
 		if obs.Tracer != nil {
@@ -213,36 +220,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gfsbench: wrote %s\n", *jsonPath)
 	}
 
-	if *memProfile != "" {
-		runtime.GC()
-		f, err := os.Create(*memProfile)
-		if err == nil {
-			err = pprof.WriteHeapProfile(f)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "gfsbench: -memprofile:", err)
-			os.Exit(1)
-		}
+	if err := opts.WriteMemProfile(); err != nil {
+		fmt.Fprintln(os.Stderr, "gfsbench: -memprofile:", err)
+		os.Exit(1)
 	}
 }
 
-// nodeCounts parses a comma-separated -nodes list, falling back to the
-// sweep's default when the flag was not given.
-func nodeCounts(csv string, def []int) []int {
-	if csv == "" {
-		return def
-	}
-	var out []int
-	for _, ns := range strings.Split(csv, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(ns))
-		if err != nil || n < 1 {
-			fmt.Fprintln(os.Stderr, "gfsbench: bad node count", ns)
-			os.Exit(2)
-		}
-		out = append(out, n)
+// nodeCounts parses the shared -nodes flag, falling back to the sweep's
+// default when it was not given.
+func nodeCounts(opts *experiments.Options, def []int) []int {
+	out, err := opts.NodeCounts(def)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gfsbench: -nodes:", err)
+		os.Exit(2)
 	}
 	return out
 }
@@ -314,7 +304,7 @@ func rowSeries(row int, tl *timeline.Collector) []benchSeries {
 // (struct field order is fixed; encoding/json sorts map keys). The bench
 // number tags the artifact series: 2 for the original sweeps, 4 for the
 // sc03 pipeline-depth sweep added with client prefetch/write-behind, 5
-// for the write-gathering ablation, 6 for the engine-throughput simscale
+// for the write-gathering ablation, 8 for the engine-throughput simscale
 // sweep (which carries no op attribution — it measures the simulator,
 // not the modeled filesystem, and rep is nil).
 func writeJSON(path, sweep string, columns []string, rows [][]float64, series []benchSeries, rep *critpath.Report) error {
@@ -325,7 +315,7 @@ func writeJSON(path, sweep string, columns []string, rows [][]float64, series []
 	case "writegather":
 		bench = 5
 	case "simscale":
-		bench = 6
+		bench = 8
 	}
 	out := benchOut{
 		Bench: bench, Sweep: sweep, Columns: columns, Rows: rows,
@@ -399,10 +389,7 @@ func ms(ns int64) float64 { return float64(ns/1000) / 1000 }
 // client gathering counters. BlockSize 1 MiB against a 2 MiB stripe
 // width means every ungathered writeback is a sub-stripe update.
 func writeGatherRow(gather bool, size units.Bytes) []float64 {
-	s := sim.New()
-	if o := experiments.Observability(); o != nil {
-		o.ObserveSim(s)
-	}
+	s := experiments.NewSim()
 	nw := netsim.New(s)
 	site := experiments.NewSite(s, nw, "wg")
 	// DS4100 enclosures trimmed to four LUNs behind 4 Gb/s loops: the
@@ -505,10 +492,7 @@ func streamRate(servers int, blockSize units.Bytes, rtt sim.Time, size units.Byt
 }
 
 func streamRateTuned(tune func(*core.ClientConfig), servers int, blockSize units.Bytes, rtt sim.Time, size units.Bytes) float64 {
-	s := sim.New()
-	if o := experiments.Observability(); o != nil {
-		o.ObserveSim(s)
-	}
+	s := experiments.NewSim()
 	nw := netsim.New(s)
 	site := experiments.NewSite(s, nw, "origin")
 	site.BuildFS(experiments.FSOptions{

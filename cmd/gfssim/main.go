@@ -12,12 +12,17 @@
 //	gfssim -exp sc03 -ra-depth 8      # WAN read pipeline depth 8 per client
 //	gfssim -exp production -gather -wide-tokens  # write-gathering fast path on
 //	gfssim -exp production -engine-stats         # profile the simulator itself
+//	gfssim -exp production -scheduler heap       # event queue: heap vs calendar
 //	gfssim -exp production -nodes 1024 -size 64MiB -jsonl-stream t.jsonl -trace-sample 64
 //	                                  # bounded-memory sampled trace at scale
 //	gfssim -exp production -attr-agg  # attribution with zero event retention
 //	gfssim -exp failover -timeline-jsonl tl.jsonl   # per-interval rate series for every resource
 //	gfssim -exp production -http :8080 -http-hold 30s
 //	                                  # live Prometheus /metrics + /timeline JSON while running
+//
+// The flag surface is shared with gfsbench through experiments.Options —
+// the Register* groups are the single source of truth for flag names,
+// defaults and help text, so the binaries cannot drift apart.
 package main
 
 import (
@@ -26,8 +31,6 @@ import (
 	"io"
 	"net/http"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"time"
 
 	"gfs/internal/critpath"
@@ -40,41 +43,23 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment name (see -list), or 'all'")
-		list     = flag.Bool("list", false, "list experiments")
-		csv      = flag.Bool("csv", false, "print series as CSV instead of ASCII charts")
-		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file (chrome://tracing, Perfetto)")
-		jsonlOut = flag.String("jsonl", "", "write raw trace events as JSON lines")
-		stats    = flag.Bool("stats", false, "print an mmpmon-style snapshot and the metrics registry after each run")
-		interval = flag.Duration("interval", 0, "also print live mmpmon snapshots every so much simulated time (e.g. 5s)")
-		attr     = flag.Bool("attr", false, "print a critical-path latency attribution report per experiment")
-		depth    = flag.Int("depth", 0, "sc02 only: override the SANergy pipeline depth (outstanding block requests)")
-		block    = flag.Int64("block", 0, "sc02 only: override the block size in bytes")
-		fileSize = flag.Int64("filesize", 0, "sc02 only: override the file size in bytes")
-		crashAt  = flag.Duration("crash", 0, "failover only: override when the NSD server dies (e.g. 6s)")
-		outage   = flag.Duration("outage", 0, "failover only: override how long the server stays dead")
-		duration = flag.Duration("duration", 0, "failover only: override the total reader run time")
-		raDepth  = flag.Int("ra-depth", 0, "sc03/failover: override the client readahead depth in blocks")
-		wbDirty  = flag.Int("wb-max-dirty", 0, "sc03/failover: override the client write-behind dirty-page limit")
-		gather   = flag.Bool("gather", false, "production only: stripe-aligned flush gathering, NSD batching and elevator")
-		wideTok  = flag.Bool("wide-tokens", false, "production only: opportunistic wide token grants")
-		nodes    = flag.Int("nodes", 0, "production only: run a single node count instead of the full sweep")
-		sizeStr  = flag.String("size", "", "production only: override bytes moved per client node (e.g. 64MiB)")
-
-		engineStats = flag.Bool("engine-stats", false, "print engine-plane telemetry (events/sec, queue depth, per-kind wall attribution)")
-		jsonlStream = flag.String("jsonl-stream", "", "stream trace events to this JSONL file as they happen (O(1) trace memory)")
-		traceSample = flag.Uint64("trace-sample", 0, "keep one traced operation in N (deterministic hash of the op ID; 0/1 keeps all)")
-		traceRing   = flag.Int("trace-ring", 0, "retain only the last N trace events (ring buffer)")
-		attrAgg     = flag.Bool("attr-agg", false, "critical-path attribution computed incrementally with zero event retention")
-		tlJSONL     = flag.String("timeline-jsonl", "", "stream per-interval resource rate series (timeline windows) to this JSONL file")
-		tlInterval  = flag.Duration("timeline-interval", time.Second, "timeline sampling interval in simulated time")
-		tlRing      = flag.Int("timeline-ring", 0, "retain only the last N timeline windows per series (bounded memory; enables the timeline plane)")
-		httpAddr    = flag.String("http", "", "serve live timeline telemetry on this address: Prometheus text on /metrics, JSON history on /timeline")
-		httpHold    = flag.Duration("http-hold", 0, "keep the -http exporter serving this long (wall time) after the runs finish")
-		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator process to this file")
-		memProfile  = flag.String("memprofile", "", "write a pprof heap profile (post-run, after GC) to this file")
+		exp  = flag.String("exp", "", "experiment name (see -list), or 'all'")
+		list = flag.Bool("list", false, "list experiments")
+		csv  = flag.Bool("csv", false, "print series as CSV instead of ASCII charts")
 	)
+	var opts experiments.Options
+	opts.RegisterEngine(flag.CommandLine)
+	opts.RegisterTrace(flag.CommandLine)
+	opts.RegisterTimeline(flag.CommandLine)
+	opts.RegisterWorkload(flag.CommandLine)
+	opts.RegisterTuning(flag.CommandLine)
+	opts.RegisterProfiles(flag.CommandLine)
 	flag.Parse()
+
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "gfssim:", err)
+		os.Exit(2)
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments (gfssim -exp <name>):")
@@ -99,126 +84,97 @@ func main() {
 		runners = []experiments.Runner{r}
 	}
 
-	if *depth > 0 || *block > 0 || *fileSize > 0 {
+	if opts.Depth > 0 || opts.Block > 0 || opts.FileSize > 0 {
 		if *exp != "sc02" {
 			fmt.Fprintln(os.Stderr, "gfssim: -depth/-block/-filesize only apply to -exp sc02")
 			os.Exit(2)
 		}
 		cfg := experiments.DefaultSC02Config()
-		if *depth > 0 {
-			cfg.Depth = *depth
+		if opts.Depth > 0 {
+			cfg.Depth = opts.Depth
 		}
-		if *block > 0 {
-			cfg.BlockSize = units.Bytes(*block)
+		if opts.Block > 0 {
+			cfg.BlockSize = units.Bytes(opts.Block)
 		}
-		if *fileSize > 0 {
-			cfg.FileSize = units.Bytes(*fileSize)
+		if opts.FileSize > 0 {
+			cfg.FileSize = units.Bytes(opts.FileSize)
 		}
 		runners[0].Run = func() *experiments.Result { return experiments.RunSC02(cfg) }
 	}
 
-	if *raDepth > 0 || *wbDirty > 0 {
+	if opts.RADepth > 0 || opts.WBDirty > 0 {
 		if *exp != "sc03" && *exp != "failover" {
 			fmt.Fprintln(os.Stderr, "gfssim: -ra-depth/-wb-max-dirty only apply to -exp sc03 or -exp failover")
 			os.Exit(2)
 		}
 		if *exp == "sc03" {
 			cfg := experiments.DefaultSC03Config()
-			cfg.ReadAhead = *raDepth
-			cfg.WriteBehind = *wbDirty
+			cfg.ReadAhead = opts.RADepth
+			cfg.WriteBehind = opts.WBDirty
 			runners[0].Run = func() *experiments.Result { return experiments.RunSC03(cfg) }
 		}
 	}
 
-	if *crashAt > 0 || *outage > 0 || *duration > 0 ||
-		(*exp == "failover" && (*raDepth > 0 || *wbDirty > 0)) {
+	if opts.CrashAt > 0 || opts.Outage > 0 || opts.Duration > 0 ||
+		(*exp == "failover" && (opts.RADepth > 0 || opts.WBDirty > 0)) {
 		if *exp != "failover" {
 			fmt.Fprintln(os.Stderr, "gfssim: -crash/-outage/-duration only apply to -exp failover")
 			os.Exit(2)
 		}
 		cfg := experiments.DefaultFailoverConfig()
-		if *crashAt > 0 {
-			cfg.CrashAt = sim.Time(*crashAt / time.Nanosecond)
+		if opts.CrashAt > 0 {
+			cfg.CrashAt = sim.Time(opts.CrashAt / time.Nanosecond)
 		}
-		if *outage > 0 {
-			cfg.Outage = sim.Time(*outage / time.Nanosecond)
+		if opts.Outage > 0 {
+			cfg.Outage = sim.Time(opts.Outage / time.Nanosecond)
 		}
-		if *duration > 0 {
-			cfg.Duration = sim.Time(*duration / time.Nanosecond)
+		if opts.Duration > 0 {
+			cfg.Duration = sim.Time(opts.Duration / time.Nanosecond)
 		}
-		cfg.ReadAhead = *raDepth
-		cfg.WriteBehind = *wbDirty
+		cfg.ReadAhead = opts.RADepth
+		cfg.WriteBehind = opts.WBDirty
 		runners[0].Run = func() *experiments.Result { return experiments.RunFailover(cfg) }
 	}
 
-	if *gather || *wideTok || *nodes > 0 || *sizeStr != "" {
+	if opts.Gather || opts.WideTok || opts.Nodes != "" || opts.Size != "" {
 		if *exp != "production" {
 			fmt.Fprintln(os.Stderr, "gfssim: -gather/-wide-tokens/-nodes/-size only apply to -exp production")
 			os.Exit(2)
 		}
 		cfg := experiments.DefaultProductionConfig()
-		cfg.Gather = *gather
-		cfg.WideTokens = *wideTok
-		if *nodes > 0 {
-			cfg.NodeCounts = []int{*nodes}
+		cfg.Gather = opts.Gather
+		cfg.WideTokens = opts.WideTok
+		counts, err := opts.NodeCounts(cfg.NodeCounts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gfssim: -nodes:", err)
+			os.Exit(2)
 		}
-		if *sizeStr != "" {
-			sz, err := units.ParseBytes(*sizeStr)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "gfssim: -size:", err)
-				os.Exit(2)
-			}
+		cfg.NodeCounts = counts
+		sz, err := opts.SizeBytes()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gfssim: -size:", err)
+			os.Exit(2)
+		}
+		if sz > 0 {
 			cfg.SizePer = sz
 		}
 		runners[0].Run = func() *experiments.Result { return experiments.RunProductionScaling(cfg) }
 	}
 
-	if *jsonlStream != "" && (*traceOut != "" || *jsonlOut != "" || *traceRing > 0) {
-		fmt.Fprintln(os.Stderr, "gfssim: -jsonl-stream retains nothing; it cannot combine with -trace/-jsonl/-trace-ring")
-		os.Exit(2)
+	stopProf, err := opts.StartCPUProfile()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gfssim: -cpuprofile:", err)
+		os.Exit(1)
 	}
-	if *attrAgg && *attr {
-		fmt.Fprintln(os.Stderr, "gfssim: pick one of -attr (batch, retains the trace) or -attr-agg (incremental, retains nothing)")
-		os.Exit(2)
-	}
+	defer stopProf()
 
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "gfssim: -cpuprofile:", err)
-			os.Exit(1)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "gfssim: -cpuprofile:", err)
-			os.Exit(1)
-		}
-		defer pprof.StopCPUProfile()
-	}
-
-	needTrace := *traceOut != "" || *jsonlOut != "" || *attr || *attrAgg ||
-		*jsonlStream != "" || *traceSample > 1 || *traceRing > 0
-	needTimeline := *tlJSONL != "" || *httpAddr != "" || *tlRing > 0
 	var obs *experiments.Obs
 	var streamFile, tlFile *os.File
 	var exporter *timeline.Exporter
-	if needTrace || needTimeline || *stats || *interval > 0 || *engineStats {
-		cfg := experiments.ObsConfig{
-			Trace:       needTrace,
-			Stats:       *stats || *interval > 0,
-			Interval:    sim.Time((*interval) / time.Nanosecond),
-			Out:         os.Stdout,
-			Engine:      *engineStats,
-			SampleOneIn: *traceSample,
-			Ring:        *traceRing,
-			Agg:         *attrAgg,
-		}
-		if *engineStats && needTrace {
-			// One deterministic engine/sample instant every 4096 events:
-			// enough timeline for gfsprof -engine, negligible trace volume.
-			cfg.EngineTraceEvery = 4096
-		}
-		if *jsonlStream != "" {
-			f, err := os.Create(*jsonlStream)
+	if opts.NeedObs() {
+		cfg := opts.ObsConfig(os.Stdout)
+		if opts.JSONLStream != "" {
+			f, err := os.Create(opts.JSONLStream)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "gfssim: -jsonl-stream:", err)
 				os.Exit(1)
@@ -226,12 +182,9 @@ func main() {
 			streamFile = f
 			cfg.Stream = f
 		}
-		if needTimeline {
-			cfg.Timeline = true
-			cfg.TimelineInterval = sim.Time((*tlInterval) / time.Nanosecond)
-			cfg.TimelineRing = *tlRing
-			if *tlJSONL != "" {
-				f, err := os.Create(*tlJSONL)
+		if cfg.Timeline {
+			if opts.TimelineJSONL != "" {
+				f, err := os.Create(opts.TimelineJSONL)
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "gfssim: -timeline-jsonl:", err)
 					os.Exit(1)
@@ -239,15 +192,15 @@ func main() {
 				tlFile = f
 				cfg.TimelineStream = f
 			}
-			if *httpAddr != "" {
+			if opts.HTTPAddr != "" {
 				exporter = timeline.NewExporter()
 				cfg.TimelineExport = exporter
 				go func() {
-					if err := http.ListenAndServe(*httpAddr, exporter.Handler()); err != nil {
+					if err := http.ListenAndServe(opts.HTTPAddr, exporter.Handler()); err != nil {
 						fmt.Fprintln(os.Stderr, "gfssim: -http:", err)
 					}
 				}()
-				fmt.Fprintf(os.Stderr, "timeline: serving /metrics and /timeline on %s\n", *httpAddr)
+				fmt.Fprintf(os.Stderr, "timeline: serving /metrics and /timeline on %s\n", opts.HTTPAddr)
 			}
 		}
 		obs = experiments.SetObservability(&cfg)
@@ -258,7 +211,7 @@ func main() {
 	// buffer dropped, keeping -exp all bounded. When a trace file is also
 	// requested the buffer must survive, so attribution runs once at the
 	// end over everything.
-	attrPerRun := *attr && *traceOut == "" && *jsonlOut == ""
+	attrPerRun := opts.Attr && opts.TraceOut == "" && opts.JSONLOut == ""
 
 	for _, r := range runners {
 		fmt.Printf("running %s (%s)...\n", r.Name, r.Paper)
@@ -284,41 +237,41 @@ func main() {
 	}
 
 	if obs != nil {
-		if *attr && !attrPerRun {
+		if opts.Attr && !attrPerRun {
 			fmt.Println("-- critical-path attribution --")
 			critpath.Analyze(obs.Tracer).WriteTable(os.Stdout)
 			fmt.Println()
 		}
-		if *attrAgg {
+		if opts.AttrAgg {
 			fmt.Println("-- critical-path attribution (incremental, zero retention) --")
 			obs.Agg.Report().WriteTable(os.Stdout)
 			fmt.Println()
 		}
-		if *stats {
+		if opts.Stats {
 			obs.Snapshot(os.Stdout)
 			fmt.Print(obs.Registry.Render())
 		}
-		if *engineStats {
+		if opts.EngineStats {
 			fmt.Println("-- engine telemetry --")
 			es := obs.EngineSnapshot()
 			es.WriteReport(os.Stdout)
 			fmt.Println()
 		}
 		if obs.Tracer != nil && !attrPerRun {
-			if *jsonlStream != "" || *attrAgg {
+			if opts.JSONLStream != "" || opts.AttrAgg {
 				fmt.Printf("trace: %d events emitted, %d retained\n",
 					obs.Tracer.TotalEmitted(), obs.Tracer.Len())
 			} else {
 				fmt.Printf("trace: %d events (%s)\n", obs.Tracer.Len(), obs.Tracer.Summary())
 			}
 		}
-		if *traceOut != "" {
-			writeFileWith(*traceOut, obs.Tracer.WriteChrome)
-			fmt.Fprintf(os.Stderr, "trace: wrote Chrome trace to %s\n", *traceOut)
+		if opts.TraceOut != "" {
+			writeFileWith(opts.TraceOut, obs.Tracer.WriteChrome)
+			fmt.Fprintf(os.Stderr, "trace: wrote Chrome trace to %s\n", opts.TraceOut)
 		}
-		if *jsonlOut != "" {
-			writeFileWith(*jsonlOut, obs.Tracer.WriteJSONL)
-			fmt.Fprintf(os.Stderr, "trace: wrote JSONL events to %s\n", *jsonlOut)
+		if opts.JSONLOut != "" {
+			writeFileWith(opts.JSONLOut, obs.Tracer.WriteJSONL)
+			fmt.Fprintf(os.Stderr, "trace: wrote JSONL events to %s\n", opts.JSONLOut)
 		}
 		if streamFile != nil {
 			err := obs.Tracer.FlushStream()
@@ -326,10 +279,10 @@ func main() {
 				err = cerr
 			}
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "gfssim: streaming %s: %v\n", *jsonlStream, err)
+				fmt.Fprintf(os.Stderr, "gfssim: streaming %s: %v\n", opts.JSONLStream, err)
 				os.Exit(1)
 			}
-			fmt.Fprintf(os.Stderr, "trace: streamed JSONL events to %s\n", *jsonlStream)
+			fmt.Fprintf(os.Stderr, "trace: streamed JSONL events to %s\n", opts.JSONLStream)
 		}
 		if tls := obs.Timelines(); len(tls) > 0 {
 			windows, series := 0, 0
@@ -338,7 +291,7 @@ func main() {
 				series += len(tl.Names())
 			}
 			fmt.Printf("timeline: %d windows, %d series across %d sims (interval %s)\n",
-				windows, series, len(tls), *tlInterval)
+				windows, series, len(tls), opts.TimelineInterval)
 		}
 		if err := obs.FlushTimeline(); err != nil {
 			fmt.Fprintf(os.Stderr, "gfssim: -timeline-jsonl: %v\n", err)
@@ -349,28 +302,18 @@ func main() {
 				fmt.Fprintf(os.Stderr, "gfssim: -timeline-jsonl: %v\n", err)
 				os.Exit(1)
 			}
-			fmt.Fprintf(os.Stderr, "timeline: streamed windows to %s\n", *tlJSONL)
+			fmt.Fprintf(os.Stderr, "timeline: streamed windows to %s\n", opts.TimelineJSONL)
 		}
 	}
 
-	if exporter != nil && *httpHold > 0 {
-		fmt.Fprintf(os.Stderr, "timeline: holding %s on %s (final window stays served)\n", *httpHold, *httpAddr)
-		time.Sleep(*httpHold)
+	if exporter != nil && opts.HTTPHold > 0 {
+		fmt.Fprintf(os.Stderr, "timeline: holding %s on %s (final window stays served)\n", opts.HTTPHold, opts.HTTPAddr)
+		time.Sleep(opts.HTTPHold)
 	}
 
-	if *memProfile != "" {
-		runtime.GC()
-		f, err := os.Create(*memProfile)
-		if err == nil {
-			err = pprof.WriteHeapProfile(f)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "gfssim: -memprofile:", err)
-			os.Exit(1)
-		}
+	if err := opts.WriteMemProfile(); err != nil {
+		fmt.Fprintln(os.Stderr, "gfssim: -memprofile:", err)
+		os.Exit(1)
 	}
 }
 

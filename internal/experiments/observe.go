@@ -119,24 +119,21 @@ func SetObservability(cfg *ObsConfig) *Obs {
 		o.tlStream = bufio.NewWriterSize(cfg.TimelineStream, 1<<16)
 	}
 	if cfg.Trace {
-		o.Tracer = trace.New()
-		if cfg.SampleOneIn > 1 {
-			o.Tracer.SetSampleOneIn(cfg.SampleOneIn)
+		// trace.Config resolves retention precedence (Stream > Ring >
+		// Discard > buffer) exactly as the CLI always did, so the whole
+		// bounded-memory surface maps onto one declarative struct.
+		tc := trace.Config{
+			SampleOneIn: cfg.SampleOneIn,
+			Stream:      cfg.Stream,
+			Ring:        cfg.Ring,
+			Discard:     cfg.Agg,
 		}
 		if cfg.Agg {
 			o.Agg = critpath.NewAgg()
-			o.Tracer.SetObserver(o.Agg.Observe)
+			tc.Observer = o.Agg.Observe
 		}
-		// Retention mode: streaming wins over ring; aggregate-only means
-		// discard when nothing else wants the events retained.
-		switch {
-		case cfg.Stream != nil:
-			o.Tracer.SetStream(cfg.Stream)
-		case cfg.Ring > 0:
-			o.Tracer.SetRing(cfg.Ring)
-		case cfg.Agg:
-			o.Tracer.SetDiscard()
-		}
+		o.Tracer = trace.New()
+		o.Tracer.Configure(tc)
 	}
 	if cfg.Stats {
 		o.Registry = metrics.NewRegistry()
@@ -148,11 +145,16 @@ func SetObservability(cfg *ObsConfig) *Obs {
 // Observability returns the installed hook, or nil.
 func Observability() *Obs { return obs }
 
-// newSim builds a simulator and, when observability is on, attaches the
-// tracer and the periodic snapshot tick. All experiments create their
-// simulators through this.
+// newSim builds a simulator on the installed scheduler (SetScheduler)
+// and, when observability is on, attaches the tracer and the periodic
+// snapshot tick. All experiments create their simulators through this.
 func newSim() *sim.Sim {
-	s := sim.New()
+	sched, err := sim.NewScheduler(schedName)
+	if err != nil {
+		// SetScheduler validated the name; reaching here is a bug.
+		panic(err)
+	}
+	s := sim.NewWith(sched)
 	if obs != nil {
 		obs.attachSim(s)
 	}

@@ -1,0 +1,306 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
+	"time"
+
+	"gfs/internal/sim"
+	"gfs/internal/units"
+)
+
+// Options is the shared command-line surface of the gfssim and gfsbench
+// binaries. Each Register* method registers one coherent group of flags
+// onto a FlagSet with identical names, defaults and help text; both
+// binaries assemble their CLIs from these groups, so a knob added here
+// shows up in every binary that registers the group and the two cannot
+// drift apart. Flags a binary does not register simply leave the zero
+// value in place.
+type Options struct {
+	// Engine plane (RegisterEngine).
+	Scheduler   string // event-queue implementation: "calendar" (default) or "heap"
+	EngineStats bool   // print engine telemetry after the runs
+
+	// Trace retention and sampling (RegisterTrace).
+	TraceOut    string        // Chrome trace-event JSON path
+	JSONLOut    string        // raw JSONL trace path
+	Stats       bool          // mmpmon snapshot + metrics registry
+	Interval    time.Duration // periodic live snapshots, simulated time
+	Attr        bool          // batch critical-path attribution
+	AttrAgg     bool          // incremental attribution, zero retention
+	JSONLStream string        // stream JSONL as events happen (O(1) memory)
+	TraceSample uint64        // keep one traced op in N
+	TraceRing   int           // retain only the last N trace events
+
+	// Timeline plane (RegisterTimeline).
+	TimelineJSONL    string
+	TimelineInterval time.Duration
+	TimelineRing     int
+	HTTPAddr         string
+	HTTPHold         time.Duration
+
+	// Workload shape (RegisterWorkload).
+	Nodes string // comma-separated node counts
+	Size  string // bytes moved per client node, e.g. "64MiB"
+
+	// Experiment tuning overrides (RegisterTuning; gfssim only).
+	Depth    int
+	Block    int64
+	FileSize int64
+	CrashAt  time.Duration
+	Outage   time.Duration
+	Duration time.Duration
+	RADepth  int
+	WBDirty  int
+	Gather   bool
+	WideTok  bool
+
+	// Profiling (RegisterProfiles).
+	CPUProfile string
+	MemProfile string
+}
+
+// RegisterEngine registers the engine-plane flags: scheduler selection
+// and engine telemetry.
+func (o *Options) RegisterEngine(fs *flag.FlagSet) {
+	fs.StringVar(&o.Scheduler, "scheduler", "",
+		"event-queue scheduler: calendar (default) or heap")
+	fs.BoolVar(&o.EngineStats, "engine-stats", false,
+		"print engine-plane telemetry (events/sec, queue depth, per-kind wall attribution)")
+}
+
+// RegisterTrace registers the trace/attribution/snapshot flags.
+func (o *Options) RegisterTrace(fs *flag.FlagSet) {
+	fs.StringVar(&o.TraceOut, "trace", "",
+		"write a Chrome trace-event JSON file (chrome://tracing, Perfetto)")
+	fs.StringVar(&o.JSONLOut, "jsonl", "",
+		"write raw trace events as JSON lines")
+	fs.BoolVar(&o.Stats, "stats", false,
+		"print an mmpmon-style snapshot and the metrics registry after each run")
+	fs.DurationVar(&o.Interval, "interval", 0,
+		"also print live mmpmon snapshots every so much simulated time (e.g. 5s)")
+	fs.BoolVar(&o.Attr, "attr", false,
+		"print a critical-path latency attribution report per experiment")
+	fs.BoolVar(&o.AttrAgg, "attr-agg", false,
+		"critical-path attribution computed incrementally with zero event retention")
+	fs.StringVar(&o.JSONLStream, "jsonl-stream", "",
+		"stream trace events to this JSONL file as they happen (O(1) trace memory)")
+	fs.Uint64Var(&o.TraceSample, "trace-sample", 0,
+		"keep one traced operation in N (deterministic hash of the op ID; 0/1 keeps all)")
+	fs.IntVar(&o.TraceRing, "trace-ring", 0,
+		"retain only the last N trace events (ring buffer)")
+}
+
+// RegisterTimeline registers the timeline-plane flags.
+func (o *Options) RegisterTimeline(fs *flag.FlagSet) {
+	fs.StringVar(&o.TimelineJSONL, "timeline-jsonl", "",
+		"stream per-interval resource rate series (timeline windows) to this JSONL file")
+	fs.DurationVar(&o.TimelineInterval, "timeline-interval", time.Second,
+		"timeline sampling interval in simulated time")
+	fs.IntVar(&o.TimelineRing, "timeline-ring", 0,
+		"retain only the last N timeline windows per series (bounded memory; enables the timeline plane)")
+	fs.StringVar(&o.HTTPAddr, "http", "",
+		"serve live timeline telemetry on this address: Prometheus text on /metrics, JSON history on /timeline")
+	fs.DurationVar(&o.HTTPHold, "http-hold", 0,
+		"keep the -http exporter serving this long (wall time) after the runs finish")
+}
+
+// RegisterWorkload registers the workload-shape flags shared by the
+// production experiment and the sweeps.
+func (o *Options) RegisterWorkload(fs *flag.FlagSet) {
+	fs.StringVar(&o.Nodes, "nodes", "",
+		"override node counts, comma-separated (e.g. 64,256,1024)")
+	fs.StringVar(&o.Size, "size", "",
+		"override bytes moved per client node (e.g. 64MiB)")
+}
+
+// RegisterTuning registers the per-experiment override flags.
+func (o *Options) RegisterTuning(fs *flag.FlagSet) {
+	fs.IntVar(&o.Depth, "depth", 0,
+		"sc02 only: override the SANergy pipeline depth (outstanding block requests)")
+	fs.Int64Var(&o.Block, "block", 0,
+		"sc02 only: override the block size in bytes")
+	fs.Int64Var(&o.FileSize, "filesize", 0,
+		"sc02 only: override the file size in bytes")
+	fs.DurationVar(&o.CrashAt, "crash", 0,
+		"failover only: override when the NSD server dies (e.g. 6s)")
+	fs.DurationVar(&o.Outage, "outage", 0,
+		"failover only: override how long the server stays dead")
+	fs.DurationVar(&o.Duration, "duration", 0,
+		"failover only: override the total reader run time")
+	fs.IntVar(&o.RADepth, "ra-depth", 0,
+		"sc03/failover: override the client readahead depth in blocks")
+	fs.IntVar(&o.WBDirty, "wb-max-dirty", 0,
+		"sc03/failover: override the client write-behind dirty-page limit")
+	fs.BoolVar(&o.Gather, "gather", false,
+		"production only: stripe-aligned flush gathering, NSD batching and elevator")
+	fs.BoolVar(&o.WideTok, "wide-tokens", false,
+		"production only: opportunistic wide token grants")
+}
+
+// RegisterProfiles registers the pprof output flags.
+func (o *Options) RegisterProfiles(fs *flag.FlagSet) {
+	fs.StringVar(&o.CPUProfile, "cpuprofile", "",
+		"write a pprof CPU profile of the process to this file")
+	fs.StringVar(&o.MemProfile, "memprofile", "",
+		"write a pprof heap profile (post-run, after GC) to this file")
+}
+
+// Validate checks cross-flag consistency — the rules that hold whichever
+// binary parsed the flags — and installs the scheduler choice so every
+// simulator built through this package uses it.
+func (o *Options) Validate() error {
+	if err := SetScheduler(o.Scheduler); err != nil {
+		return err
+	}
+	if o.JSONLStream != "" && (o.TraceOut != "" || o.JSONLOut != "" || o.TraceRing > 0) {
+		return fmt.Errorf("-jsonl-stream retains nothing; it cannot combine with -trace/-jsonl/-trace-ring")
+	}
+	if o.Attr && o.AttrAgg {
+		return fmt.Errorf("pick one of -attr (batch, retains the trace) or -attr-agg (incremental, retains nothing)")
+	}
+	return nil
+}
+
+// NodeCounts parses the -nodes list, falling back to def when the flag
+// was not given.
+func (o *Options) NodeCounts(def []int) ([]int, error) {
+	if o.Nodes == "" {
+		return def, nil
+	}
+	var out []int
+	for _, ns := range strings.Split(o.Nodes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(ns))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad node count %q", ns)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// SizeBytes parses -size; zero means the flag was not given.
+func (o *Options) SizeBytes() (units.Bytes, error) {
+	if o.Size == "" {
+		return 0, nil
+	}
+	return units.ParseBytes(o.Size)
+}
+
+// NeedTrace reports whether any requested output requires a tracer.
+func (o *Options) NeedTrace() bool {
+	return o.TraceOut != "" || o.JSONLOut != "" || o.Attr || o.AttrAgg ||
+		o.JSONLStream != "" || o.TraceSample > 1 || o.TraceRing > 0
+}
+
+// NeedTimeline reports whether any requested output requires the
+// timeline plane.
+func (o *Options) NeedTimeline() bool {
+	return o.TimelineJSONL != "" || o.HTTPAddr != "" || o.TimelineRing > 0
+}
+
+// NeedObs reports whether any observability at all was requested.
+func (o *Options) NeedObs() bool {
+	return o.NeedTrace() || o.NeedTimeline() || o.Stats || o.Interval > 0 || o.EngineStats
+}
+
+// ObsConfig translates the parsed flags into the observability
+// configuration, with out receiving periodic snapshots. Writers that
+// need opened files (-jsonl-stream, -timeline-jsonl) and the HTTP
+// exporter are left nil for the caller to fill in.
+func (o *Options) ObsConfig(out io.Writer) ObsConfig {
+	cfg := ObsConfig{
+		Trace:       o.NeedTrace(),
+		Stats:       o.Stats || o.Interval > 0,
+		Interval:    sim.Time(o.Interval / time.Nanosecond),
+		Out:         out,
+		Engine:      o.EngineStats,
+		SampleOneIn: o.TraceSample,
+		Ring:        o.TraceRing,
+		Agg:         o.AttrAgg,
+	}
+	if cfg.Engine && cfg.Trace {
+		// One deterministic engine/sample instant every 4096 events:
+		// enough timeline for gfsprof -engine, negligible trace volume.
+		cfg.EngineTraceEvery = 4096
+	}
+	if o.NeedTimeline() {
+		cfg.Timeline = true
+		cfg.TimelineInterval = sim.Time(o.TimelineInterval / time.Nanosecond)
+		cfg.TimelineRing = o.TimelineRing
+	}
+	return cfg
+}
+
+// StartCPUProfile begins the CPU profile when -cpuprofile was given.
+// The returned stop function is safe to defer unconditionally.
+func (o *Options) StartCPUProfile() (func(), error) {
+	if o.CPUProfile == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(o.CPUProfile)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteMemProfile writes the post-run heap profile when -memprofile was
+// given, after a full GC so the profile shows live retention.
+func (o *Options) WriteMemProfile() error {
+	if o.MemProfile == "" {
+		return nil
+	}
+	runtime.GC()
+	f, err := os.Create(o.MemProfile)
+	if err != nil {
+		return err
+	}
+	err = pprof.WriteHeapProfile(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// schedName is the installed scheduler choice ("" = package default,
+// the calendar queue). Every simulator built through this package —
+// newSim inside experiments, NewSim from benchmarks — draws a fresh
+// scheduler of this flavor.
+var schedName string
+
+// SetScheduler installs the event-queue scheduler used by every
+// subsequently built simulator. Valid names are "" or "calendar" for
+// the calendar queue and "heap" for the binary heap; anything else is
+// an error and leaves the current choice in place.
+func SetScheduler(name string) error {
+	if _, err := sim.NewScheduler(name); err != nil {
+		return err
+	}
+	schedName = name
+	return nil
+}
+
+// SchedulerName returns the installed scheduler choice ("" = calendar).
+func SchedulerName() string { return schedName }
+
+// NewSim builds a simulator with the installed scheduler and, when
+// observability is on, attaches the tracer, engine probe, timeline and
+// snapshot tick — the constructor for benchmarks that build their own
+// sites by hand. Experiments inside this package use it via newSim.
+func NewSim() *sim.Sim {
+	return newSim()
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"flag"
+	"io"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+)
+
+// registerAll builds the full CLI surface on one FlagSet, the way gfssim
+// does. flag.FlagSet panics on duplicate registration, so this is also
+// the collision check across groups.
+func registerAll(o *Options) *flag.FlagSet {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	o.RegisterEngine(fs)
+	o.RegisterTrace(fs)
+	o.RegisterTimeline(fs)
+	o.RegisterWorkload(fs)
+	o.RegisterTuning(fs)
+	o.RegisterProfiles(fs)
+	return fs
+}
+
+func names(fs *flag.FlagSet) []string {
+	var out []string
+	fs.VisitAll(func(f *flag.Flag) { out = append(out, f.Name) })
+	sort.Strings(out)
+	return out
+}
+
+// TestFlagSurface pins the exact flag names each group registers. A
+// binary that registers these groups gets exactly this surface; renaming
+// or dropping a flag must update this test, making drift between gfssim
+// and gfsbench a compile-and-test-visible event instead of a silent one.
+func TestFlagSurface(t *testing.T) {
+	groups := []struct {
+		name     string
+		register func(*Options, *flag.FlagSet)
+		want     []string
+	}{
+		{"engine", (*Options).RegisterEngine,
+			[]string{"engine-stats", "scheduler"}},
+		{"trace", (*Options).RegisterTrace,
+			[]string{"attr", "attr-agg", "interval", "jsonl", "jsonl-stream",
+				"stats", "trace", "trace-ring", "trace-sample"}},
+		{"timeline", (*Options).RegisterTimeline,
+			[]string{"http", "http-hold", "timeline-interval", "timeline-jsonl", "timeline-ring"}},
+		{"workload", (*Options).RegisterWorkload,
+			[]string{"nodes", "size"}},
+		{"tuning", (*Options).RegisterTuning,
+			[]string{"block", "crash", "depth", "duration", "filesize",
+				"gather", "outage", "ra-depth", "wb-max-dirty", "wide-tokens"}},
+		{"profiles", (*Options).RegisterProfiles,
+			[]string{"cpuprofile", "memprofile"}},
+	}
+	for _, g := range groups {
+		var o Options
+		fs := flag.NewFlagSet(g.name, flag.ContinueOnError)
+		g.register(&o, fs)
+		if got := names(fs); !reflect.DeepEqual(got, g.want) {
+			t.Errorf("%s group registers %v, want %v", g.name, got, g.want)
+		}
+	}
+	// All groups must coexist on one FlagSet (gfssim's full surface).
+	var o Options
+	registerAll(&o)
+}
+
+func TestOptionsParsing(t *testing.T) {
+	var o Options
+	fs := registerAll(&o)
+	err := fs.Parse([]string{
+		"-scheduler", "heap", "-engine-stats",
+		"-nodes", "64, 256,1024", "-size", "64MiB",
+		"-trace-sample", "8", "-interval", "5s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Scheduler != "heap" || !o.EngineStats || o.TraceSample != 8 {
+		t.Fatalf("parsed %+v", o)
+	}
+	counts, err := o.NodeCounts(nil)
+	if err != nil || !reflect.DeepEqual(counts, []int{64, 256, 1024}) {
+		t.Fatalf("NodeCounts = %v, %v", counts, err)
+	}
+	sz, err := o.SizeBytes()
+	if err != nil || sz != 64<<20 {
+		t.Fatalf("SizeBytes = %v, %v", sz, err)
+	}
+	if def, _ := (&Options{}).NodeCounts([]int{7}); !reflect.DeepEqual(def, []int{7}) {
+		t.Fatalf("default NodeCounts = %v", def)
+	}
+	if _, err := (&Options{Nodes: "64,zero"}).NodeCounts(nil); err == nil {
+		t.Fatal("bad node count accepted")
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	defer SetScheduler("")
+	bad := []Options{
+		{Scheduler: "fibonacci"},
+		{JSONLStream: "s.jsonl", TraceOut: "t.json"},
+		{JSONLStream: "s.jsonl", TraceRing: 16},
+		{Attr: true, AttrAgg: true},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, o)
+		}
+	}
+	good := Options{Scheduler: "heap", Attr: true, JSONLOut: "e.jsonl"}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Validate rejected %+v: %v", good, err)
+	}
+	if SchedulerName() != "heap" {
+		t.Fatalf("Validate did not install scheduler, got %q", SchedulerName())
+	}
+}
+
+// TestSchedulerSelection: NewSim must honor the installed choice, and an
+// invalid name must not disturb it.
+func TestSchedulerSelection(t *testing.T) {
+	defer SetScheduler("")
+	if err := SetScheduler("heap"); err != nil {
+		t.Fatal(err)
+	}
+	if got := NewSim().SchedulerName(); got != "heap" {
+		t.Fatalf("NewSim scheduler = %q, want heap", got)
+	}
+	if err := SetScheduler("nope"); err == nil {
+		t.Fatal("bad scheduler name accepted")
+	}
+	if got := NewSim().SchedulerName(); got != "heap" {
+		t.Fatalf("failed SetScheduler disturbed choice: %q", got)
+	}
+	if err := SetScheduler(""); err != nil {
+		t.Fatal(err)
+	}
+	if got := NewSim().SchedulerName(); got != "calendar" {
+		t.Fatalf("default scheduler = %q, want calendar", got)
+	}
+}
+
+// TestObsConfigMapping: the flag-to-ObsConfig translation preserves the
+// mutual implications main used to encode by hand.
+func TestObsConfigMapping(t *testing.T) {
+	o := Options{
+		EngineStats: true, Attr: true, TraceSample: 64,
+		Interval: 5 * time.Second, TimelineRing: 32,
+	}
+	cfg := o.ObsConfig(io.Discard)
+	if !cfg.Trace || !cfg.Engine || !cfg.Stats || !cfg.Timeline {
+		t.Fatalf("ObsConfig = %+v", cfg)
+	}
+	if cfg.EngineTraceEvery != 4096 {
+		t.Fatalf("EngineTraceEvery = %d", cfg.EngineTraceEvery)
+	}
+	if cfg.SampleOneIn != 64 || cfg.TimelineRing != 32 {
+		t.Fatalf("ObsConfig = %+v", cfg)
+	}
+	if cfg.Interval != 5_000_000_000 {
+		t.Fatalf("Interval = %d ns", cfg.Interval)
+	}
+	plain := Options{}
+	if c := plain.ObsConfig(nil); c.Trace || c.Timeline || c.Engine || c.Stats {
+		t.Fatalf("zero Options produced observability: %+v", c)
+	}
+	if plain.NeedObs() {
+		t.Fatal("zero Options claims to need obs")
+	}
+}

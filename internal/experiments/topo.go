@@ -209,7 +209,12 @@ func newEthernetNet(s *sim.Sim) *netsim.Network {
 	nw := newNet(s)
 	nw.LinkEfficiency = ethEfficiency
 	// Large fleets tolerate slightly stale rate allocations in exchange
-	// for an order of magnitude fewer allocation passes.
+	// for an order of magnitude fewer allocation passes. The per-conn
+	// term keeps that trade scale-free: a solve costs O(component), so
+	// throttling proportionally bounds solver wall share no matter how
+	// large the fleet grows, while the 200 us floor dominates below ~500
+	// conns and leaves the small-fleet figure experiments untouched.
 	nw.MinRecomputeInterval = 200 * sim.Microsecond
+	nw.RecomputePerConn = 400 * sim.Nanosecond
 	return nw
 }

@@ -29,7 +29,14 @@ func BenchmarkRecompute(b *testing.B) {
 	s.RunUntil(sim.Second)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		nw.recomputeOnce()
+		// Dirty every busy link so the solve covers the whole component,
+		// matching the old from-scratch recompute pass.
+		for _, l := range nw.busyLinks {
+			nw.linkChanged(l)
+		}
+		for len(nw.dirtyLinks) > 0 {
+			nw.solveDirty()
+		}
 	}
 }
 

@@ -11,7 +11,8 @@ import (
 
 const rateEps = 0.5 // bytes; slop for float remaining-byte arithmetic
 
-// message is one byte-counted transfer queued on a conn.
+// message is one byte-counted transfer queued on a conn. Messages are
+// recycled through Network.msgFree once delivered.
 type message struct {
 	size        float64
 	remaining   float64
@@ -39,20 +40,32 @@ type Conn struct {
 
 	queue       []*message
 	active      bool
-	inList      bool    // present in Network.activeList
+	actIdx      int     // index in Network.activeList, -1 when inactive
 	rate        float64 // bytes/sec currently allocated
 	prevRate    float64 // allocation scratch
+	rateCap     float64 // cwnd/RTT, cached; updated on dial/activate/bump
 	lastAdvance sim.Time
 	idleSince   sim.Time
 
-	completionEv *sim.Event
-	bumpEv       *sim.Event
+	// linkPos[i] is this conn's slot in path[i].conns while active, so
+	// deactivation is O(path) with no map or search.
+	linkPos []int32
+
+	// mark stamps the conn into the current incremental-solve component,
+	// solved stamps it assigned within that solve (both compared against
+	// Network.epoch).
+	mark   uint32
+	solved uint32
+
+	// completionEvt/bumpEvt are caller-owned reusable events (sim.Arm):
+	// the hottest timers in the simulator re-arm with zero allocation.
+	completionEvt sim.Event
+	bumpEvt       sim.Event
+	completionFn  func()
+	bumpFn        func()
 
 	bytesSent units.Bytes
 	msgsSent  uint64
-
-	// allocation scratch
-	assigned bool
 }
 
 // Dial opens a connection from src to dst with the network's default TCP
@@ -67,6 +80,7 @@ func (nw *Network) DialTCP(src, dst *Node, tcp TCPConfig) *Conn {
 		net: nw, id: len(nw.conns),
 		src: src, dst: dst,
 		tcp:       tcp,
+		actIdx:    -1,
 		idleSince: nw.Sim.Now(),
 	}
 	path, err := nw.pathFor(src, dst, c.id)
@@ -74,11 +88,17 @@ func (nw *Network) DialTCP(src, dst *Node, tcp TCPConfig) *Conn {
 		panic(err)
 	}
 	c.path = path
+	c.linkPos = make([]int32, len(path))
 	for _, l := range path {
 		c.oneWay += l.delay
 	}
 	c.rtt = 2 * c.oneWay
 	c.cwnd = c.initialWindow()
+	c.updateRateCap()
+	c.completionFn = func() {
+		c.net.onCompletion(c)
+	}
+	c.bumpFn = c.bump
 	nw.conns = append(nw.conns, c)
 	return c
 }
@@ -108,12 +128,13 @@ func (c *Conn) BytesSent() units.Bytes { return c.bytesSent }
 // Rate returns the currently allocated rate in bytes/sec.
 func (c *Conn) Rate() units.BytesPerSec { return units.BytesPerSec(c.rate) }
 
-// capBps returns the window-imposed rate cap in bytes/sec.
-func (c *Conn) capBps() float64 {
+// updateRateCap refreshes the cached window-imposed rate cap (bytes/sec).
+func (c *Conn) updateRateCap() {
 	if c.tcp.MaxWindow <= 0 || c.rtt <= 0 {
-		return math.Inf(1)
+		c.rateCap = math.Inf(1)
+		return
 	}
-	return c.cwnd / c.rtt.Seconds()
+	c.rateCap = c.cwnd / c.rtt.Seconds()
 }
 
 // Queued returns the number of undelivered messages.
@@ -138,19 +159,26 @@ func (c *Conn) SendCtx(ctx trace.Ctx, size units.Bytes, onDelivered func()) {
 		c.bytesSent += size
 		c.msgsSent++
 		if onDelivered != nil {
-			nw.Sim.ScheduleKind(kindDeliver, 0, onDelivered)
+			nw.Sim.Post(kindDeliver, 0, onDelivered)
 		}
 		return
 	}
-	m := &message{size: float64(size), remaining: float64(size), enq: nw.Sim.Now(), ctx: ctx, onDelivered: onDelivered}
+	m := nw.newMessage()
+	m.size, m.remaining = float64(size), float64(size)
+	m.enq = nw.Sim.Now()
+	m.ctx = ctx
+	m.onDelivered = onDelivered
 	if size == 0 {
 		m.size, m.remaining = 1, 1 // headers are never free
 	}
 	c.queue = append(c.queue, m)
 	if !c.active {
 		c.activate()
+		nw.recompute()
 	}
-	nw.recompute()
+	// A send on an already-active conn changes neither link membership nor
+	// any window cap: every allocated rate stays valid verbatim, so no
+	// links are dirtied and no reallocation runs.
 }
 
 func (c *Conn) activate() {
@@ -163,21 +191,22 @@ func (c *Conn) activate() {
 	}
 	if now-c.idleSince > restart && c.rtt > 0 {
 		c.cwnd = c.initialWindow()
+		c.updateRateCap()
 	}
 	c.active = true
 	c.lastAdvance = now
 	c.queue[0].started = now
-	for _, l := range c.path {
-		l.flows[c] = struct{}{}
-		if len(l.flows) == 1 {
+	for i, l := range c.path {
+		c.linkPos[i] = int32(len(l.conns))
+		l.conns = append(l.conns, linkSlot{c: c, pi: int32(i)})
+		if len(l.conns) == 1 {
 			l.busyIdx = len(nw.busyLinks)
 			nw.busyLinks = append(nw.busyLinks, l)
 		}
+		nw.linkChanged(l)
 	}
-	if !c.inList {
-		c.inList = true
-		nw.activeList = append(nw.activeList, c)
-	}
+	c.actIdx = len(nw.activeList)
+	nw.activeList = append(nw.activeList, c)
 	c.scheduleBump()
 }
 
@@ -186,55 +215,88 @@ func (c *Conn) deactivate() {
 	c.active = false
 	c.rate = 0
 	c.idleSince = nw.Sim.Now()
-	for _, l := range c.path {
-		delete(l.flows, c)
-		if len(l.flows) == 0 && l.busyIdx >= 0 {
+	for i, l := range c.path {
+		nw.linkChanged(l)
+		pos := c.linkPos[i]
+		last := len(l.conns) - 1
+		moved := l.conns[last]
+		l.conns[pos] = moved
+		moved.c.linkPos[moved.pi] = pos
+		l.conns[last] = linkSlot{}
+		l.conns = l.conns[:last]
+		if last == 0 && l.busyIdx >= 0 {
 			// Swap-remove from the busy list.
-			last := nw.busyLinks[len(nw.busyLinks)-1]
-			nw.busyLinks[l.busyIdx] = last
-			last.busyIdx = l.busyIdx
+			lastL := nw.busyLinks[len(nw.busyLinks)-1]
+			nw.busyLinks[l.busyIdx] = lastL
+			lastL.busyIdx = l.busyIdx
 			nw.busyLinks = nw.busyLinks[:len(nw.busyLinks)-1]
 			l.busyIdx = -1
 		}
 	}
-	// activeList entry is compacted lazily during the next recompute.
-	if c.completionEv != nil {
-		c.completionEv.Cancel()
-		c.completionEv = nil
+	// Swap-remove from the active list.
+	lastC := nw.activeList[len(nw.activeList)-1]
+	nw.activeList[c.actIdx] = lastC
+	lastC.actIdx = c.actIdx
+	nw.activeList = nw.activeList[:len(nw.activeList)-1]
+	c.actIdx = -1
+	if c.completionEvt.Queued() {
+		c.completionEvt.Cancel()
 	}
-	if c.bumpEv != nil {
-		c.bumpEv.Cancel()
-		c.bumpEv = nil
+	if c.bumpEvt.Queued() {
+		c.bumpEvt.Cancel()
 	}
 }
 
 // scheduleBump arranges the next slow-start window doubling.
 func (c *Conn) scheduleBump() {
-	if c.bumpEv != nil {
-		c.bumpEv.Cancel()
-		c.bumpEv = nil
+	if c.bumpEvt.Queued() {
+		c.bumpEvt.Cancel()
 	}
 	if c.tcp.MaxWindow <= 0 || c.rtt <= 0 || c.cwnd >= float64(c.tcp.MaxWindow) {
 		return
 	}
-	c.bumpEv = c.net.Sim.ScheduleKind(kindBump, c.rtt, func() {
-		c.bumpEv = nil
-		if !c.active {
-			return
-		}
-		c.cwnd *= 2
-		if c.cwnd > float64(c.tcp.MaxWindow) {
-			c.cwnd = float64(c.tcp.MaxWindow)
-		}
-		c.scheduleBump()
-		c.net.recompute()
-	})
+	c.net.Sim.Arm(&c.bumpEvt, kindBump, c.rtt, c.bumpFn)
+}
+
+// bump doubles the congestion window — a changed cap invalidates the
+// allocation of every conn sharing a link with this one, so its path
+// links join the dirty frontier.
+func (c *Conn) bump() {
+	if !c.active {
+		return
+	}
+	// The cap binds only when the last solve allocated exactly at it
+	// (assignRate stores rateCap verbatim, so this equality is exact).
+	// Raising a cap the solver never consulted cannot move the max-min
+	// fixed point: every allocated rate stays valid, so a link-limited
+	// conn's window doubling dirties nothing.
+	capped := c.rate >= c.rateCap
+	c.cwnd *= 2
+	if c.cwnd > float64(c.tcp.MaxWindow) {
+		c.cwnd = float64(c.tcp.MaxWindow)
+	}
+	c.updateRateCap()
+	c.scheduleBump()
+	if !capped {
+		return
+	}
+	nw := c.net
+	for _, l := range c.path {
+		nw.linkChanged(l)
+	}
+	nw.recompute()
 }
 
 // advance credits progress to the head messages up to now, delivering any
 // that finish.
 func (c *Conn) advance(now sim.Time) {
 	if !c.active {
+		return
+	}
+	if now == c.lastAdvance || c.rate == 0 {
+		// Nothing to credit: repeat solves at one instant (a draining
+		// frontier) advance each conn once, not once per iteration.
+		c.lastAdvance = now
 		return
 	}
 	credit := c.rate * (now - c.lastAdvance).Seconds()
@@ -257,9 +319,8 @@ func (c *Conn) deliverHead(now sim.Time) {
 	c.queue = c.queue[1:]
 	// Any pending completion event refers to the delivered message; drop
 	// it so a skipped reschedule can never fire it for the next one.
-	if c.completionEv != nil {
-		c.completionEv.Cancel()
-		c.completionEv = nil
+	if c.completionEvt.Queued() {
+		c.completionEvt.Cancel()
 	}
 	c.bytesSent += units.Bytes(head.size)
 	c.msgsSent++
@@ -291,11 +352,11 @@ func (c *Conn) deliverHead(now sim.Time) {
 	}
 	if head.onDelivered != nil {
 		cb := head.onDelivered
-		nw.Sim.ScheduleKind(kindDeliver, c.oneWay, cb)
+		nw.Sim.Post(kindDeliver, c.oneWay, cb)
 	}
+	nw.freeMessage(head)
 	if len(c.queue) == 0 {
 		c.deactivate()
-		nw.recomputeNeeded = true
 	} else {
 		c.queue[0].started = now
 	}
@@ -304,9 +365,8 @@ func (c *Conn) deliverHead(now sim.Time) {
 // scheduleCompletion arranges the event at which the head message finishes
 // at the current rate.
 func (c *Conn) scheduleCompletion() {
-	if c.completionEv != nil {
-		c.completionEv.Cancel()
-		c.completionEv = nil
+	if c.completionEvt.Queued() {
+		c.completionEvt.Cancel()
 	}
 	if !c.active || len(c.queue) == 0 || c.rate <= 0 {
 		return
@@ -318,10 +378,7 @@ func (c *Conn) scheduleCompletion() {
 	if dt < 1 {
 		dt = 1
 	}
-	c.completionEv = c.net.Sim.ScheduleKind(kindCompletion, dt, func() {
-		c.completionEv = nil
-		c.net.onCompletion(c)
-	})
+	c.net.Sim.Arm(&c.completionEvt, kindCompletion, dt, c.completionFn)
 }
 
 func (nw *Network) onCompletion(c *Conn) {
@@ -329,169 +386,303 @@ func (nw *Network) onCompletion(c *Conn) {
 	if c.active {
 		c.scheduleCompletion()
 	}
-	if nw.recomputeNeeded {
-		nw.recompute()
-	}
+	nw.recompute() // no-op unless the delivery dirtied links
 }
 
-// recompute requests a rate reallocation. Requests are coalesced into a
-// single zero-delay event so a burst of sends at one instant pays for one
-// allocation pass, not one per message.
-func (nw *Network) recompute() {
-	if nw.inRecompute {
-		nw.recomputeNeeded = true
+// newMessage draws a message from the free pool.
+func (nw *Network) newMessage() *message {
+	if n := len(nw.msgFree); n > 0 {
+		m := nw.msgFree[n-1]
+		nw.msgFree[n-1] = nil
+		nw.msgFree = nw.msgFree[:n-1]
+		return m
+	}
+	return &message{}
+}
+
+// freeMessage recycles a delivered message.
+func (nw *Network) freeMessage(m *message) {
+	*m = message{}
+	nw.msgFree = append(nw.msgFree, m)
+}
+
+// linkChanged adds a link to the dirty frontier: its active-conn
+// membership, a crossing conn's window cap, or its up/down state changed,
+// so rates in its connected component must be re-solved. Links already
+// marked into the component being advanced by the in-progress solve are
+// not re-queued — the solve reads membership live and will allocate them
+// this pass.
+func (nw *Network) linkChanged(l *Link) {
+	if l.dirty {
 		return
 	}
-	if nw.recomputeScheduled {
+	if nw.inSolve && l.mark == nw.epoch {
+		return
+	}
+	l.dirty = true
+	nw.dirtyLinks = append(nw.dirtyLinks, l)
+}
+
+// recompute requests a rate reallocation over the dirty frontier.
+// Requests are coalesced into a single event (subject to
+// MinRecomputeInterval) so a burst of changes at one instant pays for one
+// allocation pass; when no links are dirty the request is free.
+func (nw *Network) recompute() {
+	if len(nw.dirtyLinks) == 0 || nw.inRecompute || nw.recomputeScheduled {
 		return
 	}
 	nw.recomputeScheduled = true
 	var delay sim.Time
-	if nw.MinRecomputeInterval > 0 {
-		if next := nw.lastRecompute + nw.MinRecomputeInterval; next > nw.Sim.Now() {
+	iv := nw.MinRecomputeInterval
+	if s := sim.Time(nw.lastSolveConns) * nw.RecomputePerConn; s > iv {
+		iv = s
+	}
+	if iv > 0 {
+		if next := nw.lastRecompute + iv; next > nw.Sim.Now() {
 			delay = next - nw.Sim.Now()
 		}
 	}
-	nw.Sim.ScheduleKind(kindRecompute, delay, nw.doRecompute)
+	nw.Sim.Post(kindRecompute, delay, nw.recomputeFn)
 }
 
-// doRecompute reallocates rates across all active conns by progressive
-// filling (max-min fairness with per-conn window caps), then reschedules
-// completion events. Reentrant calls fold into the loop.
+// doRecompute re-solves dirty components until the frontier drains
+// (advancing a component can deliver messages and dirty further links).
 func (nw *Network) doRecompute() {
 	nw.recomputeScheduled = false
 	nw.lastRecompute = nw.Sim.Now()
 	nw.inRecompute = true
 	defer func() { nw.inRecompute = false }()
-	for {
-		nw.recomputeNeeded = false
-		nw.recomputeOnce()
-		if !nw.recomputeNeeded {
-			return
-		}
+	for len(nw.dirtyLinks) > 0 {
+		nw.solveDirty()
 	}
 }
 
-func (nw *Network) recomputeOnce() {
+// solveDirty re-solves max-min fairness over the connected component(s) of
+// the dirty frontier and leaves every other conn's rate untouched.
+//
+// Invariant: a conn's max-min rate depends only on its connected component
+// (conns sharing links, transitively). Progressive filling decomposes
+// exactly across components, so re-solving the closure of the dirty links
+// reproduces what a from-scratch global solve would assign there, while
+// rates outside the closure are still valid — none of their links'
+// membership, caps, or up/down state changed.
+
+func (nw *Network) solveDirty() {
 	now := nw.Sim.Now()
-	// Advance progress at old rates before changing them. This may deliver
-	// messages and deactivate conns. Compact the active list as we go; its
-	// insertion order is event-deterministic.
-	live := nw.activeList[:0]
-	for _, c := range nw.activeList {
-		c.advance(now)
-		if c.active {
-			live = append(live, c)
-			c.assigned = false
-			c.prevRate = c.rate
-		} else {
-			c.inList = false
+	nw.epoch++
+	epoch := nw.epoch
+
+	// Closure: dirty links -> their conns -> those conns' links -> ...
+	links := nw.compLinks[:0]
+	for _, l := range nw.dirtyLinks {
+		l.dirty = false
+		if l.mark != epoch {
+			l.mark = epoch
+			links = append(links, l)
 		}
 	}
-	for i := len(live); i < len(nw.activeList); i++ {
-		nw.activeList[i] = nil
-	}
-	nw.activeList = live
-	conns := live
-	if len(conns) == 0 {
-		return
+	nw.dirtyLinks = nw.dirtyLinks[:0]
+	conns := nw.compConns[:0]
+	for li := 0; li < len(links); li++ {
+		for _, slot := range links[li].conns {
+			c := slot.c
+			if c.mark == epoch {
+				continue
+			}
+			c.mark = epoch
+			conns = append(conns, c)
+			for _, pl := range c.path {
+				if pl.mark != epoch {
+					pl.mark = epoch
+					links = append(links, pl)
+				}
+			}
+		}
 	}
 
-	links := nw.busyLinks
+	nw.lastSolveConns = len(conns)
+
+	// Advance component conns at their old rates before changing them.
+	// This may deliver messages and deactivate conns; linkChanged defers
+	// re-queuing links already in this component (membership is read live
+	// below), while newly touched outside links re-enter the frontier.
+	// The survivors are collected in the same pass — advance only
+	// changes its own conn's active flag, so the post-advance state each
+	// append sees is final.
+	unassigned := nw.unassigned[:0]
+	minCap := math.Inf(1)
+	nw.inSolve = true
+	for _, c := range conns {
+		c.advance(now)
+		if !c.active {
+			continue
+		}
+		c.prevRate = c.rate
+		if c.rateCap < minCap {
+			minCap = c.rateCap
+		}
+		unassigned = append(unassigned, c)
+	}
+	nw.inSolve = false
 	for _, l := range links {
 		l.residual = l.cap
 		if l.down {
 			l.residual = 0 // failed link: crossing conns get rate 0 and stall
 		}
-		l.nActive = len(l.flows)
+		l.nActive = len(l.conns)
 	}
 
-	assign := func(c *Conn, r float64) {
-		c.rate = r
-		c.assigned = true
-		for _, l := range c.path {
-			l.residual -= r
-			if l.residual < 0 {
-				l.residual = 0
-			}
-			l.nActive--
-		}
-	}
-
-	unassigned := len(conns)
-	for unassigned > 0 {
-		// Fair share of the most constrained link.
+	// Link-centric water filling. Each round finds the single most
+	// constrained link and settles work at its fair share m; because
+	// fixing a conn at (or below) the minimum share can only raise the
+	// other links' shares, m is non-decreasing across rounds, which
+	// makes two shortcuts exact:
+	//
+	//   - Window-capped conns sort once by cap; a pointer sweeps the
+	//     sorted prefix, fixing every conn whose cap falls below the
+	//     current m. Caps already passed can never bind again.
+	//   - A bottleneck round assigns exactly the conns crossing the min
+	//     link (each gets m, zeroing the link's residual and nActive),
+	//     instead of rescanning every remaining conn's path share.
+	//
+	// Round cost is O(links) + O(conns fixed x path), so a solve is
+	// linear-ish in the component rather than rounds x conns x path —
+	// the term that dominated the from-scratch solver at 1024 nodes.
+	left := len(unassigned)
+	var capHeap []*Conn // built only if a window cap can actually bind
+	ties := nw.tieLinks[:0]
+	for left > 0 {
 		m := math.Inf(1)
+		ties = ties[:0]
 		for _, l := range links {
 			if l.nActive > 0 {
 				if s := l.residual / float64(l.nActive); s < m {
 					m = s
+					ties = append(ties[:0], l)
+				} else if s == m {
+					ties = append(ties, l)
 				}
 			}
 		}
-		// Window-capped conns below the fair share are fixed first.
-		fixedCap := false
-		for _, c := range conns {
-			if !c.assigned && c.capBps() <= m {
-				assign(c, c.capBps())
-				unassigned--
-				fixedCap = true
-			}
-		}
-		if fixedCap {
-			continue
-		}
-		if math.IsInf(m, 1) {
-			// No link constraint and no cap: should not happen (active
-			// conns always cross >= 1 link), but terminate safely.
-			for _, c := range conns {
-				if !c.assigned {
-					assign(c, c.capBps())
-					unassigned--
+		if len(ties) == 0 {
+			// No link constraint: should not happen (active conns always
+			// cross >= 1 link), but terminate safely at the window cap.
+			for _, c := range unassigned {
+				if c.solved != epoch {
+					c.solved = epoch
+					nw.assignRate(c, c.rateCap)
+					left--
 				}
 			}
 			break
 		}
-		// Fix all conns whose tightest path link is a bottleneck at m.
-		// Iterating conns (not link flow maps) keeps this pass cache-
-		// friendly and allocation-free.
-		progressed := false
-		tol := m * (1 + 1e-9)
-		for _, c := range conns {
-			if c.assigned {
-				continue
-			}
-			share := math.Inf(1)
-			for _, l := range c.path {
-				if l.nActive > 0 {
-					if s := l.residual / float64(l.nActive); s < share {
-						share = s
-					}
+		if minCap <= m {
+			// Some cap binds below the fair share. Heapify on first need:
+			// most solves end with every cap above the water level and
+			// never pay for ordering at all.
+			if capHeap == nil {
+				capHeap = nw.capHeap[:0]
+				capHeap = append(capHeap, unassigned...)
+				for i := len(capHeap)/2 - 1; i >= 0; i-- {
+					capSiftDown(capHeap, i)
 				}
+				nw.capHeap = capHeap[:0]
 			}
-			if share <= tol {
-				assign(c, m)
-				unassigned--
-				progressed = true
+			for len(capHeap) > 0 && capHeap[0].rateCap <= m {
+				c := capHeap[0]
+				n := len(capHeap) - 1
+				capHeap[0] = capHeap[n]
+				capHeap[n] = nil
+				capHeap = capHeap[:n]
+				if n > 1 {
+					capSiftDown(capHeap, 0)
+				}
+				if c.solved == epoch {
+					continue // already drained via a bottleneck link
+				}
+				c.solved = epoch
+				nw.assignRate(c, c.rateCap)
+				left--
 			}
+			minCap = math.Inf(1)
+			if len(capHeap) > 0 {
+				minCap = capHeap[0].rateCap
+			}
+			continue
 		}
-		if !progressed {
-			// Numerical corner: give everyone the current share.
-			for _, c := range conns {
-				if !c.assigned {
-					assign(c, m)
-					unassigned--
+		// Drain the bottlenecks: every unsolved conn crossing a link at
+		// the minimum share gets exactly m (their caps are all above m —
+		// the heap sweep already fixed everything at or below it).
+		// Draining every exactly-tied link in one round matters in
+		// symmetric topologies, where hundreds of identical access links
+		// hit bit-identical shares: fixing a conn at the minimum share
+		// leaves the other tied links' shares at exactly m, so they are
+		// all bottlenecks of the same water level.
+		for _, l := range ties {
+			for _, slot := range l.conns {
+				c := slot.c
+				if c.solved == epoch {
+					continue
 				}
+				c.solved = epoch
+				nw.assignRate(c, m)
+				left--
 			}
 		}
 	}
+	nw.tieLinks = ties[:0]
 
-	for _, c := range conns {
-		// A conn whose rate is unchanged keeps its pending completion
-		// event — rescheduling it would be pure heap churn.
-		if c.rate == c.prevRate && c.completionEv != nil {
-			continue
+	// Keep the grown scratch backing arrays for the next solve.
+	nw.compLinks = links[:0]
+	nw.compConns = conns[:0]
+	nw.unassigned = unassigned[:0]
+}
+
+// assignRate fixes a conn's allocation, withdraws it from its links, and
+// re-arms its completion event. Every active conn is assigned exactly
+// once per solve (the solved-epoch guard), and its rate is final at that
+// moment, so completion scheduling rides along instead of paying a third
+// full scan over the component.
+func (nw *Network) assignRate(c *Conn, r float64) {
+	c.rate = r
+	for _, l := range c.path {
+		l.residual -= r
+		if l.residual < 0 {
+			l.residual = 0
 		}
-		c.scheduleCompletion()
+		l.nActive--
+	}
+	// A conn whose rate is unchanged keeps its pending completion
+	// event — rescheduling it would be pure queue churn.
+	if r == c.prevRate && c.completionEvt.Queued() {
+		return
+	}
+	c.scheduleCompletion()
+}
+
+// capLess orders conns by window cap, conn ID breaking ties so the
+// heap's pop order (and the solver's float arithmetic) is deterministic.
+func capLess(a, b *Conn) bool {
+	if a.rateCap != b.rateCap {
+		return a.rateCap < b.rateCap
+	}
+	return a.id < b.id
+}
+
+// capSiftDown restores the min-heap property of h rooted at i.
+func capSiftDown(h []*Conn, i int) {
+	for {
+		j := 2*i + 1
+		if j >= len(h) {
+			return
+		}
+		if r := j + 1; r < len(h) && capLess(h[r], h[j]) {
+			j = r
+		}
+		if !capLess(h[j], h[i]) {
+			return
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
 	}
 }

@@ -1,0 +1,233 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"gfs/internal/sim"
+	"gfs/internal/units"
+)
+
+// referenceRates runs the from-scratch progressive-filling max-min solve —
+// the pre-incremental recomputeOnce algorithm — over every active conn and
+// busy link, and returns the resulting allocation without disturbing the
+// network's state.
+func referenceRates(nw *Network) map[*Conn]float64 {
+	conns := append([]*Conn(nil), nw.activeList...)
+	links := nw.busyLinks
+	residual := make(map[*Link]float64, len(links))
+	nActive := make(map[*Link]int, len(links))
+	for _, l := range links {
+		r := l.cap
+		if l.down {
+			r = 0
+		}
+		residual[l] = r
+		nActive[l] = len(l.conns)
+	}
+	rates := make(map[*Conn]float64, len(conns))
+	assigned := make(map[*Conn]bool, len(conns))
+	assign := func(c *Conn, r float64) {
+		rates[c] = r
+		assigned[c] = true
+		for _, l := range c.path {
+			residual[l] -= r
+			if residual[l] < 0 {
+				residual[l] = 0
+			}
+			nActive[l]--
+		}
+	}
+	unassigned := len(conns)
+	for unassigned > 0 {
+		m := math.Inf(1)
+		for _, l := range links {
+			if nActive[l] > 0 {
+				if s := residual[l] / float64(nActive[l]); s < m {
+					m = s
+				}
+			}
+		}
+		fixedCap := false
+		for _, c := range conns {
+			if !assigned[c] && c.rateCap <= m {
+				assign(c, c.rateCap)
+				unassigned--
+				fixedCap = true
+			}
+		}
+		if fixedCap {
+			continue
+		}
+		if math.IsInf(m, 1) {
+			for _, c := range conns {
+				if !assigned[c] {
+					assign(c, c.rateCap)
+					unassigned--
+				}
+			}
+			break
+		}
+		progressed := false
+		tol := m * (1 + 1e-9)
+		for _, c := range conns {
+			if assigned[c] {
+				continue
+			}
+			share := math.Inf(1)
+			for _, l := range c.path {
+				if nActive[l] > 0 {
+					if s := residual[l] / float64(nActive[l]); s < share {
+						share = s
+					}
+				}
+			}
+			if share <= tol {
+				assign(c, m)
+				unassigned--
+				progressed = true
+			}
+		}
+		if !progressed {
+			for _, c := range conns {
+				if !assigned[c] {
+					assign(c, m)
+					unassigned--
+				}
+			}
+		}
+	}
+	return rates
+}
+
+// checkAgainstReference compares every active conn's incrementally
+// maintained rate with a from-scratch solve. Tolerance is relative: the
+// incremental solver's float arithmetic is path-dependent (it subtracts
+// residuals in a different order), so exact equality is too strict, but
+// the fixed points of both solvers coincide to rounding error.
+func checkAgainstReference(t *testing.T, nw *Network, label string) {
+	t.Helper()
+	want := referenceRates(nw)
+	for _, c := range nw.activeList {
+		w := want[c]
+		got := c.rate
+		if math.IsInf(w, 1) {
+			if !math.IsInf(got, 1) {
+				t.Fatalf("%s: conn %d rate %g, reference +Inf", label, c.id, got)
+			}
+			continue
+		}
+		diff := math.Abs(got - w)
+		if diff > 1e-6*math.Max(math.Abs(w), 1) {
+			t.Fatalf("%s: conn %d rate %g, reference %g (diff %g)", label, c.id, got, w, diff)
+		}
+	}
+}
+
+// TestIncrementalMatchesFromScratch drives a seeded random workload —
+// sends of varied sizes over a multi-switch topology, link failures and
+// repairs, idle periods — and after every event checks that the
+// incremental allocation equals a from-scratch solve.
+func TestIncrementalMatchesFromScratch(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			s := sim.New()
+			nw := New(s)
+			// Two switches, hosts split between them: mixes single-link,
+			// shared-bottleneck, and cross-switch components.
+			sw1 := nw.NewNode("sw1")
+			sw2 := nw.NewNode("sw2")
+			nw.DuplexLink("trunk", sw1, sw2, units.Gbps, sim.Millisecond)
+			var hosts []*Node
+			for i := 0; i < 8; i++ {
+				h := nw.NewNode(fmt.Sprintf("h%d", i))
+				sw := sw1
+				if i >= 4 {
+					sw = sw2
+				}
+				nw.DuplexLink(fmt.Sprintf("l%d", i), h, sw, units.Gbps, 100*sim.Microsecond)
+				hosts = append(hosts, h)
+			}
+			var conns []*Conn
+			for i := 0; i < 24; i++ {
+				a, b := rng.Intn(8), rng.Intn(8)
+				if a == b {
+					b = (b + 1) % 8
+				}
+				conns = append(conns, nw.DialTCP(hosts[a], hosts[b], TCPConfig{
+					MaxWindow:  units.Bytes(64+rng.Intn(512)) * units.KiB,
+					InitWindow: 32 * units.KiB,
+				}))
+			}
+			trunk := nw.links[0]
+			for i := 0; i < 60; i++ {
+				i := i
+				at := sim.Time(rng.Intn(200)) * sim.Millisecond
+				switch rng.Intn(10) {
+				case 0:
+					s.At(at, func() { trunk.SetDown(true) })
+				case 1:
+					s.At(at, func() { trunk.SetDown(false) })
+				default:
+					c := conns[rng.Intn(len(conns))]
+					size := units.Bytes(1+rng.Intn(4<<20)) * 1
+					s.At(at, func() { c.Send(size, nil) })
+				}
+				_ = i
+			}
+			// Check after every fired event once the frontier is clean:
+			// mid-coalescing (a recompute kick is scheduled but not yet
+			// run) rates are legitimately stale.
+			steps := 0
+			for s.Step() {
+				steps++
+				if len(nw.dirtyLinks) == 0 && !nw.recomputeScheduled {
+					checkAgainstReference(t, nw, fmt.Sprintf("step %d", steps))
+				}
+			}
+			if steps == 0 {
+				t.Fatal("workload fired no events")
+			}
+			// Everything must drain.
+			if len(nw.activeList) != 0 && !trunk.down {
+				t.Fatalf("%d conns still active after drain", len(nw.activeList))
+			}
+		})
+	}
+}
+
+// TestSendOnActiveConnSkipsSolve: queueing more bytes on an already-active
+// conn leaves every allocated rate valid — the frontier must stay empty
+// and no recompute event may be scheduled.
+func TestSendOnActiveConnSkipsSolve(t *testing.T) {
+	s := sim.New()
+	nw := New(s)
+	a := nw.NewNode("a")
+	b := nw.NewNode("b")
+	nw.DuplexLink("ab", a, b, units.Gbps, sim.Millisecond)
+	c := nw.DialTCP(a, b, TCPConfig{})
+	s.Schedule(0, func() { c.Send(64*units.MiB, nil) })
+	// Let the first allocation settle.
+	s.RunUntil(10 * sim.Millisecond)
+	if !c.active || c.rate <= 0 {
+		t.Fatalf("conn not streaming: active=%v rate=%g", c.active, c.rate)
+	}
+	before := c.rate
+	s.Schedule(0, func() {
+		c.Send(64*units.MiB, nil)
+		if len(nw.dirtyLinks) != 0 {
+			t.Error("send on active conn dirtied links")
+		}
+		if nw.recomputeScheduled {
+			t.Error("send on active conn scheduled a recompute")
+		}
+	})
+	s.RunUntil(11 * sim.Millisecond)
+	if c.rate != before {
+		t.Fatalf("rate changed %g -> %g without membership change", before, c.rate)
+	}
+}

@@ -98,6 +98,11 @@ type EngineProbe struct {
 	ctr   uint64 // events executed under this probe
 	kinds []kindStats
 
+	// selfAllocs counts heap allocations made by the probe itself
+	// (snapshotting, trace sampling); Snapshot subtracts them so
+	// AllocsPerEvent reflects the run, not the telemetry.
+	selfAllocs uint64
+
 	depthHist   [engineDepthBuckets]uint64
 	depthN      uint64
 	peakPending int
@@ -145,25 +150,30 @@ func heapAllocs() uint64 {
 // exec runs one event under the probe: per-kind counting, sampled wall
 // timing, sampled queue-depth histogram, and the optional deterministic
 // trace instant.
-func (p *EngineProbe) exec(e *Event) {
-	ks := &p.kinds[e.kind]
+func (p *EngineProbe) exec(kind EventKind, fn func()) {
+	ks := &p.kinds[kind]
 	ks.count++
 	p.ctr++
 	if p.ctr%engineDepthOneIn == 0 {
-		d := len(p.sim.pq)
+		d := p.sim.sched.Len()
 		p.depthHist[depthBucket(d)]++
 		p.depthN++
 	}
 	if p.ctr%engineTimeOneIn == 0 {
 		t0 := time.Now()
-		e.fn()
+		fn()
 		ks.wallNs += time.Since(t0).Nanoseconds()
 		ks.timed++
 	} else {
-		e.fn()
+		fn()
 	}
 	if p.TraceSampleEvery > 0 && p.sim.fired%p.TraceSampleEvery == 0 {
+		// Charge the sample's own allocations (trace args, stream buffers)
+		// to the probe, not the run: allocs/event must stay comparable
+		// whether or not engine trace sampling is on.
+		a0 := heapAllocs()
 		p.emitTraceSample()
+		p.selfAllocs += heapAllocs() - a0
 	}
 }
 
@@ -178,7 +188,7 @@ func (p *EngineProbe) emitTraceSample() {
 	}
 	tr.Instant("engine", "sample", "engine", int64(p.sim.now),
 		trace.I("fired", int64(p.sim.fired)),
-		trace.I("pending", int64(len(p.sim.pq))))
+		trace.I("pending", int64(p.sim.sched.Len())))
 }
 
 // notePending tracks the exact event-queue high-water mark (called from
@@ -231,6 +241,7 @@ func (p *EngineProbe) Snapshot() EngineSnapshot {
 	if p == nil {
 		return EngineSnapshot{}
 	}
+	a0 := heapAllocs()
 	snap := EngineSnapshot{
 		Events:      p.ctr,
 		WallNs:      time.Since(p.startWall).Nanoseconds(),
@@ -244,7 +255,7 @@ func (p *EngineProbe) Snapshot() EngineSnapshot {
 		snap.WallPerSimSec = float64(snap.WallNs) / float64(snap.SimNs)
 	}
 	if p.ctr > 0 {
-		snap.AllocsPerEvent = float64(heapAllocs()-p.startHeap) / float64(p.ctr)
+		snap.AllocsPerEvent = float64(a0-p.startHeap-p.selfAllocs) / float64(p.ctr)
 	}
 	snap.DepthP50 = p.depthQuantile(0.50)
 	snap.DepthP99 = p.depthQuantile(0.99)
@@ -259,6 +270,9 @@ func (p *EngineProbe) Snapshot() EngineSnapshot {
 		snap.Kinds = append(snap.Kinds, st)
 	}
 	sort.Slice(snap.Kinds, func(i, j int) bool { return snap.Kinds[i].Name < snap.Kinds[j].Name })
+	// A mid-run Snapshot (live mmpmon tick) allocates for the kind table;
+	// keep that out of the next Snapshot's allocs/event.
+	p.selfAllocs += heapAllocs() - a0
 	return snap
 }
 

@@ -21,6 +21,12 @@ type Proc struct {
 	done   bool
 	killed bool
 	ctx    trace.Ctx // causal context carried into blocking calls (RPC, IO)
+
+	// timer is the process's reusable sleep event (at most one Sleep is
+	// outstanding per process, so one embedded Event serves every Sleep
+	// without allocating); wakeFn is its prebuilt callback.
+	timer  Event
+	wakeFn func()
 }
 
 // Go spawns a process running fn. The process starts at the current virtual
@@ -32,6 +38,7 @@ func (s *Sim) Go(name string, fn func(p *Proc)) *Proc {
 		resume: make(chan struct{}),
 		park:   make(chan struct{}),
 	}
+	p.wakeFn = p.wake
 	s.ScheduleKind(KindProcStart, 0, func() {
 		go func() {
 			<-p.resume
@@ -81,7 +88,7 @@ func (p *Proc) Kill() {
 	// so it can observe killed and unwind. It may be waiting inside a
 	// resource queue; those resumes are harmless on a done process because
 	// wake() checks the flags.
-	p.sim.ScheduleKind(KindWake, 0, func() { p.wake() })
+	p.sim.Post(KindWake, 0, p.wakeFn)
 }
 
 // wake resumes a parked process from the event loop. Safe on finished or
@@ -120,7 +127,7 @@ func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative sleep %v", d))
 	}
-	p.sim.ScheduleKind(KindTimer, d, func() { p.wake() })
+	p.sim.Arm(&p.timer, KindTimer, d, p.wakeFn)
 	p.yield()
 }
 

@@ -1,0 +1,159 @@
+package sim
+
+import "fmt"
+
+// Scheduler is the pending-event queue behind a Sim. Implementations must
+// dispatch events in strictly increasing (when, seq) order — the same total
+// order for every implementation — so a run's event sequence, and therefore
+// every trace byte, is identical no matter which scheduler executes it.
+//
+// The contract is narrow on purpose:
+//
+//   - Push is called only with events not currently queued.
+//   - Remove is called only with events currently queued (Cancel removes
+//     eagerly, so the queue never holds canceled events).
+//   - Pop returns the minimum event under (when, seq) and marks it
+//     not-queued; it returns nil when empty.
+//   - PeekWhen reports the minimum timestamp without dequeuing.
+//
+// Implementations own the Event's pos/bucket bookkeeping fields and the
+// queued flag; nothing else reads them.
+type Scheduler interface {
+	// Name identifies the implementation ("heap", "calendar").
+	Name() string
+	// Push inserts an event. e.when and e.seq are already set.
+	Push(e *Event)
+	// Pop removes and returns the minimum event, or nil when empty.
+	Pop() *Event
+	// PeekWhen returns the minimum timestamp; ok is false when empty.
+	PeekWhen() (when Time, ok bool)
+	// Remove deletes a queued event (precondition: e is queued).
+	Remove(e *Event)
+	// Len returns the number of queued events.
+	Len() int
+}
+
+// NewScheduler returns a scheduler by name: "calendar" (or "") for the
+// calendar queue, "heap" for the binary heap. Unknown names error.
+func NewScheduler(name string) (Scheduler, error) {
+	switch name {
+	case "", "calendar":
+		return NewCalendarScheduler(), nil
+	case "heap":
+		return NewHeapScheduler(), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown scheduler %q (want heap or calendar)", name)
+	}
+}
+
+// eventLess is the dispatch order shared by every scheduler: time first,
+// scheduling sequence as the deterministic FIFO tie-break.
+func eventLess(a, b *Event) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+// heapScheduler is the classic binary min-heap: O(log n) push/pop, simple
+// and cache-friendly at small queue depths. It is the reference
+// implementation the calendar queue is differentially tested against.
+type heapScheduler struct {
+	h []*Event
+}
+
+// NewHeapScheduler returns an empty binary-heap scheduler.
+func NewHeapScheduler() Scheduler { return &heapScheduler{} }
+
+func (s *heapScheduler) Name() string { return "heap" }
+
+func (s *heapScheduler) Len() int { return len(s.h) }
+
+func (s *heapScheduler) PeekWhen() (Time, bool) {
+	if len(s.h) == 0 {
+		return 0, false
+	}
+	return s.h[0].when, true
+}
+
+func (s *heapScheduler) Push(e *Event) {
+	e.queued = true
+	e.pos = int32(len(s.h))
+	s.h = append(s.h, e)
+	s.up(len(s.h) - 1)
+}
+
+func (s *heapScheduler) Pop() *Event {
+	n := len(s.h)
+	if n == 0 {
+		return nil
+	}
+	e := s.h[0]
+	last := s.h[n-1]
+	s.h[n-1] = nil
+	s.h = s.h[:n-1]
+	if n > 1 {
+		s.h[0] = last
+		last.pos = 0
+		s.down(0)
+	}
+	e.queued = false
+	e.pos = -1
+	return e
+}
+
+func (s *heapScheduler) Remove(e *Event) {
+	i := int(e.pos)
+	n := len(s.h) - 1
+	last := s.h[n]
+	s.h[n] = nil
+	s.h = s.h[:n]
+	if i < n {
+		s.h[i] = last
+		last.pos = int32(i)
+		if !s.up(i) {
+			s.down(i)
+		}
+	}
+	e.queued = false
+	e.pos = -1
+}
+
+// up sifts index i toward the root; reports whether it moved.
+func (s *heapScheduler) up(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(s.h[i], s.h[parent]) {
+			break
+		}
+		s.h[i], s.h[parent] = s.h[parent], s.h[i]
+		s.h[i].pos = int32(i)
+		s.h[parent].pos = int32(parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+// down sifts index i toward the leaves.
+func (s *heapScheduler) down(i int) {
+	n := len(s.h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && eventLess(s.h[r], s.h[l]) {
+			min = r
+		}
+		if !eventLess(s.h[min], s.h[i]) {
+			return
+		}
+		s.h[i], s.h[min] = s.h[min], s.h[i]
+		s.h[i].pos = int32(i)
+		s.h[min].pos = int32(min)
+		i = min
+	}
+}

@@ -1,8 +1,10 @@
 // Package sim provides a deterministic discrete-event simulation kernel.
 //
-// The kernel keeps a virtual clock and a priority queue of pending events.
-// Events scheduled for the same instant fire in scheduling order, so a
-// simulation run is fully reproducible. On top of the raw event queue the
+// The kernel keeps a virtual clock and a queue of pending events behind the
+// swappable Scheduler interface (binary heap or calendar queue — see
+// NewScheduler). Events scheduled for the same instant fire in scheduling
+// order on every scheduler, so a simulation run is fully reproducible and
+// byte-identical across implementations. On top of the raw event queue the
 // package offers SimPy-style processes (see Proc) and blocking resources
 // (Resource, Queue, Signal) that make sequential protocol code readable.
 //
@@ -11,7 +13,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"gfs/internal/trace"
@@ -54,67 +55,61 @@ func (t Time) String() string {
 }
 
 // Event is a scheduled callback. It may be canceled before it fires.
+//
+// Events come in three ownership flavors:
+//
+//   - handle events (At/Schedule): allocated per call, returned to the
+//     caller, who may Cancel them;
+//   - pooled events (Post): fire-and-forget, recycled through a free list
+//     the moment they dispatch — no handle ever escapes;
+//   - caller-owned events (Arm): embedded in a long-lived struct and
+//     re-armed across many firings, eliminating per-firing allocation on
+//     hot timers (flow completion estimates, cwnd bumps, process sleeps).
 type Event struct {
-	when     Time
-	seq      uint64
-	fn       func()
-	sim      *Sim
-	index    int // heap index, -1 once popped or canceled
+	when Time
+	seq  uint64
+	fn   func()
+	sim  *Sim
+
+	// Scheduler bookkeeping: queued is the authoritative in-queue flag
+	// (an Event zero value is not queued); pos is the heap index or
+	// in-bucket slot, bucket the calendar bucket index.
+	queued bool
+	pos    int32
+	bucket int32
+
 	canceled bool
 	daemon   bool      // housekeeping: never keeps Run alive (see AtDaemon)
+	pooled   bool      // recycled through Sim.free after dispatch (see Post)
 	kind     EventKind // engine-telemetry label (see RegisterEventKind)
 }
 
 // When returns the virtual time at which the event will fire.
 func (e *Event) When() Time { return e.when }
 
-// Canceled reports whether Cancel was called on the event.
+// Canceled reports whether Cancel was called on the event (for a re-armed
+// caller-owned event: since it was last armed).
 func (e *Event) Canceled() bool { return e.canceled }
+
+// Queued reports whether the event is currently in the queue. A fired,
+// canceled, or never-armed event is not queued.
+func (e *Event) Queued() bool { return e.queued }
 
 // Cancel prevents the event from firing and removes it from the queue at
 // once — heavily rescheduled timers (flow completion estimates) would
-// otherwise flood the heap with dead entries. Canceling an already-fired
+// otherwise flood the queue with dead entries. Canceling an already-fired
 // or already-canceled event is a no-op.
 func (e *Event) Cancel() {
 	if e.canceled {
 		return
 	}
 	e.canceled = true
-	if e.index >= 0 && e.sim != nil {
-		heap.Remove(&e.sim.pq, e.index)
+	if e.queued && e.sim != nil {
+		e.sim.sched.Remove(e)
 		if e.daemon {
 			e.sim.daemons--
 		}
 	}
-}
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
 }
 
 // Sim is a discrete-event simulator instance. The zero value is not usable;
@@ -122,8 +117,12 @@ func (h *eventHeap) Pop() any {
 type Sim struct {
 	now     Time
 	seq     uint64
-	pq      eventHeap
+	sched   Scheduler
 	stopped bool
+
+	// free recycles pooled (Post) events. Its size is bounded by the peak
+	// number of in-flight pooled events, not the run length.
+	free []*Event
 
 	// tracer receives typed virtual-time events from every layer built on
 	// this kernel; nil (the default) disables recording at the cost of one
@@ -150,10 +149,20 @@ type Sim struct {
 	fired uint64
 }
 
-// New returns an empty simulator with the clock at zero.
+// New returns an empty simulator with the clock at zero, using the default
+// (calendar-queue) scheduler.
 func New() *Sim {
-	return &Sim{}
+	return NewWith(NewCalendarScheduler())
 }
+
+// NewWith returns an empty simulator driven by the given scheduler.
+func NewWith(sched Scheduler) *Sim {
+	return &Sim{sched: sched}
+}
+
+// SchedulerName reports which scheduler implementation drives this
+// simulator.
+func (s *Sim) SchedulerName() string { return s.sched.Name() }
 
 // Now returns the current virtual time.
 func (s *Sim) Now() Time { return s.now }
@@ -173,9 +182,8 @@ func (s *Sim) Resources() []*Resource { return s.resources }
 // EventsFired returns the number of events executed so far.
 func (s *Sim) EventsFired() uint64 { return s.fired }
 
-// Pending returns the number of events still queued (including canceled
-// events not yet reaped).
-func (s *Sim) Pending() int { return len(s.pq) }
+// Pending returns the number of events still queued.
+func (s *Sim) Pending() int { return s.sched.Len() }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it would silently corrupt causality.
@@ -190,10 +198,10 @@ func (s *Sim) AtKind(k EventKind, t Time, fn func()) *Event {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
 	s.seq++
-	e := &Event{when: t, seq: s.seq, fn: fn, sim: s, kind: k}
-	heap.Push(&s.pq, e)
+	e := &Event{when: t, seq: s.seq, fn: fn, sim: s, kind: k, bucket: -1, pos: -1}
+	s.sched.Push(e)
 	if s.probe != nil {
-		s.probe.notePending(len(s.pq))
+		s.probe.notePending(s.sched.Len())
 	}
 	return e
 }
@@ -230,27 +238,87 @@ func (s *Sim) ScheduleKind(k EventKind, d Time, fn func()) *Event {
 	return s.AtKind(k, s.now+d, fn)
 }
 
+// Post schedules fn to run after duration d as a fire-and-forget event: no
+// handle is returned, so the event struct is drawn from — and recycled
+// back into — a free list, costing zero steady-state allocations. Use it
+// for the one-shot callbacks that dominate hot loops (message delivery,
+// recompute kicks); use Schedule when the caller needs to Cancel.
+func (s *Sim) Post(k EventKind, d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		e = &Event{sim: s, pooled: true, bucket: -1, pos: -1}
+	}
+	s.seq++
+	e.when = s.now + d
+	e.seq = s.seq
+	e.fn = fn
+	e.kind = k
+	s.sched.Push(e)
+	if s.probe != nil {
+		s.probe.notePending(s.sched.Len())
+	}
+}
+
+// Arm schedules a caller-owned event to fire fn after duration d. The
+// Event is typically embedded in a long-lived struct and re-armed across
+// many firings — no allocation after the first. The owner may Cancel a
+// queued armed event and re-arm it later; arming an event that is still
+// queued panics (Cancel it first).
+func (s *Sim) Arm(e *Event, k EventKind, d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	if e.queued {
+		panic("sim: arming an event that is still queued")
+	}
+	s.seq++
+	e.when = s.now + d
+	e.seq = s.seq
+	e.fn = fn
+	e.sim = s
+	e.kind = k
+	e.canceled = false
+	e.daemon = false
+	e.pooled = false
+	s.sched.Push(e)
+	if s.probe != nil {
+		s.probe.notePending(s.sched.Len())
+	}
+}
+
 // Step executes the next pending event, advancing the clock. It returns
 // false when no events remain.
 func (s *Sim) Step() bool {
-	for len(s.pq) > 0 {
-		e := heap.Pop(&s.pq).(*Event)
-		if e.daemon {
-			s.daemons--
-		}
-		if e.canceled {
-			continue
-		}
-		s.now = e.when
-		s.fired++
-		if s.probe != nil {
-			s.probe.exec(e)
-		} else {
-			e.fn()
-		}
-		return true
+	e := s.sched.Pop()
+	if e == nil {
+		return false
 	}
-	return false
+	if e.daemon {
+		s.daemons--
+	}
+	s.now = e.when
+	s.fired++
+	fn := e.fn
+	kind := e.kind
+	if e.pooled {
+		// Recycle before dispatch: fn never references the event, and a
+		// schedule inside fn may immediately reuse the struct.
+		e.fn = nil
+		s.free = append(s.free, e)
+	}
+	if s.probe != nil {
+		s.probe.exec(kind, fn)
+	} else {
+		fn()
+	}
+	return true
 }
 
 // Run executes events until only daemon events (if any) remain in the
@@ -260,14 +328,11 @@ func (s *Sim) Step() bool {
 func (s *Sim) Run() {
 	s.stopped = false
 	for !s.stopped {
-		if len(s.pq) > s.daemons {
-			if !s.Step() {
+		if s.sched.Len() <= s.daemons {
+			when, ok := s.sched.PeekWhen()
+			if !ok || when > s.now {
 				return
 			}
-			continue
-		}
-		if len(s.pq) == 0 || s.pq[0].when > s.now {
-			return
 		}
 		if !s.Step() {
 			return
@@ -279,16 +344,8 @@ func (s *Sim) Run() {
 func (s *Sim) RunUntil(t Time) {
 	s.stopped = false
 	for !s.stopped {
-		if len(s.pq) == 0 {
-			break
-		}
-		// Peek.
-		next := s.pq[0]
-		if next.canceled {
-			heap.Pop(&s.pq)
-			continue
-		}
-		if next.when > t {
+		when, ok := s.sched.PeekWhen()
+		if !ok || when > t {
 			break
 		}
 		s.Step()

@@ -19,10 +19,7 @@ package trace
 // byte-reproducible, a strict line-subset of the full export, and every
 // retained operation's causal tree is complete (critpath-analyzable).
 
-import (
-	"bufio"
-	"io"
-)
+import "io"
 
 // retainMode selects what push does with a kept event.
 type retainMode uint8
@@ -39,11 +36,13 @@ const (
 // engine samples, background instants) are always kept: they are few and
 // scale-independent. Events of unsampled operations are dropped before
 // any retention cost is paid.
+//
+// Deprecated: use New(WithSampleOneIn(n)) or Configure.
 func (t *Tracer) SetSampleOneIn(n uint64) {
 	if t == nil {
 		return
 	}
-	t.sampleEvery = n
+	t.applySample(n)
 }
 
 // SampleOneIn returns the sampling factor (0 or 1 = unsampled).
@@ -59,12 +58,13 @@ func (t *Tracer) SampleOneIn() uint64 {
 // stays O(1) in run length. Events()/Len() see only events recorded
 // before the switch. The first write error is latched and returned by
 // FlushStream; recording continues (dropping output) after an error.
+//
+// Deprecated: use New(WithStream(w)) or Configure.
 func (t *Tracer) SetStream(w io.Writer) {
 	if t == nil {
 		return
 	}
-	t.mode = modeStream
-	t.stream = bufio.NewWriterSize(w, 1<<16)
+	t.applyStream(w)
 }
 
 // FlushStream flushes the streaming writer and reports the first error
@@ -82,37 +82,37 @@ func (t *Tracer) FlushStream() error {
 // SetRing switches the tracer to ring-buffer mode keeping the last n
 // events. Each slot owns a copy of its arguments, so the shared arena
 // never grows. Events() materializes the ring oldest-first.
+//
+// Deprecated: use New(WithRing(n)) or Configure.
 func (t *Tracer) SetRing(n int) {
 	if t == nil {
 		return
 	}
-	if n < 1 {
-		n = 1
-	}
-	t.mode = modeRing
-	t.ring = make([]Event, n)
-	t.ringArgs = make([][]Arg, n)
-	t.ringNext, t.ringLen = 0, 0
+	t.applyRing(n)
 }
 
 // SetDiscard switches the tracer to discard mode: events flow to the
 // observer (if any) and are then dropped. This is the aggregate-only
 // mode — attach a critpath.Agg observer and nothing is ever retained.
+//
+// Deprecated: use New(WithDiscard()) or Configure.
 func (t *Tracer) SetDiscard() {
 	if t == nil {
 		return
 	}
-	t.mode = modeDiscard
+	t.applyDiscard()
 }
 
 // SetObserver installs a callback invoked for every kept event, in all
 // modes, before retention. The args slice is only valid during the call;
 // observers that need it later must copy. Pass nil to remove.
+//
+// Deprecated: use New(WithObserver(fn)) or Configure.
 func (t *Tracer) SetObserver(fn func(e Event, args []Arg)) {
 	if t == nil {
 		return
 	}
-	t.observer = fn
+	t.applyObserver(fn)
 }
 
 // TotalEmitted returns how many events passed sampling since creation,

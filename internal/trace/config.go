@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+)
+
+// Config is the full retention/sampling configuration of a Tracer in one
+// place. The zero Config is the classic buffer-everything tracer. Exactly
+// one retention mode applies; when several are set the precedence is
+// Stream > Ring > Discard > buffer, mirroring how the experiment layer
+// always resolved the equivalent CLI flags.
+type Config struct {
+	// SampleOneIn keeps one operation in N (0 or 1 keeps everything);
+	// see SetSampleOneIn for the determinism contract.
+	SampleOneIn uint64
+	// Observer is invoked for every kept event before retention.
+	Observer func(e Event, args []Arg)
+	// Stream, when non-nil, selects streaming mode: every kept event is
+	// JSON-encoded to this writer immediately and never retained.
+	Stream io.Writer
+	// Ring, when > 0, selects ring-buffer mode keeping the last Ring
+	// events.
+	Ring int
+	// Discard, when true, retains nothing (aggregate-only runs: pair
+	// with an Observer).
+	Discard bool
+}
+
+// Option mutates a Config; pass options to New.
+type Option func(*Config)
+
+// WithSampleOneIn keeps one operation in n (deterministic hash-selected;
+// n <= 1 keeps all).
+func WithSampleOneIn(n uint64) Option { return func(c *Config) { c.SampleOneIn = n } }
+
+// WithObserver installs an observer invoked for every kept event.
+func WithObserver(fn func(e Event, args []Arg)) Option {
+	return func(c *Config) { c.Observer = fn }
+}
+
+// WithStream selects streaming retention to w.
+func WithStream(w io.Writer) Option { return func(c *Config) { c.Stream = w } }
+
+// WithRing selects ring-buffer retention of the last n events.
+func WithRing(n int) Option { return func(c *Config) { c.Ring = n } }
+
+// WithDiscard selects no retention.
+func WithDiscard() Option { return func(c *Config) { c.Discard = true } }
+
+// Configure applies a complete Config to the tracer, replacing the
+// sampling factor, observer, and retention mode. It is the single
+// canonical configuration path; the legacy setters (SetStream, SetRing,
+// SetDiscard, SetSampleOneIn, SetObserver) are thin wrappers over the
+// same internals.
+func (t *Tracer) Configure(cfg Config) {
+	if t == nil {
+		return
+	}
+	t.applySample(cfg.SampleOneIn)
+	t.applyObserver(cfg.Observer)
+	switch {
+	case cfg.Stream != nil:
+		t.applyStream(cfg.Stream)
+	case cfg.Ring > 0:
+		t.applyRing(cfg.Ring)
+	case cfg.Discard:
+		t.applyDiscard()
+	default:
+		t.mode = modeBuffer
+	}
+}
+
+func (t *Tracer) applySample(n uint64) { t.sampleEvery = n }
+
+func (t *Tracer) applyObserver(fn func(e Event, args []Arg)) { t.observer = fn }
+
+func (t *Tracer) applyStream(w io.Writer) {
+	t.mode = modeStream
+	t.stream = bufio.NewWriterSize(w, 1<<16)
+}
+
+func (t *Tracer) applyRing(n int) {
+	if n < 1 {
+		n = 1
+	}
+	t.mode = modeRing
+	t.ring = make([]Event, n)
+	t.ringArgs = make([][]Arg, n)
+	t.ringNext, t.ringLen = 0, 0
+}
+
+func (t *Tracer) applyDiscard() { t.mode = modeDiscard }

@@ -110,8 +110,20 @@ type Tracer struct {
 	scratch     []Arg // reusable copy handed to observers (args must not escape push)
 }
 
-// New returns an empty tracer.
-func New() *Tracer { return &Tracer{} }
+// New returns an empty tracer. With no options it buffers everything (the
+// classic analysis-grade mode); options select bounded retention and
+// sampling — see Config.
+func New(opts ...Option) *Tracer {
+	t := &Tracer{}
+	if len(opts) > 0 {
+		var cfg Config
+		for _, o := range opts {
+			o(&cfg)
+		}
+		t.Configure(cfg)
+	}
+	return t
+}
 
 // Enabled reports whether the tracer records (i.e. is non-nil). Callers
 // holding a possibly-nil *Tracer may call it unconditionally.
