@@ -9,6 +9,7 @@
 //	gfsbench -sweep sc03depth                  # sc03 single-client pipeline depth
 //	gfsbench -sweep writegather                # stripe-aligned write gathering off/on
 //	gfsbench -sweep simscale                   # engine throughput vs node count
+//	gfsbench -sweep metastorm                  # metadata storm vs token-shard count
 //	gfsbench -sweep readahead -json BENCH_2.json  # machine-readable results
 //
 // With -json the sweep additionally records a causal trace and the output
@@ -47,7 +48,7 @@ import (
 
 func main() {
 	var (
-		sweep    = flag.String("sweep", "", "readahead | nodes | blocksize | stripe | sc03depth | writegather | simscale")
+		sweep    = flag.String("sweep", "", "readahead | nodes | blocksize | stripe | sc03depth | writegather | simscale | metastorm")
 		rttFlag  = flag.Duration("rtt", 80*time.Millisecond, "WAN round-trip time")
 		jsonPath = flag.String("json", "", "also write machine-readable results (rows + op rates + attribution) to this file")
 	)
@@ -175,6 +176,19 @@ func main() {
 			cfg.ReadAhead = d
 			r := experiments.RunSC03(cfg)
 			addRow(float64(d), r.Headline["client MB/s"], r.Headline["peak Gb/s"])
+		}
+	case "metastorm":
+		// Create/write-small/stat/remove storm against the token/metadata
+		// plane, one row per shard count. Row 0 is the single-manager
+		// baseline; the CI floor asserts the sharded rows' ops/sec ratio.
+		columns = []string{"token_shards", "ops_per_s", "meta_wait_pct"}
+		for _, n := range []int{0, 4, 8} {
+			cfg := experiments.DefaultMetastormConfig()
+			cfg.Shards = []int{n}
+			r := experiments.RunMetastorm(cfg)
+			addRow(float64(n),
+				r.Headline[fmt.Sprintf("ops/s @%d shards", n)],
+				100*r.Headline[fmt.Sprintf("meta wait share @%d shards", n)])
 		}
 	case "writegather":
 		// One sequential writer against DS4100-backed RAID, with the
@@ -306,7 +320,8 @@ func rowSeries(row int, tl *timeline.Collector) []benchSeries {
 // sc03 pipeline-depth sweep added with client prefetch/write-behind, 5
 // for the write-gathering ablation, 8 for the engine-throughput simscale
 // sweep (which carries no op attribution — it measures the simulator,
-// not the modeled filesystem, and rep is nil).
+// not the modeled filesystem, and rep is nil), 9 for the metadata-storm
+// token-shard sweep.
 func writeJSON(path, sweep string, columns []string, rows [][]float64, series []benchSeries, rep *critpath.Report) error {
 	bench := 2
 	switch sweep {
@@ -316,6 +331,8 @@ func writeJSON(path, sweep string, columns []string, rows [][]float64, series []
 		bench = 5
 	case "simscale":
 		bench = 8
+	case "metastorm":
+		bench = 9
 	}
 	out := benchOut{
 		Bench: bench, Sweep: sweep, Columns: columns, Rows: rows,

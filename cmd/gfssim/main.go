@@ -161,6 +161,16 @@ func main() {
 		runners[0].Run = func() *experiments.Result { return experiments.RunProductionScaling(cfg) }
 	}
 
+	if opts.TokenShards >= 0 {
+		if *exp != "metastorm" {
+			fmt.Fprintln(os.Stderr, "gfssim: -token-shards only applies to -exp metastorm")
+			os.Exit(2)
+		}
+		cfg := experiments.DefaultMetastormConfig()
+		cfg.Shards = []int{opts.TokenShards}
+		runners[0].Run = func() *experiments.Result { return experiments.RunMetastorm(cfg) }
+	}
+
 	stopProf, err := opts.StartCPUProfile()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gfssim: -cpuprofile:", err)

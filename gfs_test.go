@@ -121,7 +121,7 @@ func TestFacadeIdentity(t *testing.T) {
 
 func TestExperimentRegistryThroughFacade(t *testing.T) {
 	rs := gfs.Experiments()
-	if len(rs) != 11 {
+	if len(rs) != 12 {
 		t.Fatalf("registry size %d", len(rs))
 	}
 	seen := map[string]bool{}

@@ -157,6 +157,11 @@ type Mount struct {
 	fo         []foState   // per-NSD failover state, indexed like info.Servers
 	detached   bool        // set by Unmount; further I/O fails ErrNotMounted
 
+	// shardDown marks metadata/token shards this mount has observed
+	// unavailable; their traffic goes to the coordinator permanently (a
+	// stolen shard never takes its authority back).
+	shardDown []bool
+
 	bytesRead        units.Bytes
 	bytesWritten     units.Bytes
 	cacheHits        uint64
@@ -173,6 +178,10 @@ type Mount struct {
 	fullStripeWrites uint64 // gathered flushes covering whole RAID stripes
 	wideTokenGrants  uint64 // grants wider than the desired range
 	batchedNSDOps    uint64 // multi-block NSD RPCs (flush + prefetch)
+
+	shardMetaOps       uint64 // metadata ops served by a shard
+	shardTokenAcquires uint64 // token acquires served by a shard
+	shardFallbacks     uint64 // ops rerouted to the coordinator (shard down/moved)
 }
 
 // stripeWOf returns the RAID stripe width behind an NSD, or 0 when the
@@ -311,11 +320,12 @@ func (cl *Client) mount(p *sim.Proc, device, fsName, owner string, mgr *netsim.E
 	}
 	m := &Mount{
 		c: cl, Device: device, fsName: fsName, owner: owner, info: info,
-		pool:  newPagePool(int(cl.cfg.PagePool / info.BlockSize)),
-		toks:  newTokenTable(),
-		wgFl:  sim.NewWaitGroup(cl.sim),
-		flSig: sim.NewSignal(cl.sim),
-		fo:    make([]foState, len(info.Servers)),
+		pool:      newPagePool(int(cl.cfg.PagePool / info.BlockSize)),
+		toks:      newTokenTable(),
+		wgFl:      sim.NewWaitGroup(cl.sim),
+		flSig:     sim.NewSignal(cl.sim),
+		fo:        make([]foState, len(info.Servers)),
+		shardDown: make([]bool, len(info.Shards)),
 	}
 	cl.mounts[device] = m
 	return m, nil
@@ -337,6 +347,37 @@ func (m *Mount) meta(p *sim.Proc, op metaOp) netsim.Response {
 	}
 	op.Cluster = m.c.cluster.Name
 	op.Caller = m.c.Ident
+	_, reg := m.obs()
+	var issued sim.Time
+	if reg != nil {
+		issued = m.c.sim.Now()
+	}
+	resp := m.metaCall(p, op)
+	if reg != nil {
+		// meta.call_ns is the client-observed metadata latency — wire plus
+		// manager-queue wait — the quantity the metastorm critpath
+		// attribution reads.
+		reg.Counter("meta.calls").Inc()
+		reg.Histogram("meta.call_ns").Observe(float64(m.c.sim.Now() - issued))
+	}
+	return resp
+}
+
+// metaCall routes one metadata op: to the home shard when the plane is
+// sharded and the shard is believed up, falling back to the coordinator
+// (permanently, for that shard) on ErrServerDown/ErrShardMoved.
+func (m *Mount) metaCall(p *sim.Proc, op metaOp) netsim.Response {
+	if n := len(m.info.Shards); n > 0 {
+		if k := metaRoute(n, op); k >= 0 && !m.shardDown[k] {
+			resp := m.c.EP.Call(p, m.info.Shards[k], shardSvcName(metaService, k, m.fsName), 192, op)
+			if !shardUnavailable(resp.Err) {
+				m.shardMetaOps++
+				return resp
+			}
+			m.shardDown[k] = true
+			m.shardFallbacks++
+		}
+	}
 	return m.c.EP.Call(p, m.info.Manager, metaService+"."+m.fsName, 192, op)
 }
 
@@ -593,11 +634,28 @@ func (m *Mount) acquireToken(p *sim.Proc, ino int64, start, end units.Bytes, mod
 		prev = p.Ctx()
 		p.SetCtx(trace.Ctx{Op: prev.Op, Parent: tokSID})
 	}
-	resp := m.c.EP.Call(p, m.info.Manager, tokenService+"."+m.fsName, 128, tokenOp{
+	op := tokenOp{
 		Op: "acquire", Cluster: m.c.cluster.Name, Client: m.c.id,
 		Inode: ino, Start: reqStart, End: reqEnd, DStart: desStart, DEnd: desEnd, Mode: mode,
 		Wide: m.c.cfg.WideTokens,
-	})
+	}
+	var resp netsim.Response
+	routed := false
+	if n := len(m.info.Shards); n > 0 {
+		if k := inodeShard(n, ino); !m.shardDown[k] {
+			resp = m.c.EP.Call(p, m.info.Shards[k], shardSvcName(tokenService, k, m.fsName), 128, op)
+			routed = !shardUnavailable(resp.Err)
+			if routed {
+				m.shardTokenAcquires++
+			} else {
+				m.shardDown[k] = true
+				m.shardFallbacks++
+			}
+		}
+	}
+	if !routed {
+		resp = m.c.EP.Call(p, m.info.Manager, tokenService+"."+m.fsName, 128, op)
+	}
 	if tr != nil {
 		p.SetCtx(prev)
 	}
@@ -705,7 +763,13 @@ type page struct {
 	dirty    bool
 	dFrom    units.Bytes
 	dTo      units.Bytes
-	err      error // sticky I/O error, surfaced on wait/sync
+	// gen counts content revisions. A flush snapshots it at issue time
+	// and may only mark the page clean if it is unchanged at completion:
+	// a write landing while the flush is in flight — even one that leaves
+	// the dirty interval identical — must keep the page dirty, or the
+	// rewrite never reaches the media.
+	gen uint64
+	err error // sticky I/O error, surfaced on wait/sync
 
 	fetching   bool
 	inPrefetch bool // the in-flight fetch was issued by the prefetcher

@@ -44,3 +44,9 @@ var (
 // failed NSD server; clients fail over to the NSD's backup server and
 // periodically re-probe the primary.
 var ErrServerDown = errors.New("NSD server down")
+
+// ErrShardMoved is returned by a metadata/token shard whose authority
+// the coordinator stole back after its home server died. A stolen shard
+// never takes its authority back; clients route the shard's operations
+// to the coordinator permanently.
+var ErrShardMoved = errors.New("shard authority moved to coordinator")

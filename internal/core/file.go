@@ -551,6 +551,7 @@ func (f *File) writeAt(p *sim.Proc, off, size units.Bytes, data []byte) error {
 			pg.hasBytes = true
 		}
 		dataOff += sp.Len
+		pg.gen++
 		if !pg.dirty {
 			pg.dirty = true
 			pg.dFrom, pg.dTo = sp.Offset, sp.Offset+sp.Len
@@ -743,6 +744,10 @@ func (m *Mount) flushGathered(run []*page) {
 			copy(data[units.Bytes(i)*bs:], pg.data)
 		}
 	}
+	snapGens := make([]uint64, n)
+	for i, pg := range run {
+		snapGens[i] = pg.gen
+	}
 	_, reg := m.obs()
 	var issued sim.Time
 	if reg != nil {
@@ -766,7 +771,7 @@ func (m *Mount) flushGathered(run []*page) {
 			reg.Counter("cache.gathered_flushes").Inc()
 			reg.Histogram("cache.flush_ns").Observe(float64(m.c.sim.Now() - issued))
 		}
-		for _, pg := range run {
+		for i, pg := range run {
 			if pg.stale {
 				if pg.dirty {
 					pg.dirty = false
@@ -778,7 +783,9 @@ func (m *Mount) flushGathered(run []*page) {
 			if resp.Err == nil {
 				pg.err = nil
 				m.bytesWritten += bs
-				if pg.dirty && pg.dFrom == 0 && pg.dTo == bs {
+				// Same rule as flushAsync: a page rewritten mid-flight
+				// (generation moved) stays dirty and flushes again.
+				if pg.dirty && pg.gen == snapGens[i] {
 					pg.dirty = false
 					m.pool.dirty--
 				}
@@ -800,6 +807,7 @@ func (m *Mount) flushAsync(pg *page) {
 	pg.flushing = true
 	m.writebacks++
 	snapFrom, snapTo := pg.dFrom, pg.dTo
+	snapGen := pg.gen
 	var data []byte
 	if pg.hasBytes {
 		data = make([]byte, snapTo-snapFrom)
@@ -843,7 +851,10 @@ func (m *Mount) flushAsync(pg *page) {
 		if resp.Err == nil {
 			pg.err = nil
 			m.bytesWritten += snapTo - snapFrom
-			if pg.dirty && pg.dFrom == snapFrom && pg.dTo == snapTo {
+			// Clean only if nothing touched the page while the flush was
+			// in flight; an unchanged interval is not enough — the content
+			// may have been rewritten in place.
+			if pg.dirty && pg.gen == snapGen {
 				pg.dirty = false
 				m.pool.dirty--
 			}

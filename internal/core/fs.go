@@ -74,6 +74,13 @@ type FileSystem struct {
 	tokens *tokenTable
 	lease  sim.Time // token lease; a dead client's tokens expire after this
 
+	// shards is the partitioned metadata/token plane (see shard.go); nil
+	// means the single-manager configuration. takeovers tracks in-flight
+	// lease steal-backs by shard index so concurrent escalations wait on
+	// one takeover instead of racing it.
+	shards    []*tokenShard
+	takeovers map[int]*sim.WaitGroup
+
 	// stripeAlign places stripe-width groups of consecutive file blocks
 	// contiguously on one NSD (see SetStripeAlign); elevator enables
 	// per-NSD request scheduling (see SetElevator).
@@ -132,6 +139,7 @@ type mountInfo struct {
 	Backups   []*NSDServer  // each NSD's backup server (nil entries allowed)
 	StripeW   []units.Bytes // each NSD's RAID stripe width (0 = unknown/none)
 	Manager   *netsim.Endpoint
+	Shards    []*netsim.Endpoint // metadata/token shard endpoints (nil = unsharded)
 }
 
 // newFileSystem is invoked via Cluster.CreateFS.
@@ -145,6 +153,7 @@ func newFileSystem(c *Cluster, name string, blockSize units.Bytes) *FileSystem {
 		nextInode: 2,
 		tokens:    newTokenTable(),
 		lease:     DefaultTokenLease,
+		takeovers: make(map[int]*sim.WaitGroup),
 	}
 	root := &Inode{Num: 1, Name: "/", Dir: true, Mode: DefaultPerm | WorldWrite, children: map[string]int64{}}
 	fs.inodes[1] = root
@@ -333,15 +342,38 @@ func (i *Inode) canWrite(id Identity) bool {
 	return id.DN != "" && id.DN == i.OwnerDN && i.Mode&OwnerWrite != 0
 }
 
-// serveMeta handles the metadata service. It runs in simulated time only
-// through the RPC transport; the operations themselves are instantaneous,
-// matching the paper's observation that WAN-GFS performance is a data-path
-// question.
+// serveMeta handles the metadata service on the coordinator. It runs in
+// simulated time only through the RPC transport; the operations
+// themselves are instantaneous, matching the paper's observation that
+// WAN-GFS performance is a data-path question. With shards configured,
+// a shard-homed operation arriving here is an escalation — the client
+// fell back because the home shard refused — so the coordinator steals
+// the shard's authority first. Cross-shard renames land here by design
+// (the one conflict the partitioning cannot localize) and count as
+// escalations without triggering a steal.
 func (fs *FileSystem) serveMeta(p *sim.Proc, req *netsim.Request) netsim.Response {
 	op, ok := req.Payload.(metaOp)
 	if !ok {
 		return netsim.Response{Err: fmt.Errorf("core: bad meta payload %T", req.Payload)}
 	}
+	if n := len(fs.shards); n > 0 {
+		if k := metaRoute(n, op); k >= 0 {
+			fs.shards[k].escalations++
+			fs.stealBack(p, k)
+		} else if op.Op == "rename" {
+			fs.shards[pathShard(n, op.Path)].escalations++
+		}
+	}
+	return fs.serveMetaOp(p, op, nil)
+}
+
+// serveMetaOp is the metadata implementation shared by the coordinator
+// (sh == nil) and every shard. All shards operate on the filesystem's
+// single namespace — the simulated wire in front of each endpoint is
+// the serialization point being distributed — but block allocation is
+// genuinely partitioned: a shard serves it from bulk regions it drew
+// from the central allocation maps.
+func (fs *FileSystem) serveMetaOp(p *sim.Proc, op metaOp, sh *tokenShard) netsim.Response {
 	fs.metaOps++
 	dop := disk.Read
 	switch op.Op {
@@ -437,7 +469,7 @@ func (fs *FileSystem) serveMeta(p *sim.Proc, req *netsim.Request) netsim.Respons
 		fs.freeBlocks(ino, 0)
 		delete(parent.children, base)
 		delete(fs.inodes, num)
-		fs.tokens.dropInode(num)
+		fs.dropInodeTokens(num)
 		return netsim.Response{Size: 64}
 
 	case "alloc":
@@ -445,7 +477,7 @@ func (fs *FileSystem) serveMeta(p *sim.Proc, req *netsim.Request) netsim.Respons
 		if ino == nil || ino.Dir {
 			return netsim.Response{Size: 64, Err: fmt.Errorf("core: alloc on inode %d: %w", op.Inode, ErrNotExist)}
 		}
-		refs, err := fs.allocBlocks(ino, op.From, op.Count)
+		refs, err := fs.allocBlocks(ino, op.From, op.Count, sh)
 		if err != nil {
 			return netsim.Response{Size: 64, Err: err}
 		}
@@ -569,7 +601,10 @@ func (fs *FileSystem) serveMeta(p *sim.Proc, req *netsim.Request) netsim.Respons
 // NSD when one fills. With stripe alignment on, whole groups of
 // consecutive blocks land as one stripe-aligned contiguous slot run on
 // one NSD (falling back to per-block allocation when no run is free).
-func (fs *FileSystem) allocBlocks(ino *Inode, from, count int64) ([]BlockRef, error) {
+// When a shard serves the allocation (sh != nil, per-block striping
+// only), slots come from the shard's bulk regions instead of the
+// central map's next-fit scan.
+func (fs *FileSystem) allocBlocks(ino *Inode, from, count int64, sh *tokenShard) ([]BlockRef, error) {
 	striper := Striper{NSDs: len(fs.nsds), First: int(ino.Num) % len(fs.nsds)}
 	if fs.stripeAlign {
 		striper.Group = fs.stripeGroup()
@@ -605,7 +640,14 @@ func (fs *FileSystem) allocBlocks(ino *Inode, from, count int64) ([]BlockRef, er
 		var ref = NilBlock
 		for k := 0; k < len(fs.nsds); k++ {
 			ni := (first + k) % len(fs.nsds)
-			if slot, ok := fs.nsds[ni].alloc.Alloc(); ok {
+			var slot int64
+			var ok bool
+			if sh != nil && g == 1 {
+				slot, ok = sh.allocSlot(fs.nsds[ni].alloc, ni)
+			} else {
+				slot, ok = fs.nsds[ni].alloc.Alloc()
+			}
+			if ok {
 				ref = BlockRef{NSD: ni, Block: slot}
 				break
 			}
@@ -666,11 +708,16 @@ func (fs *FileSystem) serveMount(p *sim.Proc, req *netsim.Request) netsim.Respon
 		backups[i] = n.Backup
 		stripeW[i] = n.stripeW
 	}
+	var shardEPs []*netsim.Endpoint
+	for _, sh := range fs.shards {
+		shardEPs = append(shardEPs, sh.EP)
+	}
 	return netsim.Response{
-		Size: units.Bytes(256 + 64*len(fs.nsds)),
+		Size: units.Bytes(256 + 64*len(fs.nsds) + 32*len(fs.shards)),
 		Payload: mountInfo{
 			FS: fs.Name, BlockSize: fs.BlockSize, NSDs: len(fs.nsds),
 			Servers: servers, Backups: backups, StripeW: stripeW, Manager: fs.mgr,
+			Shards: shardEPs,
 		},
 	}
 }

@@ -325,3 +325,138 @@ func TestMmpmonEngineHistRoundTrip(t *testing.T) {
 		t.Errorf("pre-p999 hist parsed wrong: %+v", oldSnap.Hists)
 	}
 }
+
+// emulateGrant drives one acquire through the manager's own grant
+// protocol against a bare tokenTable: covered fast path, conflict carve
+// (the dead-client / post-ack path, minus the wire), optional widen,
+// insert. It mirrors serveTokenOp's table arithmetic exactly so the
+// fuzzer exercises the same split/merge/widen/carve code paths the
+// manager and every shard run.
+func emulateGrant(tab *tokenTable, ino int64, holder string, start, end, dEnd units.Bytes, mode TokenMode, wide bool) {
+	if dEnd < end {
+		dEnd = end
+	}
+	if tab.holderCovers(ino, holder, start, end, mode) {
+		return
+	}
+	conf := tab.conflicts(ino, start, dEnd, mode, holder)
+	if len(conf) > 0 {
+		tab.contended[ino] = true
+		for h, sp := range conf {
+			s0, e0 := start, dEnd
+			if sp[0] > s0 {
+				s0 = sp[0]
+			}
+			if sp[1] < e0 {
+				e0 = sp[1]
+			}
+			tab.carve(ino, h, s0, e0)
+			tab.revokes++
+		}
+	}
+	gS, gE := start, dEnd
+	if wide && !tab.contended[ino] {
+		gS, gE = tab.widen(ino, holder, start, dEnd, mode)
+	}
+	tab.insert(ino, holder, gS, gE, mode)
+}
+
+// checkTokenInvariants asserts the table's structural invariants: every
+// range non-empty, and no two holders ever hold conflicting overlapping
+// ranges (an exclusive range overlaps nothing of anyone else).
+func checkTokenInvariants(t *testing.T, tab *tokenTable) {
+	t.Helper()
+	for ino, rs := range tab.byInode {
+		if len(rs) == 0 {
+			t.Fatalf("ino %d: empty range list left in table", ino)
+		}
+		for i, a := range rs {
+			if a.End <= a.Start {
+				t.Fatalf("ino %d: empty/inverted range %+v", ino, a)
+			}
+			for _, b := range rs[i+1:] {
+				if a.Holder == b.Holder {
+					continue
+				}
+				if overlaps(a.Start, a.End, b.Start, b.End) &&
+					(a.Mode == TokExclusive || b.Mode == TokExclusive) {
+					t.Fatalf("ino %d: conflicting overlap %+v vs %+v", ino, a, b)
+				}
+			}
+		}
+	}
+}
+
+// FuzzTokenRange fuzzes the byte-range token arithmetic — split, merge,
+// widen, carve — through the manager's grant protocol. Invariants, after
+// every operation: no conflicting overlap between holders; the granted
+// span fully covers the required range; re-granting an identical request
+// is idempotent (covered fast path, table byte-identical).
+func FuzzTokenRange(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 8, 1})
+	// Two writers leapfrogging the same inode, then a release.
+	f.Add([]byte{
+		0, 0, 0, 0, 16, 3,
+		0, 0, 1, 8, 16, 3,
+		12, 0, 0, 0, 8, 0,
+	})
+	// Shared readers overlapping an exclusive writer, cross-inode noise,
+	// holder eviction and inode teardown.
+	f.Add([]byte{
+		0, 0, 0, 0, 32, 1,
+		0, 0, 1, 16, 32, 0,
+		0, 1, 2, 0, 64, 2,
+		13, 0, 1, 0, 0, 0,
+		14, 1, 0, 0, 0, 0,
+	})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab := newTokenTable()
+		const maxOps = 256
+		for n := 0; n+6 <= len(data) && n/6 < maxOps; n += 6 {
+			op, inoB, holB, startB, lenB, flags := data[n], data[n+1], data[n+2], data[n+3], data[n+4], data[n+5]
+			ino := int64(inoB % 3) // few inodes: force per-inode interaction
+			holder := string(rune('a' + holB%4))
+			start := units.Bytes(startB) // small coordinate space: force overlap
+			length := units.Bytes(lenB%64) + 1
+			end := start + length
+			mode := TokShared
+			if flags&1 != 0 {
+				mode = TokExclusive
+			}
+			wide := flags&2 != 0
+			dEnd := end
+			if flags&4 != 0 {
+				dEnd = end + 32 // desired-range widening, as TokenChunk does
+			}
+
+			switch op % 16 {
+			case 12: // release: carve the holder's own range
+				tab.carve(ino, holder, start, end)
+			case 13: // unmount / eviction
+				tab.dropHolder(holder)
+			case 14: // file removed
+				tab.dropInode(ino)
+			default: // acquire dominates, as it does in real traffic
+				emulateGrant(tab, ino, holder, start, end, dEnd, mode, wide)
+				if !tab.holderCovers(ino, holder, start, end, mode) {
+					t.Fatalf("grant does not cover required [%d,%d) %v for %s on ino %d: %+v",
+						start, end, mode, holder, ino, tab.byInode[ino])
+				}
+				// Idempotent re-grant: the identical request must hit the
+				// covered fast path and leave the table untouched.
+				beforeGrants := tab.grants
+				before := fmt.Sprintf("%+v", tab.byInode[ino])
+				emulateGrant(tab, ino, holder, start, end, dEnd, mode, wide)
+				if tab.grants != beforeGrants {
+					t.Fatalf("re-grant of covered [%d,%d) issued a new grant", start, end)
+				}
+				if after := fmt.Sprintf("%+v", tab.byInode[ino]); after != before {
+					t.Fatalf("re-grant mutated the table:\n before %s\n after  %s", before, after)
+				}
+			}
+			checkTokenInvariants(t, tab)
+		}
+	})
+}

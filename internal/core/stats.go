@@ -42,6 +42,11 @@ type MountStats struct {
 	FullStripeWrites uint64 // gathered flushes covering whole RAID stripes
 	WideTokenGrants  uint64 // token grants wider than the desired range
 	BatchedNSDOps    uint64 // multi-block NSD RPCs (flushes + prefetches)
+
+	// Sharded-plane counters (zero on an unsharded filesystem).
+	ShardMetaOps       uint64 // metadata ops served by a shard
+	ShardTokenAcquires uint64 // token acquires served by a shard
+	ShardFallbacks     uint64 // ops rerouted to the coordinator (shard down/moved)
 }
 
 // Stats returns a snapshot of the mount's I/O statistics.
@@ -66,6 +71,10 @@ func (m *Mount) Stats() MountStats {
 		FullStripeWrites: m.fullStripeWrites,
 		WideTokenGrants:  m.wideTokenGrants,
 		BatchedNSDOps:    m.batchedNSDOps,
+
+		ShardMetaOps:       m.shardMetaOps,
+		ShardTokenAcquires: m.shardTokenAcquires,
+		ShardFallbacks:     m.shardFallbacks,
 	}
 }
 
@@ -153,6 +162,9 @@ func WriteMmpmon(w io.Writer, s *sim.Sim, clusters []*Cluster) {
 			fmt.Fprintf(w, "full stripe writes: %d\n", st.FullStripeWrites)
 			fmt.Fprintf(w, "wide token grants: %d\n", st.WideTokenGrants)
 			fmt.Fprintf(w, "batched nsd ops: %d\n", st.BatchedNSDOps)
+			fmt.Fprintf(w, "shard meta ops: %d\n", st.ShardMetaOps)
+			fmt.Fprintf(w, "shard token acquires: %d\n", st.ShardTokenAcquires)
+			fmt.Fprintf(w, "shard fallbacks: %d\n", st.ShardFallbacks)
 		}
 	}
 
@@ -176,6 +188,16 @@ func WriteMmpmon(w io.Writer, s *sim.Sim, clusters []*Cluster) {
 			fmt.Fprintf(w, "meta ops: %d\n", fs.MetaOps())
 			fmt.Fprintf(w, "capacity: %d\n", int64(fs.Capacity()))
 			fmt.Fprintf(w, "free: %d\n", int64(fs.FreeBytes()))
+			// Per-shard token-plane counters, emitted only when the plane
+			// is sharded. Plain key/value rows inside the io_s section, so
+			// older ParseMmpmon scrapers recover them as ordinary counters.
+			for k := 0; k < fs.TokenShards(); k++ {
+				g, r, esc, st := fs.ShardStats(k)
+				fmt.Fprintf(w, "token shard %d grants: %d\n", k, g)
+				fmt.Fprintf(w, "token shard %d revokes: %d\n", k, r)
+				fmt.Fprintf(w, "token shard %d escalations: %d\n", k, esc)
+				fmt.Fprintf(w, "token shard %d steals: %d\n", k, st)
+			}
 			for _, srv := range fs.servers {
 				o, i := srv.BytesServed()
 				state := "up"

@@ -103,6 +103,12 @@ func (t *tokenTable) carve(inode int64, holder string, start, end units.Bytes) {
 			out = append(out, heldRange{end, r.End, r.Mode, r.Holder})
 		}
 	}
+	if len(out) == 0 {
+		// Don't leak an empty entry: a release-heavy workload (every
+		// small-file close) would otherwise grow the table forever.
+		delete(t.byInode, inode)
+		return
+	}
 	t.byInode[inode] = out
 }
 
@@ -266,11 +272,31 @@ func (fs *FileSystem) obsTokenEvent(what, holder string, ino int64, start, end u
 	}
 }
 
-// serveToken handles acquire/release on the manager.
+// serveToken handles acquire/release on the coordinator (the central
+// manager). With shards configured, an acquire or release arriving here
+// for a shard-homed inode is an escalation: the client fell back because
+// the home shard refused, so the coordinator steals the shard's
+// authority (lease steal-back) before serving from its own table.
 func (fs *FileSystem) serveToken(p *sim.Proc, req *netsim.Request) netsim.Response {
 	op, ok := req.Payload.(tokenOp)
 	if !ok {
 		return netsim.Response{Err: fmt.Errorf("core: bad token payload %T", req.Payload)}
+	}
+	if n := len(fs.shards); n > 0 && (op.Op == "acquire" || op.Op == "release") {
+		k := inodeShard(n, op.Inode)
+		fs.shards[k].escalations++
+		fs.stealBack(p, k)
+	}
+	return fs.serveTokenOp(p, op, nil)
+}
+
+// serveTokenOp is the token protocol shared by the coordinator (sh ==
+// nil: fs.tokens, revokes from fs.mgr) and every shard (the shard's
+// table, revokes from its home server's endpoint).
+func (fs *FileSystem) serveTokenOp(p *sim.Proc, op tokenOp, sh *tokenShard) netsim.Response {
+	t, from := fs.tokens, fs.mgr
+	if sh != nil {
+		t, from = sh.table, sh.EP
 	}
 	switch op.Op {
 	case "acquire":
@@ -292,7 +318,6 @@ func (fs *FileSystem) serveToken(p *sim.Proc, req *netsim.Request) netsim.Respon
 		if dEnd < op.End {
 			dEnd = op.End
 		}
-		t := fs.tokens
 		if t.holderCovers(op.Inode, op.Client, op.Start, op.End, op.Mode) {
 			return netsim.Response{Size: 64, Payload: grantRange{op.Start, op.End}}
 		}
@@ -327,7 +352,7 @@ func (fs *FileSystem) serveToken(p *sim.Proc, req *netsim.Request) netsim.Respon
 				t.revokes++
 				fs.obsTokenEvent("revoke", h, op.Inode, s0, e0)
 				h := h
-				fs.mgr.GoCtx(p.Ctx(), cl.EP, revokeService, 128,
+				from.GoCtx(p.Ctx(), cl.EP, revokeService, 128,
 					revokePayload{FS: fs.Name, Inode: op.Inode, Start: s0, End: e0},
 					func(r netsim.Response) {
 						if r.Err != nil {
@@ -352,8 +377,21 @@ func (fs *FileSystem) serveToken(p *sim.Proc, req *netsim.Request) netsim.Respon
 					})
 			}
 			fs.tokenWaiting++
+			if sh != nil {
+				sh.waiting++
+			}
 			wg.Wait(p)
 			fs.tokenWaiting--
+			if sh != nil {
+				sh.waiting--
+			}
+		}
+		if sh != nil && sh.stolen {
+			// The coordinator stole this shard's authority while we were
+			// blocked on revokes: our table merged away underneath us.
+			// Refuse rather than grant from a dead table; the client
+			// retries at the coordinator.
+			return netsim.Response{Err: fmt.Errorf("core: %s: %w", sh.label(), ErrShardMoved)}
 		}
 		gStart, gEnd := dStart, dEnd
 		if op.Wide && !t.contended[op.Inode] {
@@ -364,20 +402,32 @@ func (fs *FileSystem) serveToken(p *sim.Proc, req *netsim.Request) netsim.Respon
 		return netsim.Response{Size: 64, Payload: grantRange{gStart, gEnd}}
 
 	case "release":
-		fs.tokens.carve(op.Inode, op.Client, op.Start, op.End)
+		t.carve(op.Inode, op.Client, op.Start, op.End)
 		return netsim.Response{Size: 64}
 
 	case "unmount":
+		// Unmount goes to the coordinator, which drops the client's
+		// holdings from every table — its own and each shard's (shared
+		// state; the wire round trip to the coordinator is the cost).
 		fs.tokens.dropHolder(op.Client)
+		for _, s2 := range fs.shards {
+			s2.table.dropHolder(op.Client)
+		}
 		delete(fs.cluster.clients, op.Client)
 		return netsim.Response{Size: 64}
 	}
 	return netsim.Response{Err: fmt.Errorf("core: unknown token op %q", op.Op)}
 }
 
-// TokenStats returns (grants, revokes) counters for tests and benches.
+// TokenStats returns (grants, revokes) counters summed across the
+// coordinator and every shard, for tests and benches.
 func (fs *FileSystem) TokenStats() (uint64, uint64) {
-	return fs.tokens.Grants(), fs.tokens.Revokes()
+	g, r := fs.tokens.Grants(), fs.tokens.Revokes()
+	for _, sh := range fs.shards {
+		g += sh.table.Grants()
+		r += sh.table.Revokes()
+	}
+	return g, r
 }
 
 // TokenWaiters returns how many acquire requests are currently blocked

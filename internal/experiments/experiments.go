@@ -93,6 +93,7 @@ func All() []Runner {
 		{"hsm", "§8 — HSM migration and recall", func() *Result { return RunHSM(DefaultHSMConfig()) }},
 		{"cache", "§8 — automatic edge caching over a copyright library", func() *Result { return RunCache(DefaultCacheConfig()) }},
 		{"failover", "Fig. 5 / §3 — dip-and-recovery under an injected NSD server crash", func() *Result { return RunFailover(DefaultFailoverConfig()) }},
+		{"metastorm", "§6 — metadata storm over the sharded token/metadata plane", func() *Result { return RunMetastorm(DefaultMetastormConfig()) }},
 	}
 }
 

@@ -184,8 +184,8 @@ func TestHSMSmall(t *testing.T) {
 }
 
 func TestRegistryAndRendering(t *testing.T) {
-	if len(All()) != 11 {
-		t.Errorf("registry has %d experiments, want 11", len(All()))
+	if len(All()) != 12 {
+		t.Errorf("registry has %d experiments, want 12", len(All()))
 	}
 	if _, ok := ByName("production"); !ok {
 		t.Error("ByName(production) missing")

@@ -259,6 +259,15 @@ func (o *Obs) sampleSim(s *sim.Sim, tk *timeline.Tick) {
 			tk.Rate("token."+fs.Name+".revokes_per_s", "ops/s", float64(revokes))
 			tk.Gauge("token."+fs.Name+".waiting", "reqs", float64(fs.TokenWaiters()))
 			tk.Rate("meta."+fs.Name+".ops_per_s", "ops/s", float64(fs.MetaOps()))
+			for k := 0; k < fs.TokenShards(); k++ {
+				g, r, esc, st := fs.ShardStats(k)
+				pre := fmt.Sprintf("token.%s.s%d.", fs.Name, k)
+				tk.Rate(pre+"grants_per_s", "ops/s", float64(g))
+				tk.Rate(pre+"revokes_per_s", "ops/s", float64(r))
+				tk.Rate(pre+"escalations_per_s", "ops/s", float64(esc))
+				tk.Rate(pre+"steals_per_s", "ops/s", float64(st))
+				tk.Gauge(pre+"waiting", "reqs", float64(fs.ShardWaiters(k)))
+			}
 			for _, srv := range fs.Servers() {
 				out, in := srv.BytesServed()
 				tk.Rate("nsd."+srv.Name+".read_MBps", "MB/s", float64(out)/1e6)

@@ -50,16 +50,17 @@ type Options struct {
 	Size  string // bytes moved per client node, e.g. "64MiB"
 
 	// Experiment tuning overrides (RegisterTuning; gfssim only).
-	Depth    int
-	Block    int64
-	FileSize int64
-	CrashAt  time.Duration
-	Outage   time.Duration
-	Duration time.Duration
-	RADepth  int
-	WBDirty  int
-	Gather   bool
-	WideTok  bool
+	Depth       int
+	Block       int64
+	FileSize    int64
+	CrashAt     time.Duration
+	Outage      time.Duration
+	Duration    time.Duration
+	RADepth     int
+	WBDirty     int
+	Gather      bool
+	WideTok     bool
+	TokenShards int
 
 	// Profiling (RegisterProfiles).
 	CPUProfile string
@@ -142,6 +143,8 @@ func (o *Options) RegisterTuning(fs *flag.FlagSet) {
 		"production only: stripe-aligned flush gathering, NSD batching and elevator")
 	fs.BoolVar(&o.WideTok, "wide-tokens", false,
 		"production only: opportunistic wide token grants")
+	fs.IntVar(&o.TokenShards, "token-shards", -1,
+		"metastorm only: run a single arm with this many token shards (0 = central manager)")
 }
 
 // RegisterProfiles registers the pprof output flags.

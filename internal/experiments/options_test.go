@@ -52,7 +52,7 @@ func TestFlagSurface(t *testing.T) {
 			[]string{"nodes", "size"}},
 		{"tuning", (*Options).RegisterTuning,
 			[]string{"block", "crash", "depth", "duration", "filesize",
-				"gather", "outage", "ra-depth", "wb-max-dirty", "wide-tokens"}},
+				"gather", "outage", "ra-depth", "token-shards", "wb-max-dirty", "wide-tokens"}},
 		{"profiles", (*Options).RegisterProfiles,
 			[]string{"cpuprofile", "memprofile"}},
 	}

@@ -18,6 +18,7 @@ type DurabilityConfig struct {
 	Gather     bool     // flush gathering on (the Sync ack contract must hold either way)
 	WideTokens bool     // opportunistic wide grants on
 	Lease      sim.Time // token lease: how long until the dead victim's tokens are stolen
+	Shards     int      // token-plane shards (0 = central manager only)
 }
 
 // recByte is the victim's deterministic record pattern: the oracle must
@@ -33,7 +34,7 @@ func recByte(off int64) byte { return byte(off*131 + off>>9 + 7) }
 // happens under live token traffic.
 func RunCrashDurability(cfg DurabilityConfig) []Divergence {
 	wcfg := Config{Seed: cfg.Seed, Clients: cfg.Clients, Ops: cfg.Ops,
-		Gather: cfg.Gather, WideTokens: cfg.WideTokens}
+		Gather: cfg.Gather, WideTokens: cfg.WideTokens, Shards: cfg.Shards}
 	wcfg.defaults()
 	wcfg.Clients++ // clients[0] is the victim; the rest run the workload
 	if cfg.CrashAt == 0 {

@@ -38,6 +38,23 @@ type Config struct {
 	// invisible to the byte-level oracle.
 	Gather     bool
 	WideTokens bool
+
+	// Shards partitions the metadata/token plane over that many shards
+	// homed on the NSD servers (0 = the single central manager). Like
+	// Gather, sharding is pure performance machinery: the oracle must not
+	// be able to tell a sharded run from an unsharded one.
+	Shards int
+
+	// MetaHeavy switches the op mix to a metadata storm: mostly
+	// create/stat/rename/remove of small files spread over deep
+	// directories — the NorduGrid small-file workload, and the traffic
+	// pattern sharding exists for.
+	MetaHeavy bool
+
+	// Lease overrides the token lease (0 = the filesystem default). The
+	// sharded crash tests shorten it so steal-back completes within the
+	// scripted outage.
+	Lease sim.Time
 }
 
 func (c *Config) defaults() {
@@ -98,6 +115,10 @@ func buildRig(cfg *Config) *rig {
 		fs.SetStripeAlign(true)
 		fs.SetElevator(true)
 	}
+	fs.SetTokenShards(cfg.Shards)
+	if cfg.Lease > 0 {
+		fs.SetTokenLease(cfg.Lease)
+	}
 
 	ccfg := core.DefaultClientConfig()
 	ccfg.PagePool = units.Bytes(cfg.PoolBlocks) * cfg.BlockSize
@@ -136,6 +157,12 @@ type worker struct {
 	dir   string
 	max   units.Bytes // file size cap in bytes
 
+	// dirs is the worker's directory set (its top dir plus the nested
+	// chain under it in MetaHeavy mode); metaHeavy switches step to the
+	// metadata-storm op mix.
+	dirs      []string
+	metaHeavy bool
+
 	next  int // name counter for create/rename
 	files []openFile
 	div   *[]Divergence
@@ -165,6 +192,9 @@ func (w *worker) diverge(op, path, detail string) {
 // step performs one random operation; it returns false when the worker
 // must stop (an unexpected error poisons everything after it).
 func (w *worker) step(p *sim.Proc) bool {
+	if w.metaHeavy {
+		return w.metaStep(p)
+	}
 	// Creation pressure when below quota, otherwise weighted choice.
 	if len(w.files) == 0 || (len(w.files) < maxFilesPerClient && w.rng.Intn(100) < 15) {
 		path := fmt.Sprintf("%s/f%04d", w.dir, w.next)
@@ -262,6 +292,106 @@ func (w *worker) step(p *sim.Proc) bool {
 	return true
 }
 
+// metaHeavyMaxFiles caps the live-file set in the storm profile: high
+// enough that creates, stats and removes all stay hot.
+const metaHeavyMaxFiles = 12
+
+// metaStep is the metadata-storm op mix: small files churned through
+// create/stat/rename/remove across the worker's deep directory chain,
+// with just enough data traffic to keep the byte oracle honest. The
+// shape mirrors the NorduGrid small-file replication pattern the paper
+// calls out as GPFS's worst case.
+func (w *worker) metaStep(p *sim.Proc) bool {
+	if len(w.files) == 0 || (len(w.files) < metaHeavyMaxFiles && w.rng.Intn(100) < 30) {
+		dir := w.dirs[w.rng.Intn(len(w.dirs))]
+		path := fmt.Sprintf("%s/m%05d", dir, w.next)
+		w.next++
+		f, err := w.m.Create(p, path, core.DefaultPerm)
+		if err != nil {
+			w.fail("create", path, err)
+			return false
+		}
+		w.model.Create(path)
+		// A small payload: the file exists for its metadata, not its bytes.
+		data := make([]byte, 1+w.rng.Int63n(4096))
+		w.rng.Read(data)
+		if err := f.WriteBytesAt(p, 0, data); err != nil {
+			w.fail("write", path, err)
+			return false
+		}
+		w.model.Write(path, 0, data)
+		w.files = append(w.files, openFile{path: path, f: f})
+		return true
+	}
+	i := w.rng.Intn(len(w.files))
+	of := &w.files[i]
+	switch c := w.rng.Intn(100); {
+	case c < 25: // stat: the hot path of a metadata storm
+		a, err := w.m.Stat(p, of.path)
+		if err != nil {
+			w.fail("stat", of.path, err)
+			return false
+		}
+		if a.Dir {
+			w.diverge("stat", of.path, "file turned into a directory")
+		}
+	case c < 45: // rename, often across directories (and so across shards)
+		dir := w.dirs[w.rng.Intn(len(w.dirs))]
+		newPath := fmt.Sprintf("%s/m%05d", dir, w.next)
+		w.next++
+		if err := w.m.Rename(p, of.path, newPath); err != nil {
+			w.fail("rename", of.path, err)
+			return false
+		}
+		w.model.Rename(of.path, newPath)
+		of.path = newPath
+	case c < 62: // remove: small-file churn
+		path := of.path
+		if err := of.f.Close(p); err != nil {
+			w.fail("close", path, err)
+			return false
+		}
+		if err := w.m.Remove(p, path); err != nil {
+			w.fail("remove", path, err)
+			return false
+		}
+		w.model.Remove(path)
+		w.files[i] = w.files[len(w.files)-1]
+		w.files = w.files[:len(w.files)-1]
+	case c < 78: // read back and compare against the model
+		size := w.model.Size(of.path)
+		if size == 0 {
+			return true
+		}
+		off := w.rng.Int63n(size)
+		ln := 1 + w.rng.Int63n(size-off)
+		got, err := of.f.ReadBytesAt(p, units.Bytes(off), units.Bytes(ln))
+		if err != nil {
+			w.fail("read", of.path, err)
+			return false
+		}
+		if d := diffBytes(got, w.model.Read(of.path, off, ln)); d != "" {
+			w.diverge("read", of.path, fmt.Sprintf("[%d,%d): %s", off, off+ln, d))
+		}
+	case c < 90: // small overwrite somewhere in the file
+		size := w.model.Size(of.path)
+		off := w.rng.Int63n(size + 1)
+		data := make([]byte, 1+w.rng.Int63n(4096))
+		w.rng.Read(data)
+		if err := of.f.WriteBytesAt(p, units.Bytes(off), data); err != nil {
+			w.fail("write", of.path, err)
+			return false
+		}
+		w.model.Write(of.path, off, data)
+	default: // sync
+		if err := of.f.Sync(p); err != nil {
+			w.fail("sync", of.path, err)
+			return false
+		}
+	}
+	return true
+}
+
 // Run executes the randomized workload and returns every divergence
 // between the real stack and the reference model (nil means the run is
 // clean). Errors building the rig panic — they are harness bugs.
@@ -287,8 +417,23 @@ func Run(cfg Config) []Divergence {
 				divs = append(divs, Divergence{Client: cl.ID(), Op: "mkdir", Path: dir, Detail: err.Error()})
 				return
 			}
+			dirs := []string{dir}
+			if cfg.MetaHeavy {
+				// A nested chain under the worker's top dir: deep paths hash
+				// independently, so one worker's storm fans out over shards.
+				sub := dir
+				for d := 0; d < 3; d++ {
+					sub = fmt.Sprintf("%s/d%d", sub, d)
+					if err := m.Mkdir(p, sub); err != nil {
+						divs = append(divs, Divergence{Client: cl.ID(), Op: "mkdir", Path: sub, Detail: err.Error()})
+						return
+					}
+					dirs = append(dirs, sub)
+				}
+			}
 			workers[i] = &worker{
 				name: cl.ID(), m: m, model: model, dir: dir,
+				dirs: dirs, metaHeavy: cfg.MetaHeavy,
 				max: units.Bytes(maxFileBlocks) * cfg.BlockSize,
 				rng: newWorkerRNG(cfg.Seed, i),
 				div: &divs,
@@ -388,6 +533,11 @@ func verify(p *sim.Proc, m *core.Mount, model *Model, divs *[]Divergence) {
 		}
 		got := map[string]bool{}
 		for _, a := range ents {
+			if a.Dir {
+				// The model tracks files only; subdirectories (the
+				// MetaHeavy nesting) are scaffolding, not oracle state.
+				continue
+			}
 			got[a.Name] = true
 		}
 		for name := range want {

@@ -111,3 +111,101 @@ func TestDeterministicDivergenceFree(t *testing.T) {
 		report(t, Run(Config{Seed: 42, Clients: 2, Ops: 60}))
 	}
 }
+
+// TestRandomWorkloadSharded reruns the standard random workload with the
+// metadata/token plane sharded four ways. Sharding is pure performance
+// machinery — the byte-level oracle and the namespace checks must come
+// out identical to the unsharded runs on the same seeds.
+func TestRandomWorkloadSharded(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		seed := seed
+		t.Run(string(rune('A'+seed-1)), func(t *testing.T) {
+			report(t, Run(Config{Seed: seed, Clients: 4, Ops: 100, Shards: 4}))
+		})
+	}
+}
+
+// TestMetadataStorm model-checks the metadata-heavy profile — small
+// files churned through create/stat/rename/remove across deep
+// directories — against the flat reference, with and without sharding
+// on the same seeds. Zero divergences allowed either way.
+func TestMetadataStorm(t *testing.T) {
+	for _, shards := range []int{0, 4} {
+		shards := shards
+		name := "unsharded"
+		if shards > 0 {
+			name = "sharded"
+		}
+		t.Run(name, func(t *testing.T) {
+			for _, seed := range []int64{1, 2, 3} {
+				seed := seed
+				t.Run(string(rune('A'+seed-1)), func(t *testing.T) {
+					report(t, Run(Config{Seed: seed, Clients: 4, Ops: 120,
+						MetaHeavy: true, Shards: shards}))
+				})
+			}
+		})
+	}
+}
+
+// TestMetadataStormServerCrash is the unsharded storm-under-outage run.
+// It pins the write-behind generation fix: the storm's repeated small
+// overwrites land on pages whose flushes sit in long retry against the
+// dead server, and a rewrite over an identical dirty interval used to be
+// marked clean when the stale flush finally acked — the rewrite never
+// reached the media.
+func TestMetadataStormServerCrash(t *testing.T) {
+	for _, seed := range []int64{1, 7} {
+		seed := seed
+		t.Run(string(rune('A'+seed-1)), func(t *testing.T) {
+			report(t, Run(Config{
+				Seed: seed, Clients: 4, Ops: 120,
+				MetaHeavy:         true,
+				ServerCrashDelay:  100 * sim.Millisecond,
+				ServerCrashOutage: 2 * sim.Second,
+			}))
+		})
+	}
+}
+
+// TestMetadataStormShardCrash kills NSD server 0 — the home of shard 0 —
+// in the middle of a sharded metadata storm. Clients must fall back to
+// the coordinator, the coordinator must wait out the (shortened) lease
+// and merge the shard's token table into its own, and the run must stay
+// divergence-free end to end: lease steal-back under live traffic.
+func TestMetadataStormShardCrash(t *testing.T) {
+	for _, seed := range []int64{1, 7} {
+		seed := seed
+		t.Run(string(rune('A'+seed-1)), func(t *testing.T) {
+			report(t, Run(Config{
+				Seed: seed, Clients: 4, Ops: 120,
+				MetaHeavy: true, Shards: 4,
+				Lease:             300 * sim.Millisecond,
+				ServerCrashDelay:  100 * sim.Millisecond,
+				ServerCrashOutage: 2 * sim.Second,
+			}))
+		})
+	}
+}
+
+// TestCrashDurabilitySharded reruns the Sync-ack durability oracle with
+// the token plane sharded: an acked Sync must survive the client crash
+// even when the tokens being stolen live in a shard's table rather than
+// the central manager's.
+func TestCrashDurabilitySharded(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(string(rune('A'+seed-1)), func(t *testing.T) {
+			report(t, RunCrashDurability(DurabilityConfig{Seed: seed, Clients: 3, Ops: 80,
+				Shards: 4}))
+		})
+	}
+}
+
+// TestDeterministicDivergenceFreeSharded is the determinism canary for
+// the sharded plane: same seed, same storm, twice — both clean.
+func TestDeterministicDivergenceFreeSharded(t *testing.T) {
+	for i := 0; i < 2; i++ {
+		report(t, Run(Config{Seed: 42, Clients: 2, Ops: 60, MetaHeavy: true, Shards: 4}))
+	}
+}
