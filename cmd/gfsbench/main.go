@@ -17,11 +17,12 @@
 // attribution totals.
 //
 // The simscale sweep profiles the simulator itself, not the modeled
-// hardware: it runs the production workload at 64/256/1024 nodes with an
-// engine probe attached and reports sim-events per wall second, wall
-// milliseconds per simulated second, allocations per event and the
-// event-queue high-water mark. `-json BENCH_8.json` is the artifact the
-// CI events/sec floor checks against.
+// hardware: it runs the production workload at 64/256/1024 nodes (up to
+// 4096 with -nodes) with an engine probe attached and reports sim-events
+// per wall second, wall milliseconds per simulated second, allocations
+// per event, the event-queue high-water mark and the wall share of flow
+// rate recomputation. `-json BENCH_10.json` is the artifact the CI
+// events/sec floor checks against.
 //
 // The -scheduler/-engine-stats/-nodes/-size/-cpuprofile/-memprofile
 // flags are registered through experiments.Options, the flag surface
@@ -138,7 +139,8 @@ func main() {
 		}
 	case "simscale":
 		columns = []string{"nodes", "events", "sim_s", "wall_s",
-			"ev_per_wall_s", "wall_ms_per_sim_s", "allocs_per_ev", "peak_pending"}
+			"ev_per_wall_s", "wall_ms_per_sim_s", "allocs_per_ev", "peak_pending",
+			"recompute_wall_pct"}
 		for _, n := range nodeCounts(&opts, []int{64, 256, 1024}) {
 			start := len(obs.EngineWindows())
 			cfg := experiments.DefaultProductionConfig()
@@ -149,7 +151,8 @@ func main() {
 			addRow(float64(n), float64(es.Events),
 				float64(es.SimNs)/1e9, float64(es.WallNs)/1e9,
 				es.EventsPerSec, es.WallPerSimSec*1e3,
-				es.AllocsPerEvent, float64(es.PeakPending))
+				es.AllocsPerEvent, float64(es.PeakPending),
+				recomputeWallPct(es))
 		}
 	case "blocksize":
 		columns = []string{"blocksize_KiB", "MBps"}
@@ -219,6 +222,7 @@ func main() {
 		fmt.Println("-- engine telemetry --")
 		es := obs.EngineSnapshot()
 		es.WriteReport(os.Stdout)
+		obs.WriteSolverReport(os.Stdout)
 		fmt.Println()
 	}
 
@@ -238,6 +242,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gfsbench: -memprofile:", err)
 		os.Exit(1)
 	}
+}
+
+// recomputeWallPct estimates what share of the run's wall clock went to
+// flow-rate recomputation, from the probe's per-kind attribution. This
+// is the number the bottleneck-local solver exists to shrink.
+func recomputeWallPct(es sim.EngineSnapshot) float64 {
+	var total, rec int64
+	for _, k := range es.Kinds {
+		total += k.EstWallNs
+		if k.Name == "net.recompute" {
+			rec = k.EstWallNs
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(rec) / float64(total)
 }
 
 // nodeCounts parses the shared -nodes flag, falling back to the sweep's
@@ -318,10 +339,11 @@ func rowSeries(row int, tl *timeline.Collector) []benchSeries {
 // (struct field order is fixed; encoding/json sorts map keys). The bench
 // number tags the artifact series: 2 for the original sweeps, 4 for the
 // sc03 pipeline-depth sweep added with client prefetch/write-behind, 5
-// for the write-gathering ablation, 8 for the engine-throughput simscale
-// sweep (which carries no op attribution — it measures the simulator,
-// not the modeled filesystem, and rep is nil), 9 for the metadata-storm
-// token-shard sweep.
+// for the write-gathering ablation, 9 for the metadata-storm token-shard
+// sweep, 10 for the engine-throughput simscale sweep (which carries no
+// op attribution — it measures the simulator, not the modeled
+// filesystem, and rep is nil; 8 was the pre-bottleneck-local,
+// pre-recompute_wall_pct shape of the same sweep).
 func writeJSON(path, sweep string, columns []string, rows [][]float64, series []benchSeries, rep *critpath.Report) error {
 	bench := 2
 	switch sweep {
@@ -330,7 +352,7 @@ func writeJSON(path, sweep string, columns []string, rows [][]float64, series []
 	case "writegather":
 		bench = 5
 	case "simscale":
-		bench = 8
+		bench = 10
 	case "metastorm":
 		bench = 9
 	}

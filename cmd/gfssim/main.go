@@ -265,6 +265,7 @@ func main() {
 			fmt.Println("-- engine telemetry --")
 			es := obs.EngineSnapshot()
 			es.WriteReport(os.Stdout)
+			obs.WriteSolverReport(os.Stdout)
 			fmt.Println()
 		}
 		if obs.Tracer != nil && !attrPerRun {

@@ -47,6 +47,11 @@ type ClientConfig struct {
 	// conflict-free range containing the request, carved back down when a
 	// competitor shows up.
 	WideTokens bool
+	// NoArena disables the per-mount page-buffer arena: page data and
+	// flush scratch buffers are allocated fresh instead of recycled. The
+	// zero value (arenas on) is the fast path; the knob exists for A/B
+	// runs and the modeltest arena arm.
+	NoArena bool
 }
 
 // DefaultProbeInterval is how often a mount re-checks a down primary.
@@ -150,6 +155,7 @@ type Mount struct {
 	info   mountInfo
 
 	pool       *pagePool
+	arena      *bufArena   // recycles page.data and flush scratch buffers
 	toks       *tokenTable // local cache; single holder (the client id)
 	wgFl       *sim.WaitGroup
 	flSig      *sim.Signal // fired on each flush ack, for backpressure
@@ -318,9 +324,11 @@ func (cl *Client) mount(p *sim.Proc, device, fsName, owner string, mgr *netsim.E
 	if !ok {
 		return nil, fmt.Errorf("core: bad mount reply %T", resp.Payload)
 	}
+	arena := newBufArena(cl.sim, int(info.BlockSize), cl.cfg.NoArena)
 	m := &Mount{
 		c: cl, Device: device, fsName: fsName, owner: owner, info: info,
-		pool:      newPagePool(int(cl.cfg.PagePool / info.BlockSize)),
+		pool:      newPagePool(int(cl.cfg.PagePool/info.BlockSize), arena),
+		arena:     arena,
 		toks:      newTokenTable(),
 		wgFl:      sim.NewWaitGroup(cl.sim),
 		flSig:     sim.NewSignal(cl.sim),
@@ -778,6 +786,13 @@ type page struct {
 	flushing   bool
 	waiters    []func()
 
+	// pins counts readers holding a reference across blocking waits
+	// (readAt's page set). A pinned page evicted mid-read keeps its data
+	// buffer until the last unpin — the reader still copies out of it —
+	// and only then may the arena recycle it (orphaned marks the deferral).
+	pins     int
+	orphaned bool
+
 	elem *list.Element
 }
 
@@ -786,17 +801,18 @@ type pagePool struct {
 	pages    map[pageKey]*page
 	lru      *list.List // front = most recently used
 	dirty    int
+	arena    *bufArena // reclaims page.data on remove
 	// unusedPrefetch counts prefetched pages dropped before any demand
 	// read claimed them — the honest cost of speculation (see
 	// MountStats.PrefetchUnused).
 	unusedPrefetch uint64
 }
 
-func newPagePool(capacity int) *pagePool {
+func newPagePool(capacity int, arena *bufArena) *pagePool {
 	if capacity < 4 {
 		capacity = 4
 	}
-	return &pagePool{capacity: capacity, pages: make(map[pageKey]*page), lru: list.New()}
+	return &pagePool{capacity: capacity, pages: make(map[pageKey]*page), lru: list.New(), arena: arena}
 }
 
 func (pp *pagePool) get(k pageKey) *page {
@@ -819,7 +835,11 @@ func (pp *pagePool) add(k pageKey, ref BlockRef) *page {
 
 // remove unlinks a page, charging a never-used prefetch if applicable.
 // The map check guards against a stale page whose key has since been
-// re-added: only the current occupant may be deleted by key.
+// re-added: only the current occupant may be deleted by key. The page's
+// data buffer goes back to the arena — every discard path (evict,
+// invalidate, truncate/remove discard, stale I/O landing) funnels through
+// here — unless a reader still holds a pin, in which case the recycle is
+// deferred to the last unpin.
 func (pp *pagePool) remove(pg *page) {
 	if pg.prefetched {
 		pp.unusedPrefetch++
@@ -828,6 +848,29 @@ func (pp *pagePool) remove(pg *page) {
 	pp.lru.Remove(pg.elem)
 	if pp.pages[pg.key] == pg {
 		delete(pp.pages, pg.key)
+	}
+	if pg.data != nil {
+		if pg.pins > 0 {
+			pg.orphaned = true
+		} else {
+			pp.arena.putBlock(pg.data)
+			pg.data = nil
+		}
+	}
+}
+
+// unpin releases a reader's hold on a page, completing any recycle that
+// remove deferred while the page was pinned.
+func (pp *pagePool) unpin(pg *page) {
+	if pg.pins > 0 {
+		pg.pins--
+	}
+	if pg.pins == 0 && pg.orphaned {
+		pg.orphaned = false
+		if pg.data != nil {
+			pp.arena.putBlock(pg.data)
+			pg.data = nil
+		}
 	}
 }
 

@@ -197,7 +197,7 @@ func (m *Mount) fetchAsync(f *File, idx int64, ref BlockRef, verify, prefetch bo
 			m.bytesRead += bs
 			if verify {
 				if bytes, ok := resp.Payload.([]byte); ok {
-					pg.mergeFetched(bytes, bs)
+					pg.mergeFetched(m.arena, bytes, bs)
 				}
 			}
 		} else {
@@ -300,7 +300,7 @@ func (m *Mount) fetchRunAsync(f *File, idxs []int64, verify bool) {
 				pg.err = nil
 				m.bytesRead += bs
 				if verify && units.Bytes(len(media)) == ln {
-					pg.mergeFetched(media[units.Bytes(i)*bs:units.Bytes(i+1)*bs], bs)
+					pg.mergeFetched(m.arena, media[units.Bytes(i)*bs:units.Bytes(i+1)*bs], bs)
 				}
 			} else {
 				pg.err = resp.Err
@@ -316,9 +316,9 @@ func (m *Mount) fetchRunAsync(f *File, idxs []int64, verify bool) {
 }
 
 // mergeFetched installs media bytes without clobbering a dirty interval.
-func (pg *page) mergeFetched(media []byte, bs units.Bytes) {
+func (pg *page) mergeFetched(a *bufArena, media []byte, bs units.Bytes) {
 	if pg.data == nil {
-		pg.data = make([]byte, bs)
+		pg.data = a.getBlock()
 		copy(pg.data, media)
 		pg.hasBytes = true
 		return
@@ -393,8 +393,18 @@ func (f *File) readAt(p *sim.Proc, off, size units.Bytes, verify bool) ([]byte, 
 			m.cacheHits++
 			hits++
 		}
+		pg.pins++
 		pages[i] = pg
 	}
+	// The pins keep each page's data buffer alive until the copy-out below:
+	// while this proc blocks in waitPage, a concurrent completion may evict
+	// a clean page from the pool, and an unpinned eviction would hand the
+	// buffer back to the arena mid-read.
+	defer func() {
+		for _, pg := range pages {
+			m.pool.unpin(pg)
+		}
+	}()
 	if hits > 0 {
 		if tr != nil {
 			tr.Instant("cache", "hit", m.c.id, int64(m.c.sim.Now()),
@@ -545,7 +555,7 @@ func (f *File) writeAt(p *sim.Proc, off, size units.Bytes, data []byte) error {
 		}
 		if data != nil {
 			if pg.data == nil {
-				pg.data = make([]byte, bs)
+				pg.data = m.arena.getBlock()
 			}
 			copy(pg.data[sp.Offset:], data[dataOff:dataOff+sp.Len])
 			pg.hasBytes = true
@@ -739,7 +749,7 @@ func (m *Mount) flushGathered(run []*page) {
 	}
 	var data []byte
 	if run[0].hasBytes {
-		data = make([]byte, ln)
+		data = m.arena.getScratch(int(ln))
 		for i, pg := range run {
 			copy(data[units.Bytes(i)*bs:], pg.data)
 		}
@@ -761,6 +771,10 @@ func (m *Mount) flushGathered(run []*page) {
 		NSD: run[0].ref.NSD, Block: run[0].ref.Block, Off: 0, Len: ln, Count: int64(n),
 		Op: disk.Write, Data: data,
 	}, func(resp netsim.Response) {
+		// The server copied the payload on receipt (goIO retries resend the
+		// same slice, but onDone runs once, after the final attempt), so the
+		// staging buffer is dead here and can be recycled.
+		m.arena.putScratch(data)
 		for _, pg := range run {
 			pg.flushing = false
 		}
@@ -810,7 +824,7 @@ func (m *Mount) flushAsync(pg *page) {
 	snapGen := pg.gen
 	var data []byte
 	if pg.hasBytes {
-		data = make([]byte, snapTo-snapFrom)
+		data = m.arena.getScratch(int(snapTo - snapFrom))
 		copy(data, pg.data[snapFrom:snapTo])
 	}
 	_, reg := m.obs()
@@ -829,6 +843,7 @@ func (m *Mount) flushAsync(pg *page) {
 		NSD: pg.ref.NSD, Block: pg.ref.Block, Off: snapFrom, Len: snapTo - snapFrom,
 		Op: disk.Write, Data: data,
 	}, func(resp netsim.Response) {
+		m.arena.putScratch(data) // server copied the payload; buffer is dead
 		pg.flushing = false
 		m.flInFlight--
 		m.endBgOp(rec, trace.I("ino", pg.key.ino), trace.I("bytes", int64(snapTo-snapFrom)))

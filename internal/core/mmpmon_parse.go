@@ -26,6 +26,9 @@ type MmpmonSnapshot struct {
 	// Rates holds the per-interval timeline lines (WriteMmpmonRates) —
 	// windowed rates between snapshots, absent from pre-timeline writers.
 	Rates []MmpmonRate
+	// Solvers holds the per-network rate-solver lines (WriteMmpmonSolver),
+	// absent from pre-solver writers.
+	Solvers []MmpmonSolver
 	// Warnings records lines the parser skipped because it did not
 	// recognize them — output from a newer writer. Forward compatibility:
 	// an old scraper keeps every counter it knows instead of failing on
@@ -101,6 +104,16 @@ type MmpmonRate struct {
 	Name  string
 	Unit  string
 	Value float64
+}
+
+// MmpmonSolver is one "mmpmon solver" line: a network's full vs
+// bottleneck-local solve counters and the frontier-size histogram
+// (log2 bucket index -> solve count; empty buckets are absent).
+type MmpmonSolver struct {
+	Full, Local, Placements           int64
+	Periodic, Escalations, Expansions int64
+	RegionConns, BoundaryLinks        int64
+	FrontierHist                      map[int]int64
 }
 
 // ParseMmpmon parses a WriteMmpmon rendering. It is strict about the
@@ -232,6 +245,42 @@ func ParseMmpmon(r io.Reader) (*MmpmonSnapshot, error) {
 				return fail(err.Error())
 			}
 			snap.Engine = eng
+		case strings.HasPrefix(line, "mmpmon solver "):
+			kv, ok := kvPairs(strings.Fields(line), 2)
+			if !ok {
+				return fail("bad solver line")
+			}
+			sv := MmpmonSolver{}
+			err := firstErr(
+				kvInt(kv, "full", &sv.Full),
+				kvInt(kv, "local", &sv.Local),
+				kvInt(kv, "placements", &sv.Placements),
+				kvInt(kv, "periodic", &sv.Periodic),
+				kvInt(kv, "escalations", &sv.Escalations),
+				kvInt(kv, "expansions", &sv.Expansions),
+				kvInt(kv, "region_conns", &sv.RegionConns),
+				kvInt(kv, "boundary_links", &sv.BoundaryLinks),
+			)
+			if err != nil {
+				return fail(err.Error())
+			}
+			// b<idx> pairs are the frontier histogram ("boundary_links"
+			// fails the Atoi and is skipped).
+			for k, v := range kv {
+				if len(k) < 2 || k[0] != 'b' {
+					continue
+				}
+				idx, err1 := strconv.Atoi(k[1:])
+				n, err2 := strconv.ParseInt(v, 10, 64)
+				if err1 != nil || err2 != nil {
+					continue
+				}
+				if sv.FrontierHist == nil {
+					sv.FrontierHist = map[int]int64{}
+				}
+				sv.FrontierHist[idx] = n
+			}
+			snap.Solvers = append(snap.Solvers, sv)
 		case strings.HasPrefix(line, "mmpmon rate "):
 			// Warn-don't-fail: rate lines are advisory telemetry, and a
 			// future writer may extend the format. Dropping one window's

@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"gfs/internal/metrics"
+	"gfs/internal/netsim"
 	"gfs/internal/sim"
 	"gfs/internal/timeline"
 	"gfs/internal/units"
@@ -47,6 +48,11 @@ type MountStats struct {
 	ShardMetaOps       uint64 // metadata ops served by a shard
 	ShardTokenAcquires uint64 // token acquires served by a shard
 	ShardFallbacks     uint64 // ops rerouted to the coordinator (shard down/moved)
+
+	// Page-buffer arena counters (zero with ClientConfig.NoArena).
+	ArenaHits     uint64 // buffer gets served from a free list
+	ArenaMisses   uint64 // buffer gets that had to allocate
+	ArenaRecycled uint64 // buffers returned to a free list
 }
 
 // Stats returns a snapshot of the mount's I/O statistics.
@@ -75,6 +81,10 @@ func (m *Mount) Stats() MountStats {
 		ShardMetaOps:       m.shardMetaOps,
 		ShardTokenAcquires: m.shardTokenAcquires,
 		ShardFallbacks:     m.shardFallbacks,
+
+		ArenaHits:     m.arena.hits,
+		ArenaMisses:   m.arena.misses,
+		ArenaRecycled: m.arena.recycled,
 	}
 }
 
@@ -165,6 +175,9 @@ func WriteMmpmon(w io.Writer, s *sim.Sim, clusters []*Cluster) {
 			fmt.Fprintf(w, "shard meta ops: %d\n", st.ShardMetaOps)
 			fmt.Fprintf(w, "shard token acquires: %d\n", st.ShardTokenAcquires)
 			fmt.Fprintf(w, "shard fallbacks: %d\n", st.ShardFallbacks)
+			fmt.Fprintf(w, "arena hits: %d\n", st.ArenaHits)
+			fmt.Fprintf(w, "arena misses: %d\n", st.ArenaMisses)
+			fmt.Fprintf(w, "arena recycled: %d\n", st.ArenaRecycled)
 		}
 	}
 
@@ -215,10 +228,39 @@ func WriteMmpmon(w io.Writer, s *sim.Sim, clusters []*Cluster) {
 		fmt.Fprintf(w, "mmpmon resource %s cap %d inuse %d queued %d peak %d acquired %d peak_util %.2f\n",
 			r.Name(), r.Capacity(), r.InUse(), r.Queued(), r.PeakInUse(), r.TotalAcquired(), util)
 	}
+	// One solver line per distinct network (clusters usually share one WAN
+	// sim). Counters are event-driven — identical runs emit identical
+	// lines, so determinism diffs stay byte-clean.
+	seenNet := map[*netsim.Network]bool{}
+	for _, c := range clusters {
+		nw := c.Net
+		if nw == nil || seenNet[nw] {
+			continue
+		}
+		seenNet[nw] = true
+		WriteMmpmonSolver(w, nw.SolverStats())
+	}
 	fmt.Fprintf(w, "mmpmon sim events_fired %d pending %d\n", s.EventsFired(), s.Pending())
 	if p := s.EngineProbe(); p != nil {
 		WriteMmpmonEngine(w, p.Snapshot())
 	}
+}
+
+// WriteMmpmonSolver renders one network's rate-solver statistics as an
+// mmpmon line: full vs bottleneck-local solve counts, adaptive-expansion
+// and escalation counters, and the frontier-size histogram as b<bucket>
+// pairs (bucket b covers frontiers of up to 2^b conns; empty buckets are
+// omitted).
+func WriteMmpmonSolver(w io.Writer, st netsim.SolverStats) {
+	fmt.Fprintf(w, "mmpmon solver full %d local %d placements %d periodic %d escalations %d expansions %d region_conns %d boundary_links %d",
+		st.FullSolves, st.LocalSolves, st.Placements, st.PeriodicFulls,
+		st.Escalations, st.Expansions, st.RegionConns, st.BoundaryLinks)
+	for b, n := range st.FrontierHist {
+		if n > 0 {
+			fmt.Fprintf(w, " b%d %d", b, n)
+		}
+	}
+	fmt.Fprintln(w)
 }
 
 // WriteMmpmonEngine renders one engine-telemetry snapshot as mmpmon

@@ -161,9 +161,11 @@ func newSim() *sim.Sim {
 	return s
 }
 
-// newNet builds a plain network on s, attaching the metrics registry.
+// newNet builds a plain network on s, attaching the metrics registry and
+// the installed solver tolerance (SetSolveTolerance).
 func newNet(s *sim.Sim) *netsim.Network {
 	nw := netsim.New(s)
+	nw.SolveTolerance = solveTol
 	if obs != nil {
 		nw.Metrics = obs.Registry
 	}
@@ -367,6 +369,52 @@ func (o *Obs) EngineWindows() []sim.EngineSnapshot {
 // EngineSnapshot merges every engine window into one summary.
 func (o *Obs) EngineSnapshot() sim.EngineSnapshot {
 	return sim.MergeEngineSnapshots(o.EngineWindows())
+}
+
+// SolverStats merges the flow-solver counters across every observed
+// network. Clusters sharing a network (multi-site sims) are counted
+// once; enumeration order is the deterministic cluster registry.
+func (o *Obs) SolverStats() netsim.SolverStats {
+	var st netsim.SolverStats
+	seen := map[*netsim.Network]bool{}
+	for _, c := range o.clusters {
+		if c.Net == nil || seen[c.Net] {
+			continue
+		}
+		seen[c.Net] = true
+		s := c.Net.SolverStats()
+		st.Add(s)
+	}
+	return st
+}
+
+// WriteSolverReport prints the bottleneck-local rate solver's work:
+// full vs local solves, how often the tolerance check expanded or a
+// recompute escalated to the exact closure, and the log2 histogram of
+// solved frontier sizes. Silent when no network ever solved (pure
+// SAN/engine benchmarks).
+func (o *Obs) WriteSolverReport(w io.Writer) {
+	st := o.SolverStats()
+	if st.Solves() == 0 && st.Placements == 0 {
+		return
+	}
+	fmt.Fprintf(w, "rate solves: %d full, %d local, %d placements (%d periodic, %d escalations, %d expansions)\n",
+		st.FullSolves, st.LocalSolves, st.Placements,
+		st.PeriodicFulls, st.Escalations, st.Expansions)
+	fmt.Fprintf(w, "  re-solved %d conns against %d boundary links held fixed\n",
+		st.RegionConns, st.BoundaryLinks)
+	fmt.Fprintf(w, "  frontier conns per solve:")
+	for i, n := range st.FrontierHist {
+		if n == 0 {
+			continue
+		}
+		lo := 0
+		if i > 0 {
+			lo = 1 << (i - 1)
+		}
+		fmt.Fprintf(w, " [%d+]=%d", lo, n)
+	}
+	fmt.Fprintln(w)
 }
 
 // snapshotSim writes one mmpmon snapshot for the clusters living on s.

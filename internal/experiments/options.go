@@ -24,8 +24,9 @@ import (
 // value in place.
 type Options struct {
 	// Engine plane (RegisterEngine).
-	Scheduler   string // event-queue implementation: "calendar" (default) or "heap"
-	EngineStats bool   // print engine telemetry after the runs
+	Scheduler      string  // event-queue implementation: "calendar" (default) or "heap"
+	EngineStats    bool    // print engine telemetry after the runs
+	SolveTolerance float64 // bottleneck-local rate solves (0 = exact, byte-identical)
 
 	// Trace retention and sampling (RegisterTrace).
 	TraceOut    string        // Chrome trace-event JSON path
@@ -74,6 +75,8 @@ func (o *Options) RegisterEngine(fs *flag.FlagSet) {
 		"event-queue scheduler: calendar (default) or heap")
 	fs.BoolVar(&o.EngineStats, "engine-stats", false,
 		"print engine-plane telemetry (events/sec, queue depth, per-kind wall attribution)")
+	fs.Float64Var(&o.SolveTolerance, "solve-tolerance", 0,
+		"bottleneck-local rate solves: re-solve only conns whose boundary load shifts past this fraction of link capacity (0 = exact closure, byte-identical)")
 }
 
 // RegisterTrace registers the trace/attribution/snapshot flags.
@@ -160,6 +163,9 @@ func (o *Options) RegisterProfiles(fs *flag.FlagSet) {
 // simulator built through this package uses it.
 func (o *Options) Validate() error {
 	if err := SetScheduler(o.Scheduler); err != nil {
+		return err
+	}
+	if err := SetSolveTolerance(o.SolveTolerance); err != nil {
 		return err
 	}
 	if o.JSONLStream != "" && (o.TraceOut != "" || o.JSONLOut != "" || o.TraceRing > 0) {
@@ -299,6 +305,28 @@ func SetScheduler(name string) error {
 
 // SchedulerName returns the installed scheduler choice ("" = calendar).
 func SchedulerName() string { return schedName }
+
+// solveTol is the installed rate-solver tolerance. Every network built
+// through this package (newNet inside experiments, benchmark sites built
+// over NewSim's networks via the topo helpers) gets it applied.
+var solveTol float64
+
+// SetSolveTolerance installs the bottleneck-local solve tolerance used by
+// every subsequently built network. 0 keeps the exact closure solver
+// (byte-identical to prior releases); a fraction in (0, 1) lets local
+// solves stop at links whose load shifts by less than that fraction of
+// capacity. Out-of-range values are an error and leave the current choice
+// in place.
+func SetSolveTolerance(t float64) error {
+	if t < 0 || t >= 1 {
+		return fmt.Errorf("solve tolerance %g out of range [0, 1)", t)
+	}
+	solveTol = t
+	return nil
+}
+
+// SolveToleranceValue returns the installed solve tolerance.
+func SolveToleranceValue() float64 { return solveTol }
 
 // NewSim builds a simulator with the installed scheduler and, when
 // observability is on, attaches the tracer, engine probe, timeline and

@@ -42,7 +42,7 @@ func TestFlagSurface(t *testing.T) {
 		want     []string
 	}{
 		{"engine", (*Options).RegisterEngine,
-			[]string{"engine-stats", "scheduler"}},
+			[]string{"engine-stats", "scheduler", "solve-tolerance"}},
 		{"trace", (*Options).RegisterTrace,
 			[]string{"attr", "attr-agg", "interval", "jsonl", "jsonl-stream",
 				"stats", "trace", "trace-ring", "trace-sample"}},

@@ -103,6 +103,30 @@ func TestCrashDurabilityGather(t *testing.T) {
 	}
 }
 
+// TestRandomWorkloadArenaArms reruns the standard seeds with the page
+// buffer arena forced off, against the default arena-on arm that every
+// other test exercises. Recycled pages are zeroed on reuse and flush
+// scratch is returned only after the server has copied the payload, so
+// the byte oracle must not be able to tell the arms apart.
+func TestRandomWorkloadArenaArms(t *testing.T) {
+	for _, noArena := range []bool{false, true} {
+		noArena := noArena
+		name := "arena"
+		if noArena {
+			name = "no-arena"
+		}
+		t.Run(name, func(t *testing.T) {
+			for _, seed := range []int64{1, 2, 3} {
+				seed := seed
+				t.Run(string(rune('A'+seed-1)), func(t *testing.T) {
+					report(t, Run(Config{Seed: seed, Clients: 4, Ops: 100,
+						Gather: true, NoArena: noArena}))
+				})
+			}
+		})
+	}
+}
+
 // TestDeterministicDivergenceFree runs the same seed twice and insists
 // both runs are clean — a cheap determinism canary at the package level
 // (the byte-level trace diff lives in CI).

@@ -200,6 +200,194 @@ func TestIncrementalMatchesFromScratch(t *testing.T) {
 	}
 }
 
+// toleranceRig builds the same two-switch seeded workload as
+// TestIncrementalMatchesFromScratch on a fresh simulator: 8 hosts split
+// across two switches joined by a trunk, 24 conns, 60 events mixing sends
+// of varied sizes with trunk failures and repairs. tune runs before any
+// traffic so a test can set SolveTolerance and friends. Returns the sim,
+// network, trunk link, conns and the total payload bytes queued.
+func toleranceRig(seed int64, tune func(*Network)) (*sim.Sim, *Network, *Link, []*Conn, units.Bytes) {
+	rng := rand.New(rand.NewSource(seed))
+	s := sim.New()
+	nw := New(s)
+	if tune != nil {
+		tune(nw)
+	}
+	sw1 := nw.NewNode("sw1")
+	sw2 := nw.NewNode("sw2")
+	nw.DuplexLink("trunk", sw1, sw2, units.Gbps, sim.Millisecond)
+	var hosts []*Node
+	for i := 0; i < 8; i++ {
+		h := nw.NewNode(fmt.Sprintf("h%d", i))
+		sw := sw1
+		if i >= 4 {
+			sw = sw2
+		}
+		nw.DuplexLink(fmt.Sprintf("l%d", i), h, sw, units.Gbps, 100*sim.Microsecond)
+		hosts = append(hosts, h)
+	}
+	var conns []*Conn
+	for i := 0; i < 24; i++ {
+		a, b := rng.Intn(8), rng.Intn(8)
+		if a == b {
+			b = (b + 1) % 8
+		}
+		conns = append(conns, nw.DialTCP(hosts[a], hosts[b], TCPConfig{
+			MaxWindow:  units.Bytes(64+rng.Intn(512)) * units.KiB,
+			InitWindow: 32 * units.KiB,
+		}))
+	}
+	trunk := nw.links[0]
+	var total units.Bytes
+	for i := 0; i < 60; i++ {
+		at := sim.Time(rng.Intn(200)) * sim.Millisecond
+		switch rng.Intn(10) {
+		case 0:
+			s.At(at, func() { trunk.SetDown(true) })
+		case 1:
+			s.At(at, func() { trunk.SetDown(false) })
+		default:
+			c := conns[rng.Intn(len(conns))]
+			size := units.Bytes(1+rng.Intn(4<<20)) * 1
+			total += size
+			s.At(at, func() { c.Send(size, nil) })
+		}
+	}
+	return s, nw, trunk, conns, total
+}
+
+// TestToleranceWithinEps is the tolerance-mode property test: with
+// SolveTolerance > 0 the bottleneck-local solver must (a) conserve bytes —
+// every queued payload is delivered exactly once and the workload drains,
+// (b) never invent bandwidth — no link's allocated load exceeds capacity
+// beyond the stacked boundary tolerance, (c) stay within a bounded ε of
+// the exact from-scratch allocation at every quiescent point, (d) finish
+// within a few percent of the exact solver's virtual drain time, and (e)
+// actually exercise the local path (local solves > 0, frontier histogram
+// populated).
+func TestToleranceWithinEps(t *testing.T) {
+	const tol = 0.02
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			// Exact twin first: its drain time anchors the timing check.
+			se, _, _, _, _ := toleranceRig(seed, nil)
+			for se.Step() {
+			}
+			exactDrain := se.Now()
+
+			s, nw, trunk, conns, total := toleranceRig(seed, func(nw *Network) {
+				nw.SolveTolerance = tol
+				nw.FullSolveEvery = 64
+			})
+			worst := 0.0
+			for s.Step() {
+				if len(nw.dirtyLinks) != 0 || nw.recomputeScheduled {
+					continue // mid-coalescing rates are legitimately stale
+				}
+				// (c) rates within ε of the exact solve. Boundary errors can
+				// stack across a few local solves before a violation or the
+				// periodic full solve re-anchors them, so ε is generous —
+				// this catches gross wrongness (a region solved against a
+				// stale boundary twice over), not float noise.
+				want := referenceRates(nw)
+				for _, c := range nw.activeList {
+					w := want[c]
+					if math.IsInf(w, 1) {
+						continue
+					}
+					diff := math.Abs(c.rate - w)
+					if rel := diff / math.Max(w, 1); rel > worst {
+						worst = rel
+					}
+					if diff > 0.5*math.Max(w, 1) && diff > 4*tol*float64(units.Gbps)/8 {
+						t.Fatalf("conn %d rate %g vs exact %g: beyond tolerance envelope", c.id, c.rate, w)
+					}
+				}
+				// (b) no link overcommitted beyond the stacked tolerance.
+				for _, l := range nw.busyLinks {
+					sum := 0.0
+					for _, slot := range l.conns {
+						sum += slot.c.rate
+					}
+					if !l.down && sum > l.cap*(1+4*tol) {
+						t.Fatalf("link %s overcommitted: %g of %g cap", l.name, sum, l.cap)
+					}
+				}
+			}
+			// (a) byte conservation: everything queued was delivered once.
+			var sent units.Bytes
+			for _, c := range conns {
+				sent += c.BytesSent()
+			}
+			if len(nw.activeList) != 0 && !trunk.down {
+				t.Fatalf("%d conns still active after drain", len(nw.activeList))
+			}
+			if len(nw.activeList) == 0 && sent != total {
+				t.Fatalf("delivered %d bytes, queued %d", sent, total)
+			}
+			// (d) timing stays within a few percent of exact.
+			if len(nw.activeList) == 0 && exactDrain > 0 {
+				skew := math.Abs(float64(s.Now()-exactDrain)) / float64(exactDrain)
+				if skew > 0.05 {
+					t.Fatalf("drain time %v vs exact %v (%.1f%% skew)", s.Now(), exactDrain, 100*skew)
+				}
+			}
+			// (e) the local path ran and the histogram saw every solve.
+			st := nw.SolverStats()
+			if st.LocalSolves == 0 && st.Placements == 0 {
+				t.Fatalf("tolerance mode never ran local machinery: %+v", st)
+			}
+			var hist uint64
+			for _, n := range st.FrontierHist {
+				hist += n
+			}
+			if hist != st.Solves() {
+				t.Fatalf("frontier histogram counts %d solves of %d", hist, st.Solves())
+			}
+			t.Logf("worst rel err %.3f; %d local / %d full solves, %d expansions",
+				worst, st.LocalSolves, st.FullSolves, st.Expansions)
+		})
+	}
+}
+
+// TestToleranceZeroIsExact pins the determinism contract: SolveTolerance 0
+// takes the exact closure path — never a local solve — and produces an
+// event-for-event identical run to a network that never heard of the
+// tolerance fields. The fingerprint ties every fired event's virtual time
+// to the full allocation state, so any divergence in solve order or float
+// arithmetic shows up immediately.
+func TestToleranceZeroIsExact(t *testing.T) {
+	fingerprint := func(tune func(*Network)) ([]string, SolverStats) {
+		s, nw, _, conns, _ := toleranceRig(3, tune)
+		var fp []string
+		for s.Step() {
+			sum := 0.0
+			for _, c := range conns {
+				sum += c.rate
+			}
+			fp = append(fp, fmt.Sprintf("%d:%x", s.Now(), math.Float64bits(sum)))
+		}
+		return fp, nw.SolverStats()
+	}
+	plain, _ := fingerprint(nil)
+	zero, st := fingerprint(func(nw *Network) {
+		nw.SolveTolerance = 0
+		nw.FullSolveEvery = 4 // ignored at tolerance 0
+	})
+	if st.LocalSolves != 0 || st.Placements != 0 || st.Expansions != 0 || st.PeriodicFulls != 0 {
+		t.Fatalf("tolerance 0 ran local machinery: %+v", st)
+	}
+	if len(plain) != len(zero) {
+		t.Fatalf("event counts differ: %d vs %d", len(plain), len(zero))
+	}
+	for i := range plain {
+		if plain[i] != zero[i] {
+			t.Fatalf("step %d diverged: %s vs %s", i, plain[i], zero[i])
+		}
+	}
+}
+
 // TestSendOnActiveConnSkipsSolve: queueing more bytes on an already-active
 // conn leaves every allocated rate valid — the frontier must stay empty
 // and no recompute event may be scheduled.

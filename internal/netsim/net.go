@@ -17,6 +17,7 @@ package netsim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"gfs/internal/metrics"
 	"gfs/internal/sim"
@@ -34,6 +35,7 @@ type Network struct {
 	activeList         []*Conn // active conns (swap-removed; order not meaningful)
 	busyLinks          []*Link // links with >= 1 active conn
 	dirtyLinks         []*Link // frontier for the next incremental solve
+	dirtyConns         []*Conn // tolerance mode: conns awaiting water-level placement
 	epoch              uint32  // stamps links/conns into the current component
 	inSolve            bool    // inside solveDirty's advance pass
 	inRecompute        bool
@@ -47,6 +49,7 @@ type Network struct {
 	unassigned []*Conn
 	capHeap    []*Conn
 	tieLinks   []*Link
+	boundLinks []*Link // boundary links of the current local solve
 	msgFree    []*message
 
 	routesDirty bool
@@ -87,7 +90,121 @@ type Network struct {
 	// 134 ms block transfers). Zero disables scaling.
 	RecomputePerConn sim.Time
 
-	lastSolveConns int // component size of the last solve, for the scaled throttle
+	lastSolveConns int     // cost of the last recompute, for the scaled throttle
+	drainWork      int     // conns touched so far in the current tolerance drain
+	deferredLinks  []*Link // boundary expansions held over for the next paced drain
+
+	// SolveTolerance > 0 makes rate recomputation bottleneck-local: a
+	// solve covers only the conns crossing dirty links, and every other
+	// link those conns touch is held at its current outside load instead
+	// of being expanded into. After the solve, any such boundary link
+	// whose carried load shifted by more than SolveTolerance x capacity
+	// re-seeds the frontier, so expansion is adaptive — it goes exactly as
+	// far as fair shares materially move. The value is the fraction of a
+	// link's capacity by which its load may be mispredicted (0.02 = 2%).
+	// Zero (the default) keeps the exact connected-component closure and
+	// with it byte-identical replays of every existing seeded run.
+	SolveTolerance float64
+
+	// FullSolveEvery bounds the drift tolerance-mode can accumulate: after
+	// this many consecutive local solves, one exact closure solve runs over
+	// every busy link and re-anchors all rates at the true max-min fixed
+	// point. Zero means the default (128). Ignored when SolveTolerance is 0.
+	FullSolveEvery int
+
+	localSince  int // local solves since the last full re-anchor
+	localBudget int // local solves left in this recompute before escalating
+
+	stats SolverStats
+}
+
+// defaultFullSolveEvery applies when FullSolveEvery is zero. The interval
+// is a staleness/cost trade that interacts with how boundaries are offered
+// capacity: when boundary links rationed region crossers to their residual
+// slack, starved crossers re-expanded constantly and frequent fulls (128)
+// were needed to damp the churn; with standing-level offers the expansion
+// pressure is gone and a sparser re-anchor is measurably faster at 1024
+// nodes while the drift and fairness checks still bound per-link error.
+const defaultFullSolveEvery = 512
+
+// maxLocalPerRecompute caps how many local solves one recompute drain may
+// run before escalating to the exact closure: the cap turns a pathological
+// ping-pong between neighboring regions into a single exact solve. It is
+// deliberately generous — boundary-fairness expansions legitimately take
+// several rounds to swallow a busy trunk, and a local round touches ~100
+// conns where the closure at 1024+ nodes touches tens of thousands, so
+// escalating early costs far more than the rounds it saves.
+const maxLocalPerRecompute = 64
+
+// frontierBuckets is the number of log2 component-size buckets in the
+// solver's frontier histogram: bucket i holds solves whose component had
+// [2^(i-1), 2^i) conns (bucket 0: empty components).
+const frontierBuckets = 24
+
+// SolverStats counts the flow solver's work since the network was built.
+// All values derive from virtual-time event order, so they are byte-
+// deterministic across identical seeded runs.
+type SolverStats struct {
+	// FullSolves counts exact connected-component closure solves — every
+	// solve at SolveTolerance 0, plus periodic re-anchors and escalations
+	// in tolerance mode.
+	FullSolves uint64
+	// LocalSolves counts tolerance-bounded bottleneck-local solves.
+	LocalSolves uint64
+	// Placements counts conns placed at their path's standing water level
+	// without any solve — the tolerance-mode fast path for flow arrivals
+	// and window bumps.
+	Placements uint64
+	// Expansions counts local solves that violated a boundary link's
+	// tolerance and re-seeded the frontier with it.
+	Expansions uint64
+	// PeriodicFulls counts full solves forced by FullSolveEvery.
+	PeriodicFulls uint64
+	// Escalations counts recompute drains that hit maxLocalPerRecompute
+	// and fell back to the exact closure.
+	Escalations uint64
+	// RegionConns is the cumulative number of conns re-solved.
+	RegionConns uint64
+	// BoundaryLinks is the cumulative number of links held fixed at the
+	// edge of local solves.
+	BoundaryLinks uint64
+	// FrontierHist is a log2 histogram of solved component sizes (conns
+	// per solve): bucket i counts solves with [2^(i-1), 2^i) conns.
+	FrontierHist [frontierBuckets]uint64
+}
+
+// Add folds other into s — for aggregating across several networks.
+func (s *SolverStats) Add(other SolverStats) {
+	s.FullSolves += other.FullSolves
+	s.LocalSolves += other.LocalSolves
+	s.Placements += other.Placements
+	s.Expansions += other.Expansions
+	s.PeriodicFulls += other.PeriodicFulls
+	s.Escalations += other.Escalations
+	s.RegionConns += other.RegionConns
+	s.BoundaryLinks += other.BoundaryLinks
+	for i := range s.FrontierHist {
+		s.FrontierHist[i] += other.FrontierHist[i]
+	}
+}
+
+// Solves returns the total number of solves of either flavor.
+func (s *SolverStats) Solves() uint64 { return s.FullSolves + s.LocalSolves }
+
+// SolverStats returns a snapshot of the flow solver's counters.
+func (nw *Network) SolverStats() SolverStats { return nw.stats }
+
+// noteFrontier records one solve's component size in the histogram.
+func (nw *Network) noteFrontier(conns int) {
+	b := 0
+	if conns > 0 {
+		b = bits.Len(uint(conns))
+		if b >= frontierBuckets {
+			b = frontierBuckets - 1
+		}
+	}
+	nw.stats.FrontierHist[b]++
+	nw.stats.RegionConns += uint64(conns)
 }
 
 // TCPConfig models the window behaviour of a connection.
@@ -178,6 +295,47 @@ type Link struct {
 	residual float64
 	nActive  int
 
+	// used is the sum of the currently allocated rates of the active conns
+	// crossing this link, maintained incrementally by assignRate,
+	// deactivate and conn placement. Bottleneck-local solves read it to
+	// hold a boundary link's outside load fixed; it influences nothing at
+	// SolveTolerance 0. Re-zeroed whenever the link goes idle, so float
+	// drift cannot accumulate across bursts.
+	used float64
+
+	// solvedUsed is the link's carried load the last time a solve left it
+	// consistent. Tolerance mode compares used against it: once placements
+	// and departures have drifted the load past SolveTolerance x capacity,
+	// the link joins the dirty frontier and is re-solved exactly. Unused at
+	// SolveTolerance 0.
+	solvedUsed float64
+
+	// level is the water level at which this link last drained conns as a
+	// bottleneck (0 = never a bottleneck in its last solve, or unknown).
+	// Tolerance mode places new and re-capped conns at the min of their
+	// path levels instead of re-solving the whole component: on a
+	// saturated shared trunk the fair share of a joining conn is the
+	// trunk's standing level, not the (zero) slack.
+	level float64
+
+	// Boundary-link scratch, valid while bMark == Network.epoch during a
+	// local solve: the region's pre-solve load on this link, the region's
+	// newly assigned load, how many region conns cross it, and the lowest
+	// water level at which this link drained region conns as a bottleneck
+	// (+Inf if it never bound).
+	bMark      uint32
+	compUsed   float64
+	compNew    float64
+	compActive int
+	compLevel  float64
+
+	// compList holds the region conns crossing this boundary link, filled
+	// during boundary discovery. The bottleneck drain walks it instead of
+	// the link's full conn list: a shared trunk carries thousands of
+	// outside conns, and scanning them per tie round dominated local-solve
+	// cost. Capacity is retained across solves.
+	compList []*Conn
+
 	busyIdx int // index in Network.busyLinks, -1 when idle
 }
 
@@ -200,6 +358,27 @@ func (l *Link) BytesDelivered() units.Bytes { return l.delivered }
 
 // Down reports whether the link is failed.
 func (l *Link) Down() bool { return l.down }
+
+// placeLevel is the rate a joining or re-capped conn holding own
+// bytes/sec here can claim on this link without a solve: the spare
+// capacity plus what it already holds, or the link's standing bottleneck
+// level if that is higher — on a saturated link a joiner's max-min fair
+// share is the level the link's conns drained at, not the (zero) slack.
+// Tolerance-mode placement only; the overcommit it can introduce is
+// bounded by the caller's drift check.
+func (l *Link) placeLevel(own float64) float64 {
+	if l.down {
+		return 0
+	}
+	avail := l.cap - l.used + own
+	if avail < 0 {
+		avail = 0
+	}
+	if l.level > avail {
+		return l.level
+	}
+	return avail
+}
 
 // SetDown fails (true) or restores (false) the link. While down, the
 // link carries nothing: every conn crossing it is allocated rate zero

@@ -199,6 +199,19 @@ func (p *EngineProbe) notePending(n int) {
 	}
 }
 
+// NoteExternalAllocs charges n heap allocations to the telemetry plane
+// rather than the run: Snapshot subtracts them from AllocsPerEvent the
+// same way it subtracts the probe's own snapshotting cost. Subsystems
+// that recycle buffers through arenas call this on refill misses, so an
+// allocs/event bound measures steady-state allocation, not pool warm-up.
+// Nil-safe.
+func (p *EngineProbe) NoteExternalAllocs(n uint64) {
+	if p == nil {
+		return
+	}
+	p.selfAllocs += n
+}
+
 // depthBucket returns the log2 bucket for a queue depth.
 func depthBucket(d int) int {
 	if d <= 0 {
@@ -255,7 +268,12 @@ func (p *EngineProbe) Snapshot() EngineSnapshot {
 		snap.WallPerSimSec = float64(snap.WallNs) / float64(snap.SimNs)
 	}
 	if p.ctr > 0 {
-		snap.AllocsPerEvent = float64(a0-p.startHeap-p.selfAllocs) / float64(p.ctr)
+		// Clamp: self-charged allocations (telemetry, arena refills) can
+		// overshoot the measured window when the runtime elides workload
+		// allocations; a negative rate would wrap the uint64 into garbage.
+		if grew := a0 - p.startHeap; grew > p.selfAllocs {
+			snap.AllocsPerEvent = float64(grew-p.selfAllocs) / float64(p.ctr)
+		}
 	}
 	snap.DepthP50 = p.depthQuantile(0.50)
 	snap.DepthP99 = p.depthQuantile(0.99)

@@ -118,6 +118,49 @@ func TestEngineProbeDeterminism(t *testing.T) {
 	}
 }
 
+// TestNoteExternalAllocs checks that allocations a subsystem reports as
+// recycled-buffer refills (arena misses) are excluded from the
+// allocs/event figure, and that the call is nil-safe so call sites need
+// no probe guard.
+func TestNoteExternalAllocs(t *testing.T) {
+	var nilProbe *EngineProbe
+	nilProbe.NoteExternalAllocs(7) // must not panic
+
+	sink := make([][]byte, 0, 256)
+	run := func(external uint64) float64 {
+		sink = sink[:0]
+		s := New()
+		p := NewEngineProbe()
+		s.SetEngineProbe(p)
+		s.Go("w", func(pr *Proc) {
+			for i := 0; i < 200; i++ {
+				pr.Sleep(Microsecond)
+				sink = append(sink, make([]byte, 4096)) // real per-event allocation
+			}
+		})
+		s.Run()
+		p.NoteExternalAllocs(external)
+		return p.Snapshot().AllocsPerEvent
+	}
+	base := run(0)
+	if base < 1 {
+		t.Fatalf("baseline allocs/event = %v, want >= 1", base)
+	}
+	// Charging N allocations as external must lower the figure by about
+	// N/events relative to an identical run.
+	const external = 100
+	got := run(external)
+	wantDrop := float64(external) / 201 // 200 timers + proc start
+	if drop := base - got; drop < wantDrop*0.5 || drop > wantDrop*1.5 {
+		t.Errorf("external allocs dropped allocs/event by %v, want about %v (base %v, got %v)",
+			drop, wantDrop, base, got)
+	}
+	// Over-reporting must clamp to zero, never wrap negative.
+	if r := run(1 << 40); r != 0 {
+		t.Errorf("over-reported external allocs gave %v, want 0", r)
+	}
+}
+
 // TestEngineTraceSample checks the deterministic engine instants carry
 // only virtual-time fields.
 func TestEngineTraceSample(t *testing.T) {
